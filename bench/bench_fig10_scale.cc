@@ -1,0 +1,74 @@
+// Fig. 10(a,b): data-scale experiments — IC and BI runtimes as the graph
+// grows across four scale factors (labeled after the paper's G30..G1000
+// series, scaled to laptop sizes). GOpt-plans on the GraphScope-like
+// distributed backend; IC queries aggregate 4 parameter seeds per query as
+// in the paper.
+#include "bench/bench_common.h"
+
+using namespace gopt;
+using namespace gopt_bench;
+
+int main() {
+  const double base = EnvScaleFactor(0.15);
+  const int repeats = std::max(1, EnvRepeats(1));
+  const double sfs[] = {base, base * 10.0 / 3.0, base * 10, base * 100.0 / 3.0};
+  const char* labels[] = {"G30", "G100", "G300", "G1000"};
+  const char* person_ids[] = {"7", "17", "23", "41"};
+
+  std::vector<LdbcGraph> graphs;
+  std::vector<std::shared_ptr<Glogue>> glogues;
+  std::printf("Fig 10 — data scale (4 datasets)\n");
+  for (int i = 0; i < 4; ++i) {
+    graphs.push_back(GenerateLdbc(sfs[i], 42));
+    glogues.push_back(
+        std::make_shared<Glogue>(Glogue::Build(*graphs.back().graph)));
+    std::printf("  %s: sf=%.2f |V|=%zu |E|=%zu\n", labels[i], sfs[i],
+                graphs.back().graph->NumVertices(),
+                graphs.back().graph->NumEdges());
+  }
+  PrintRule();
+  std::printf("%-6s %12s %12s %12s %12s\n", "query", labels[0], labels[1],
+              labels[2], labels[3]);
+  PrintRule();
+
+  auto run_set = [&](const std::vector<WorkloadQuery>& queries,
+                     const char* title, bool multi_params) {
+    std::printf("-- %s --\n", title);
+    std::vector<std::vector<double>> degradation(4);
+    for (const auto& wq : queries) {
+      double t[4] = {0, 0, 0, 0};
+      for (int i = 0; i < 4; ++i) {
+        EngineOptions opts;
+        GOptEngine eng(graphs[static_cast<size_t>(i)].graph.get(),
+                       BackendSpec::GraphScopeLike(4), opts);
+        eng.SetGlogue(glogues[static_cast<size_t>(i)]);
+        if (multi_params) {
+          // Aggregate runtimes over several parameter values (paper: 8
+          // random seeds; 4 here).
+          for (const char* pid : person_ids) {
+            auto params = DefaultParams();
+            params["personId"] = pid;
+            t[i] += TimeQuery(eng, SubstituteParams(wq.cypher, params),
+                              Language::kCypher, repeats);
+          }
+        } else {
+          t[i] = TimeQuery(eng, Q(wq.cypher), Language::kCypher, repeats);
+        }
+      }
+      std::printf("%-6s %12.3f %12.3f %12.3f %12.3f\n", wq.name.c_str(), t[0],
+                  t[1], t[2], t[3]);
+      if (t[0] > 0) {
+        for (int i = 0; i < 4; ++i) {
+          degradation[static_cast<size_t>(i)].push_back(t[i] / t[0]);
+        }
+      }
+    }
+    std::printf("%-6s %12s %12.1fx %12.1fx %12.1fx  (avg slowdown vs %s)\n",
+                "", "1.0x", Geomean(degradation[1]), Geomean(degradation[2]),
+                Geomean(degradation[3]), labels[0]);
+  };
+
+  run_set(IcQueries(), "IC queries (Fig 10a)", true);
+  run_set(BiQueries(), "BI queries (Fig 10b)", false);
+  return 0;
+}

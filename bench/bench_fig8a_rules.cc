@@ -1,0 +1,60 @@
+// Fig. 8(a): effectiveness of the heuristic rules. Runs QR1..QR8 with the
+// full rule set enabled vs. with RBO disabled (queries carry explicit types;
+// type inference and CBO are disabled in both arms so only the rules are
+// measured, mirroring the paper's controlled setup). Executed on the
+// GraphScope-like backend as in Section 8.2.
+#include "bench/bench_common.h"
+
+using namespace gopt;
+using namespace gopt_bench;
+
+int main() {
+  const double sf = EnvScaleFactor();
+  const int repeats = EnvRepeats();
+  auto ldbc = GenerateLdbc(sf, 42);
+  auto glogue = std::make_shared<Glogue>(Glogue::Build(*ldbc.graph));
+
+  std::printf("Fig 8(a) — Heuristic rules (QR1-8), LDBC sf=%.2f, |V|=%zu |E|=%zu\n",
+              sf, ldbc.graph->NumVertices(), ldbc.graph->NumEdges());
+  std::printf("%-6s %12s %12s %10s   %s\n", "query", "WithOpt(ms)",
+              "NoOpt(ms)", "speedup", "rule under test");
+  PrintRule();
+
+  const char* rules[] = {"FilterIntoPattern", "FilterIntoPattern", "FieldTrim",
+                         "FieldTrim",         "JoinToPattern",     "JoinToPattern",
+                         "ComSubPattern",     "ComSubPattern"};
+  std::vector<double> speedups;
+  std::vector<std::vector<double>> per_rule(4);
+  int qi = 0;
+  for (const auto& wq : QrQueries()) {
+    EngineOptions with;
+    with.enable_cbo = false;
+    with.enable_type_inference = false;
+    GOptEngine opt(ldbc.graph.get(), BackendSpec::GraphScopeLike(4), with);
+    opt.SetGlogue(glogue);
+
+    EngineOptions without;
+    without.mode = PlannerMode::kNoOpt;
+    GOptEngine noopt(ldbc.graph.get(), BackendSpec::GraphScopeLike(4), without);
+    noopt.SetGlogue(glogue);
+
+    double t_with = TimeQuery(opt, Q(wq.cypher), Language::kCypher, repeats);
+    double t_without =
+        TimeQuery(noopt, Q(wq.cypher), Language::kCypher, repeats);
+    double speedup = t_with > 0 ? t_without / t_with : 0;
+    speedups.push_back(speedup);
+    per_rule[static_cast<size_t>(qi / 2)].push_back(speedup);
+    std::printf("%-6s %12.3f %12.3f %9.1fx   %s\n", wq.name.c_str(), t_with,
+                t_without, speedup, rules[qi]);
+    ++qi;
+  }
+  PrintRule();
+  const char* rule_names[] = {"FilterIntoPattern", "FieldTrim", "JoinToPattern",
+                              "ComSubPattern"};
+  for (int i = 0; i < 4; ++i) {
+    std::printf("geomean speedup %-18s %8.1fx\n", rule_names[i],
+                Geomean(per_rule[static_cast<size_t>(i)]));
+  }
+  std::printf("geomean speedup %-18s %8.1fx\n", "ALL", Geomean(speedups));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 8(b): effect of type inference. QT1..QT5 contain patterns without
+// explicit type constraints; we compare execution with the type checker
+// enabled vs. disabled (all other optimizations identical).
+#include "bench/bench_common.h"
+
+using namespace gopt;
+using namespace gopt_bench;
+
+int main() {
+  const double sf = EnvScaleFactor();
+  const int repeats = EnvRepeats();
+  auto ldbc = GenerateLdbc(sf, 42);
+  auto glogue = std::make_shared<Glogue>(Glogue::Build(*ldbc.graph));
+
+  std::printf("Fig 8(b) — Type inference (QT1-5), LDBC sf=%.2f\n", sf);
+  std::printf("%-6s %12s %12s %10s\n", "query", "WithOpt(ms)", "NoOpt(ms)",
+              "speedup");
+  PrintRule();
+
+  std::vector<double> speedups;
+  for (const auto& wq : QtQueries()) {
+    EngineOptions with;
+    GOptEngine infer(ldbc.graph.get(), BackendSpec::GraphScopeLike(4), with);
+    infer.SetGlogue(glogue);
+
+    EngineOptions without;
+    without.enable_type_inference = false;
+    GOptEngine noinfer(ldbc.graph.get(), BackendSpec::GraphScopeLike(4),
+                       without);
+    noinfer.SetGlogue(glogue);
+
+    double t_with = TimeQuery(infer, Q(wq.cypher), Language::kCypher, repeats);
+    double t_without =
+        TimeQuery(noinfer, Q(wq.cypher), Language::kCypher, repeats);
+    double speedup = t_with > 0 ? t_without / t_with : 0;
+    speedups.push_back(speedup);
+    std::printf("%-6s %12.3f %12.3f %9.1fx\n", wq.name.c_str(), t_with,
+                t_without, speedup);
+  }
+  PrintRule();
+  std::printf("average (geomean) speedup: %.1fx\n", Geomean(speedups));
+  return 0;
+}

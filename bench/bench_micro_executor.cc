@@ -1,0 +1,87 @@
+// Micro benchmarks (google-benchmark): executor kernel throughput — scans,
+// flattened expansion vs. WCOJ intersection, hash join, two-phase
+// aggregation — across worker counts. These ground the backend cost models
+// registered through PhysicalSpec.
+#include <benchmark/benchmark.h>
+
+#include "src/engine/engine.h"
+#include "src/ldbc/ldbc.h"
+#include "src/workloads/queries.h"
+
+namespace {
+
+using namespace gopt;
+
+const LdbcGraph& SharedGraph() {
+  static LdbcGraph g = GenerateLdbc(0.3, 42);
+  return g;
+}
+
+std::shared_ptr<const Glogue> SharedGlogue() {
+  static auto gl = std::make_shared<Glogue>(Glogue::Build(*SharedGraph().graph));
+  return gl;
+}
+
+void RunQuery(benchmark::State& state, const char* query, bool distributed,
+              int workers = 4) {
+  const auto& g = *SharedGraph().graph;
+  GOptEngine engine(&g, distributed ? BackendSpec::GraphScopeLike(workers)
+                                    : BackendSpec::Neo4jLike());
+  engine.SetGlogue(SharedGlogue());
+  auto prep =
+      engine.Prepare(SubstituteParams(query, DefaultParams()));
+  for (auto _ : state) {
+    auto r = engine.Execute(prep);
+    benchmark::DoNotOptimize(r.NumRows());
+  }
+  state.counters["rows"] = static_cast<double>(engine.Execute(prep).NumRows());
+}
+
+void BM_Scan(benchmark::State& state) {
+  RunQuery(state, "MATCH (p:Person) RETURN p", false);
+}
+BENCHMARK(BM_Scan)->Unit(benchmark::kMicrosecond);
+
+void BM_OneHopExpand(benchmark::State& state) {
+  RunQuery(state, "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN p, q", false);
+}
+BENCHMARK(BM_OneHopExpand)->Unit(benchmark::kMicrosecond);
+
+void BM_TriangleSingleMachine(benchmark::State& state) {
+  RunQuery(state, QcQueries()[0].cypher.c_str(), false);
+}
+BENCHMARK(BM_TriangleSingleMachine)->Unit(benchmark::kMillisecond);
+
+void BM_TriangleDistributed(benchmark::State& state) {
+  RunQuery(state, QcQueries()[0].cypher.c_str(), true,
+           static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_TriangleDistributed)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_PathExpand(benchmark::State& state) {
+  RunQuery(state,
+           "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person) WHERE p.id = 17 "
+           "RETURN f",
+           false);
+}
+BENCHMARK(BM_PathExpand)->Unit(benchmark::kMicrosecond);
+
+void BM_AggregateDistributed(benchmark::State& state) {
+  RunQuery(state,
+           "MATCH (t:Tag)<-[:HAS_TAG]-(m:Post) "
+           "RETURN t.name AS n, COUNT(m) AS c",
+           true);
+}
+BENCHMARK(BM_AggregateDistributed)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinHeavy(benchmark::State& state) {
+  RunQuery(state,
+           "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+           "WITH a, b MATCH (b)-[:HAS_INTEREST]->(t:Tag) RETURN a, t",
+           true);
+}
+BENCHMARK(BM_HashJoinHeavy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Micro benchmarks (google-benchmark): optimizer-component latencies —
+// GLogue construction, cardinality estimation, pattern canonicalization,
+// type inference and CBO planning. These support the paper's claim that
+// optimization time is negligible relative to execution (Section 8.1).
+#include <benchmark/benchmark.h>
+
+#include "src/engine/engine.h"
+#include "src/ldbc/ldbc.h"
+#include "src/meta/pattern_code.h"
+#include "src/opt/type_inference.h"
+#include "src/workloads/queries.h"
+
+namespace {
+
+using namespace gopt;
+
+const LdbcGraph& SharedGraph() {
+  static LdbcGraph g = GenerateLdbc(0.3, 42);
+  return g;
+}
+
+const Glogue& SharedGlogue() {
+  static Glogue gl = Glogue::Build(*SharedGraph().graph);
+  return gl;
+}
+
+Pattern QcPattern(int idx) {
+  CypherParser parser(&SharedGraph().graph->schema());
+  auto q = SubstituteParams(QcQueries()[static_cast<size_t>(idx)].cypher,
+                            DefaultParams());
+  auto plan = parser.Parse(q);
+  HepPlanner planner;
+  for (auto& r : DefaultRules()) planner.AddRule(std::move(r));
+  plan = planner.Optimize(plan, SharedGraph().graph->schema());
+  LogicalOpPtr cur = plan;
+  while (cur->kind != LogicalOpKind::kMatchPattern) cur = cur->inputs[0];
+  return cur->pattern;
+}
+
+void BM_GlogueBuild(benchmark::State& state) {
+  const auto& g = *SharedGraph().graph;
+  for (auto _ : state) {
+    Glogue gl = Glogue::Build(g);
+    benchmark::DoNotOptimize(gl.NumMotifs());
+  }
+  state.counters["motifs"] =
+      static_cast<double>(Glogue::Build(g).NumMotifs());
+}
+BENCHMARK(BM_GlogueBuild)->Unit(benchmark::kMillisecond);
+
+void BM_CardinalityEstimation(benchmark::State& state) {
+  const auto& g = *SharedGraph().graph;
+  Pattern p = QcPattern(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // Fresh GlogueQuery so the cache does not trivialize the measurement.
+    GlogueQuery gq(&SharedGlogue(), &g.schema(), true);
+    benchmark::DoNotOptimize(gq.GetFreq(p));
+  }
+}
+BENCHMARK(BM_CardinalityEstimation)->DenseRange(0, 7)->Unit(benchmark::kMicrosecond);
+
+void BM_Canonicalization(benchmark::State& state) {
+  Pattern p = QcPattern(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalPatternCode(p));
+  }
+}
+BENCHMARK(BM_Canonicalization)->DenseRange(0, 7)->Unit(benchmark::kMicrosecond);
+
+void BM_TypeInference(benchmark::State& state) {
+  const auto& g = *SharedGraph().graph;
+  CypherParser parser(&g.schema());
+  auto q = SubstituteParams(QtQueries()[static_cast<size_t>(state.range(0))].cypher,
+                            DefaultParams());
+  auto plan = parser.Parse(q);
+  LogicalOpPtr cur = plan;
+  while (cur->kind != LogicalOpKind::kMatchPattern) cur = cur->inputs[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InferTypes(cur->pattern, g.schema()));
+  }
+}
+BENCHMARK(BM_TypeInference)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_CboSearch(benchmark::State& state) {
+  const auto& g = *SharedGraph().graph;
+  Pattern p = QcPattern(static_cast<int>(state.range(0)));
+  BackendSpec backend = BackendSpec::GraphScopeLike(4);
+  for (auto _ : state) {
+    GlogueQuery gq(&SharedGlogue(), &g.schema(), true);
+    GraphOptimizer opt(&gq, &backend);
+    benchmark::DoNotOptimize(opt.Optimize(p));
+  }
+}
+BENCHMARK(BM_CboSearch)->DenseRange(0, 7)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndPrepare(benchmark::State& state) {
+  const auto& g = *SharedGraph().graph;
+  static auto glogue = std::make_shared<Glogue>(Glogue::Build(g));
+  GOptEngine engine(&g, BackendSpec::GraphScopeLike(4));
+  engine.SetGlogue(glogue);
+  auto q = SubstituteParams(IcQueries()[5].cypher, DefaultParams());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Prepare(q));
+  }
+}
+BENCHMARK(BM_EndToEndPrepare)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Cross-language compatibility (paper Section 5): the same CGP written in
+// Cypher and Gremlin lowers into one unified GIR, is optimized once by the
+// same graph-native optimizer, and returns identical results — on either
+// backend.
+#include <cstdio>
+
+#include "src/engine/engine.h"
+#include "src/ldbc/ldbc.h"
+
+using namespace gopt;
+
+int main() {
+  auto ldbc = GenerateLdbc(0.2, 42);
+  const PropertyGraph& g = *ldbc.graph;
+  std::printf("LDBC-like graph: |V|=%zu |E|=%zu\n\n", g.NumVertices(),
+              g.NumEdges());
+
+  const char* cypher =
+      "MATCH (p:Person)-[:KNOWS]->(f:Person)-[:IS_LOCATED_IN]->(c:Place) "
+      "WHERE c.name = 'place_0' "
+      "RETURN f.id AS fid, COUNT(*) AS cnt ORDER BY cnt DESC, fid ASC LIMIT 5";
+
+  const char* gremlin =
+      "g.V().hasLabel('Person').as('p').out('KNOWS').as('f')"
+      ".hasLabel('Person').out('IS_LOCATED_IN').as('c').hasLabel('Place')"
+      ".has('name', 'place_0').groupCount().by('f')"
+      ".order().by(values, desc).limit(5)";
+
+  for (auto backend :
+       {BackendSpec::Neo4jLike(), BackendSpec::GraphScopeLike(4)}) {
+    GOptEngine engine(&g, backend);
+    auto rc = engine.Run(cypher, Language::kCypher);
+    auto rg = engine.Run(gremlin, Language::kGremlin);
+    std::printf("[%s] Cypher rows=%zu, Gremlin rows=%zu\n",
+                backend.name.c_str(), rc.NumRows(), rg.NumRows());
+    std::printf("%s\n", rc.ToString(5).c_str());
+  }
+
+  // The unified GIR also makes the optimizer language-agnostic: the rules
+  // fired for both frontends are the same.
+  GOptEngine engine(&g, BackendSpec::GraphScopeLike(4));
+  auto pc = engine.Prepare(cypher, Language::kCypher);
+  auto pg = engine.Prepare(gremlin, Language::kGremlin);
+  std::printf("rules fired (Cypher): ");
+  for (const auto& r : pc.fired_rules) std::printf("%s ", r.c_str());
+  std::printf("\nrules fired (Gremlin): ");
+  for (const auto& r : pg.fired_rules) std::printf("%s ", r.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gopt {
+
+/// Deterministic SplitMix64 RNG. Used everywhere randomness is needed
+/// (data generation, random plan sampling) so that every experiment is
+/// exactly reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t NextInt(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t NextRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Power-law distributed integer in [1, max]: P(x) ~ x^(-alpha).
+  /// Used for skewed degree distributions (KNOWS, LIKES in the LDBC-like
+  /// generator).
+  uint64_t NextPowerLaw(uint64_t max, double alpha) {
+    double u = NextDouble();
+    double x = std::pow(
+        (std::pow(static_cast<double>(max), 1.0 - alpha) - 1.0) * u + 1.0,
+        1.0 / (1.0 - alpha));
+    uint64_t r = static_cast<uint64_t>(x);
+    if (r < 1) r = 1;
+    if (r > max) r = max;
+    return r;
+  }
+
+  /// Zipf-distributed index in [0, n): rank 0 is the most popular. Used for
+  /// tag popularity and place assignment skew.
+  uint64_t NextZipf(uint64_t n, double s = 1.0) {
+    // Inverse-CDF on the harmonic partial sums, cached per (n, s).
+    if (zipf_n_ != n || zipf_s_ != s) {
+      zipf_n_ = n;
+      zipf_s_ = s;
+      zipf_cdf_.resize(n);
+      double sum = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        zipf_cdf_[i] = sum;
+      }
+      for (uint64_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+    }
+    double u = NextDouble();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<uint64_t>(it - zipf_cdf_.begin());
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = 0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace gopt

@@ -1,0 +1,169 @@
+#include "src/common/value.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace gopt {
+
+Value Value::List(std::vector<Value> elems) {
+  Value v;
+  v.v_ = std::make_shared<std::vector<Value>>(std::move(elems));
+  return v;
+}
+
+double Value::ToDouble() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return static_cast<double>(AsInt());
+    case Kind::kDouble:
+      return AsDouble();
+    case Kind::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      throw std::runtime_error("Value::ToDouble on non-numeric kind");
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric coercion between int and double.
+  if (IsNumeric() && other.IsNumeric()) {
+    if (kind() == Kind::kInt && other.kind() == Kind::kInt) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind() != other.kind()) {
+    return kind() < other.kind() ? -1 : 1;
+  }
+  switch (kind()) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case Kind::kString:
+      return AsString().compare(other.AsString());
+    case Kind::kVertex: {
+      VertexId a = AsVertex().id, b = other.AsVertex().id;
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Kind::kEdge: {
+      EdgeId a = AsEdge().id, b = other.AsEdge().id;
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Kind::kPath: {
+      const PathRef& a = AsPath();
+      const PathRef& b = other.AsPath();
+      if (a.vertices != b.vertices) {
+        return a.vertices < b.vertices ? -1 : 1;
+      }
+      if (a.edges != b.edges) {
+        return a.edges < b.edges ? -1 : 1;
+      }
+      return 0;
+    }
+    case Kind::kList: {
+      const auto& a = AsList();
+      const auto& b = other.AsList();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case Kind::kBool:
+      return AsBool() ? 1 : 2;
+    case Kind::kInt: {
+      // Hash ints that are exactly representable as themselves so that
+      // Value(2) == Value(2.0) implies equal hashes.
+      return HashCombine(0x11, std::hash<double>()(static_cast<double>(AsInt())));
+    }
+    case Kind::kDouble:
+      return HashCombine(0x11, std::hash<double>()(AsDouble()));
+    case Kind::kString:
+      return HashCombine(0x22, std::hash<std::string>()(AsString()));
+    case Kind::kVertex:
+      return HashCombine(0x33, std::hash<VertexId>()(AsVertex().id));
+    case Kind::kEdge:
+      return HashCombine(0x44, std::hash<EdgeId>()(AsEdge().id));
+    case Kind::kPath: {
+      size_t h = 0x55;
+      for (VertexId v : AsPath().vertices) h = HashCombine(h, v);
+      for (EdgeId e : AsPath().edges) h = HashCombine(h, e);
+      return h;
+    }
+    case Kind::kList: {
+      size_t h = 0x66;
+      for (const Value& v : AsList()) h = HashCombine(h, v.Hash());
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return AsBool() ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case Kind::kString:
+      return AsString();
+    case Kind::kVertex:
+      return "v[" + std::to_string(AsVertex().id) + "]";
+    case Kind::kEdge: {
+      const EdgeRef& e = AsEdge();
+      return "e[" + std::to_string(e.src) + "->" + std::to_string(e.dst) + "]";
+    }
+    case Kind::kPath: {
+      const PathRef& p = AsPath();
+      std::string s = "path[";
+      for (size_t i = 0; i < p.vertices.size(); ++i) {
+        if (i > 0) s += "->";
+        s += std::to_string(p.vertices[i]);
+      }
+      return s + "]";
+    }
+    case Kind::kList: {
+      std::string s = "[";
+      const auto& l = AsList();
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += l[i].ToString();
+      }
+      return s + "]";
+    }
+  }
+  return "?";
+}
+
+size_t ValueVecHash::operator()(const std::vector<Value>& vs) const {
+  size_t h = 0x77;
+  for (const Value& v : vs) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+}  // namespace gopt

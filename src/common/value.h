@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gopt {
+
+/// Globally unique vertex identifier (dense index into the graph store).
+using VertexId = uint64_t;
+/// Globally unique edge identifier (dense index into the graph store).
+using EdgeId = uint64_t;
+/// Identifier of a vertex type or edge type in the schema.
+using TypeId = uint32_t;
+
+inline constexpr VertexId kNullVertex = ~static_cast<VertexId>(0);
+inline constexpr EdgeId kNullEdge = ~static_cast<EdgeId>(0);
+inline constexpr TypeId kInvalidTypeId = ~static_cast<TypeId>(0);
+
+/// A reference to a vertex in the data graph. Kept distinct from plain
+/// integers so runtime rows can distinguish graph entities from primitives.
+struct VertexRef {
+  VertexId id = kNullVertex;
+  bool operator==(const VertexRef&) const = default;
+  auto operator<=>(const VertexRef&) const = default;
+};
+
+/// A reference to an edge, carrying enough topology (src, dst, type) for the
+/// runtime to walk it without consulting the store.
+struct EdgeRef {
+  EdgeId id = kNullEdge;
+  VertexId src = kNullVertex;
+  VertexId dst = kNullVertex;
+  TypeId type = kInvalidTypeId;
+  bool operator==(const EdgeRef&) const = default;
+  auto operator<=>(const EdgeRef&) const = default;
+};
+
+/// A materialized path: n+1 vertices joined by n edges, produced by
+/// EXPAND_PATH. Stored behind a shared_ptr inside Value to keep rows cheap.
+struct PathRef {
+  std::vector<VertexId> vertices;
+  std::vector<EdgeId> edges;
+  bool operator==(const PathRef&) const = default;
+  size_t Length() const { return edges.size(); }
+};
+
+/// The GIR data model's runtime value: graph-specific datatypes (Vertex,
+/// Edge, Path) plus general primitives and collections (paper Section 5.1).
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kVertex,
+    kEdge,
+    kPath,
+    kList,
+  };
+
+  Value() = default;
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(VertexRef v) : v_(v) {}
+  explicit Value(EdgeRef e) : v_(e) {}
+  explicit Value(PathRef p) : v_(std::make_shared<PathRef>(std::move(p))) {}
+
+  /// Builds a list value from elements.
+  static Value List(std::vector<Value> elems);
+
+  Kind kind() const { return static_cast<Kind>(v_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  VertexRef AsVertex() const { return std::get<VertexRef>(v_); }
+  EdgeRef AsEdge() const { return std::get<EdgeRef>(v_); }
+  const PathRef& AsPath() const { return *std::get<std::shared_ptr<PathRef>>(v_); }
+  const std::vector<Value>& AsList() const {
+    return *std::get<std::shared_ptr<std::vector<Value>>>(v_);
+  }
+
+  /// Numeric coercion: int and double both read as double. Throws for
+  /// non-numeric kinds.
+  double ToDouble() const;
+
+  /// True if the value is numeric (int or double).
+  bool IsNumeric() const {
+    return kind() == Kind::kInt || kind() == Kind::kDouble;
+  }
+
+  /// Three-way comparison with numeric coercion between int and double.
+  /// Values of incomparable kinds order by kind index (total order for
+  /// ORDER BY stability). Null sorts first.
+  int Compare(const Value& other) const;
+
+  /// Equality used by joins, group keys and dedup. Numeric coercion applies.
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric values hash via double when
+  /// representable).
+  size_t Hash() const;
+
+  /// Human-readable rendering, used by result printing and tests.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, VertexRef,
+               EdgeRef, std::shared_ptr<PathRef>,
+               std::shared_ptr<std::vector<Value>>>
+      v_;
+};
+
+/// Hash functor for using Value as a hash-map key.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Hash functor for composite keys (joins and multi-key grouping).
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const;
+};
+
+}  // namespace gopt

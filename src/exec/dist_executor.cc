@@ -1,0 +1,298 @@
+#include "src/exec/dist_executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace gopt {
+
+namespace {
+
+int IndexOf(const std::vector<std::string>& cols, const std::string& c) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == c) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ResultTable DistributedExecutor::Execute(const PhysOpPtr& root) {
+  memo_.clear();
+  stats_ = ExecStats{};
+  PartsPtr parts = Run(root);
+  ResultTable out;
+  out.columns = root->out_cols;
+  for (auto& p : *parts) {
+    for (auto& r : p) out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+DistributedExecutor::Parts DistributedExecutor::ParallelApply(
+    const Parts& in,
+    std::function<std::vector<Row>(const std::vector<Row>&)> fn) const {
+  Parts out(static_cast<size_t>(workers_));
+  // Tiny partitions are not worth a thread spawn (the simulator would
+  // otherwise charge ~100us of scheduling per stage to sub-millisecond
+  // queries); results are identical either way.
+  size_t total = 0;
+  for (const auto& p : in) total += p.size();
+  if (total < 2048) {
+    for (int w = 0; w < workers_; ++w) {
+      out[static_cast<size_t>(w)] = fn(in[static_cast<size_t>(w)]);
+    }
+    return out;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    threads.emplace_back([&, w] { out[w] = fn(in[static_cast<size_t>(w)]); });
+  }
+  for (auto& t : threads) t.join();
+  return out;
+}
+
+DistributedExecutor::Parts DistributedExecutor::ExchangeByKey(
+    Parts in, const std::vector<int>& key_idx) {
+  Parts out(static_cast<size_t>(workers_));
+  stats_.exchanges++;
+  for (int w = 0; w < workers_; ++w) {
+    for (auto& row : in[static_cast<size_t>(w)]) {
+      size_t h = 0x51ed;
+      for (int i : key_idx) {
+        h = HashCombine(h, row[static_cast<size_t>(i)].Hash());
+      }
+      int target = key_idx.empty() ? 0 : static_cast<int>(h % static_cast<size_t>(workers_));
+      if (target != w) stats_.comm_rows++;
+      out[static_cast<size_t>(target)].push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+DistributedExecutor::Parts DistributedExecutor::ExchangeByVertex(Parts in,
+                                                                 int idx) {
+  Parts out(static_cast<size_t>(workers_));
+  stats_.exchanges++;
+  for (int w = 0; w < workers_; ++w) {
+    for (auto& row : in[static_cast<size_t>(w)]) {
+      const Value& v = row[static_cast<size_t>(idx)];
+      int target =
+          v.kind() == Value::Kind::kVertex
+              ? static_cast<int>(v.AsVertex().id % static_cast<VertexId>(workers_))
+              : 0;
+      if (target != w) stats_.comm_rows++;
+      out[static_cast<size_t>(target)].push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
+  auto it = memo_.find(op.get());
+  if (it != memo_.end()) return it->second;
+
+  auto result = std::make_shared<Parts>(static_cast<size_t>(workers_));
+  switch (op->kind) {
+    case PhysOpKind::kScanVertices: {
+      // Each worker scans its own vertex partition — no communication.
+      std::vector<std::thread> threads;
+      for (int w = 0; w < workers_; ++w) {
+        threads.emplace_back(
+            [&, w] { (*result)[static_cast<size_t>(w)] = k_.Scan(*op, w, workers_); });
+      }
+      for (auto& t : threads) t.join();
+      break;
+    }
+    case PhysOpKind::kExpandEdge:
+    case PhysOpKind::kExpandIntersect:
+    case PhysOpKind::kPathExpand: {
+      auto in = Run(op->children[0]);
+      *result = ParallelApply(*in, [&](const std::vector<Row>& rows) {
+        switch (op->kind) {
+          case PhysOpKind::kExpandEdge:
+            return k_.ExpandEdge(*op, rows);
+          case PhysOpKind::kExpandIntersect:
+            return k_.ExpandIntersect(*op, rows);
+          default:
+            return k_.PathExpand(*op, rows);
+        }
+      });
+      // Rows migrate to the owner of the newly bound vertex.
+      if (!op->target_bound) {
+        int idx = IndexOf(op->out_cols, op->alias);
+        if (idx >= 0) *result = ExchangeByVertex(std::move(*result), idx);
+      }
+      break;
+    }
+    case PhysOpKind::kSelect: {
+      auto in = Run(op->children[0]);
+      *result = ParallelApply(
+          *in, [&](const std::vector<Row>& rows) { return k_.Filter(*op, rows); });
+      break;
+    }
+    case PhysOpKind::kProject: {
+      auto in = Run(op->children[0]);
+      *result = ParallelApply(*in, [&](const std::vector<Row>& rows) {
+        return k_.Project(*op, rows);
+      });
+      break;
+    }
+    case PhysOpKind::kUnfold: {
+      auto in = Run(op->children[0]);
+      *result = ParallelApply(*in, [&](const std::vector<Row>& rows) {
+        return k_.Unfold(*op, rows);
+      });
+      break;
+    }
+    case PhysOpKind::kAggregate: {
+      auto in = Run(op->children[0]);
+      if (SupportsPartialAgg(*op)) {
+        // GroupLocal on each worker, exchange partials by key, GroupGlobal.
+        Parts partial = ParallelApply(*in, [&](const std::vector<Row>& rows) {
+          return k_.Aggregate(*op, rows, /*combine=*/false);
+        });
+        // Keyless local aggregation over an empty partition yields a
+        // default row; drop those to avoid overcounting before combine.
+        if (op->group_keys.empty()) {
+          for (int w = 1; w < workers_; ++w) {
+            auto& p = partial[static_cast<size_t>(w)];
+            (void)p;
+          }
+        }
+        std::vector<int> key_idx;
+        for (size_t i = 0; i < op->group_keys.size(); ++i) {
+          key_idx.push_back(static_cast<int>(i));
+        }
+        Parts exchanged = ExchangeByKey(std::move(partial), key_idx);
+        *result = ParallelApply(exchanged, [&](const std::vector<Row>& rows) {
+          return k_.Aggregate(*op, rows, /*combine=*/true);
+        });
+        // A keyless aggregate produces its single row on worker 0 only;
+        // other workers' combine over empty input must not emit defaults.
+        if (op->group_keys.empty()) {
+          for (int w = 1; w < workers_; ++w) {
+            (*result)[static_cast<size_t>(w)].clear();
+          }
+        }
+      } else {
+        // Raw-row exchange by group key hash, then full local aggregation.
+        const auto& ccols = op->children[0]->out_cols;
+        ColMap cmap = MakeColMap(ccols);
+        // Materialize key columns to hash on: append them temporarily.
+        Parts keyed(static_cast<size_t>(workers_));
+        stats_.exchanges++;
+        for (int w = 0; w < workers_; ++w) {
+          for (auto& row : (*in)[static_cast<size_t>(w)]) {
+            size_t h = 0x9d;
+            for (const auto& k : op->group_keys) {
+              h = HashCombine(h, k_.eval().Eval(*k.expr, row, cmap).Hash());
+            }
+            int target = op->group_keys.empty()
+                             ? 0
+                             : static_cast<int>(h % static_cast<size_t>(workers_));
+            if (target != w) stats_.comm_rows++;
+            keyed[static_cast<size_t>(target)].push_back(row);
+          }
+        }
+        *result = ParallelApply(keyed, [&](const std::vector<Row>& rows) {
+          return k_.Aggregate(*op, rows, /*combine=*/false);
+        });
+        if (op->group_keys.empty()) {
+          for (int w = 1; w < workers_; ++w) {
+            (*result)[static_cast<size_t>(w)].clear();
+          }
+        }
+      }
+      break;
+    }
+    case PhysOpKind::kHashJoin: {
+      auto l = Run(op->children[0]);
+      auto r = Run(op->children[1]);
+      std::vector<int> lkey, rkey;
+      for (const auto& k : op->join_keys) {
+        lkey.push_back(IndexOf(op->children[0]->out_cols, k));
+        rkey.push_back(IndexOf(op->children[1]->out_cols, k));
+      }
+      Parts le = ExchangeByKey(*l, lkey);
+      Parts re = ExchangeByKey(*r, rkey);
+      Parts out(static_cast<size_t>(workers_));
+      std::vector<std::thread> threads;
+      for (int w = 0; w < workers_; ++w) {
+        threads.emplace_back([&, w] {
+          out[static_cast<size_t>(w)] =
+              k_.Join(*op, le[static_cast<size_t>(w)], re[static_cast<size_t>(w)]);
+        });
+      }
+      for (auto& t : threads) t.join();
+      *result = std::move(out);
+      break;
+    }
+    case PhysOpKind::kDedup: {
+      auto in = Run(op->children[0]);
+      const auto& ccols = op->children[0]->out_cols;
+      std::vector<int> key_idx;
+      if (op->dedup_tags.empty()) {
+        for (size_t i = 0; i < ccols.size(); ++i) {
+          key_idx.push_back(static_cast<int>(i));
+        }
+      } else {
+        for (const auto& t : op->dedup_tags) key_idx.push_back(IndexOf(ccols, t));
+      }
+      Parts ex = ExchangeByKey(*in, key_idx);
+      *result = ParallelApply(
+          ex, [&](const std::vector<Row>& rows) { return k_.Dedup(*op, rows); });
+      break;
+    }
+    case PhysOpKind::kOrder: {
+      auto in = Run(op->children[0]);
+      // Local top-k, then gather to worker 0 for the final merge.
+      Parts local = ParallelApply(*in, [&](const std::vector<Row>& rows) {
+        return k_.SortLimit(*op, rows);
+      });
+      Parts gathered = ExchangeByKey(std::move(local), {});
+      (*result)[0] = k_.SortLimit(*op, std::move(gathered[0]));
+      break;
+    }
+    case PhysOpKind::kLimit: {
+      auto in = Run(op->children[0]);
+      Parts gathered = ExchangeByKey(*in, {});
+      auto& rows = gathered[0];
+      size_t n = std::min(rows.size(), static_cast<size_t>(op->limit));
+      rows.resize(n);
+      (*result)[0] = std::move(rows);
+      break;
+    }
+    case PhysOpKind::kUnion: {
+      auto l = Run(op->children[0]);
+      auto r = Run(op->children[1]);
+      for (int w = 0; w < workers_; ++w) {
+        (*result)[static_cast<size_t>(w)] = (*l)[static_cast<size_t>(w)];
+        auto mapped = k_.MapColumns((*r)[static_cast<size_t>(w)],
+                                    op->children[1]->out_cols, op->out_cols);
+        for (auto& row : mapped) {
+          (*result)[static_cast<size_t>(w)].push_back(std::move(row));
+        }
+      }
+      if (op->union_distinct) {
+        std::vector<int> key_idx;
+        for (size_t i = 0; i < op->out_cols.size(); ++i) {
+          key_idx.push_back(static_cast<int>(i));
+        }
+        Parts ex = ExchangeByKey(std::move(*result), key_idx);
+        PhysOp dd(PhysOpKind::kDedup);
+        dd.children = {op};
+        *result = ParallelApply(ex, [&](const std::vector<Row>& rows) {
+          return k_.Dedup(dd, rows);
+        });
+      }
+      break;
+    }
+  }
+  for (const auto& p : *result) stats_.rows_produced += p.size();
+  memo_[op.get()] = result;
+  return result;
+}
+
+}  // namespace gopt

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/common/hash.h"
+#include "src/exec/executor.h"
+
+namespace gopt {
+
+/// The GraphScope-like backend runtime: a W-worker dataflow simulator.
+///
+/// Vertices are hash-partitioned across workers; each operator is applied
+/// per worker partition (in parallel threads), with explicit exchange steps
+/// that re-partition rows — after binding a new vertex rows move to its
+/// owner; joins, aggregates and dedups hash-exchange on their keys; ORDER
+/// does a local top-k then a merge at worker 0. Exchanged rows are counted
+/// in ExecStats::comm_rows, the quantity the paper's distributed cost model
+/// charges as communication cost.
+///
+/// Implements ExpandIntersect (WCOJ-style vertex expansion) and two-phase
+/// aggregation (GroupLocal / GroupGlobal, Fig. 3(d) in the paper).
+class DistributedExecutor {
+ public:
+  DistributedExecutor(const PropertyGraph* g, int workers)
+      : k_(g), workers_(workers < 1 ? 1 : workers) {}
+
+  ResultTable Execute(const PhysOpPtr& root);
+
+  const ExecStats& stats() const { return stats_; }
+  int workers() const { return workers_; }
+
+ private:
+  /// A distributed table: one row vector per worker.
+  using Parts = std::vector<std::vector<Row>>;
+  using PartsPtr = std::shared_ptr<Parts>;
+
+  PartsPtr Run(const PhysOpPtr& op);
+
+  /// Re-partitions rows by a hash of the given column indices (empty:
+  /// everything to worker 0); counts moved rows as communication.
+  Parts ExchangeByKey(Parts in, const std::vector<int>& key_idx);
+  /// Re-partitions by owner of the vertex in column `idx`.
+  Parts ExchangeByVertex(Parts in, int idx);
+  /// Applies `fn(worker_partition)` across workers in parallel.
+  Parts ParallelApply(const Parts& in,
+                      std::function<std::vector<Row>(const std::vector<Row>&)>
+                          fn) const;
+
+  Kernels k_;
+  int workers_;
+  ExecStats stats_;
+  std::map<const PhysOp*, PartsPtr> memo_;
+};
+
+}  // namespace gopt

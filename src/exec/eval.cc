@@ -1,0 +1,192 @@
+#include "src/exec/eval.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace gopt {
+
+ColMap MakeColMap(const std::vector<std::string>& cols) {
+  ColMap m;
+  for (size_t i = 0; i < cols.size(); ++i) m[cols[i]] = static_cast<int>(i);
+  return m;
+}
+
+Value ExprEval::Property(const Value& entity, const std::string& prop) const {
+  switch (entity.kind()) {
+    case Value::Kind::kVertex:
+      return g_->GetVertexProp(entity.AsVertex().id, prop);
+    case Value::Kind::kEdge:
+      return g_->GetEdgeProp(entity.AsEdge().id, prop);
+    default:
+      return Value();
+  }
+}
+
+Value ExprEval::Eval(const Expr& e, const Row& row, const ColMap& cols) const {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kVar: {
+      auto it = cols.find(e.tag);
+      if (it == cols.end()) return Value();
+      return row[static_cast<size_t>(it->second)];
+    }
+    case Expr::Kind::kProperty: {
+      auto it = cols.find(e.tag);
+      if (it == cols.end()) return Value();
+      return Property(row[static_cast<size_t>(it->second)], e.prop);
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(e, row, cols);
+    case Expr::Kind::kUnary: {
+      Value x = Eval(*e.args[0], row, cols);
+      switch (e.un) {
+        case UnOp::kNot:
+          if (x.kind() != Value::Kind::kBool) return Value();
+          return Value(!x.AsBool());
+        case UnOp::kNeg:
+          if (x.kind() == Value::Kind::kInt) return Value(-x.AsInt());
+          if (x.kind() == Value::Kind::kDouble) return Value(-x.AsDouble());
+          return Value();
+        case UnOp::kIsNull:
+          return Value(x.is_null());
+        case UnOp::kIsNotNull:
+          return Value(!x.is_null());
+      }
+      return Value();
+    }
+    case Expr::Kind::kFunc:
+      return EvalFunc(e, row, cols);
+  }
+  return Value();
+}
+
+Value ExprEval::EvalBinary(const Expr& e, const Row& row,
+                           const ColMap& cols) const {
+  // Short-circuit logic first.
+  if (e.bin == BinOp::kAnd) {
+    Value l = Eval(*e.args[0], row, cols);
+    if (l.kind() == Value::Kind::kBool && !l.AsBool()) return Value(false);
+    Value r = Eval(*e.args[1], row, cols);
+    if (l.is_null() || r.is_null()) return Value();
+    return Value(l.AsBool() && r.AsBool());
+  }
+  if (e.bin == BinOp::kOr) {
+    Value l = Eval(*e.args[0], row, cols);
+    if (l.kind() == Value::Kind::kBool && l.AsBool()) return Value(true);
+    Value r = Eval(*e.args[1], row, cols);
+    if (l.is_null() || r.is_null()) return Value();
+    return Value(l.AsBool() || r.AsBool());
+  }
+
+  Value l = Eval(*e.args[0], row, cols);
+  Value r = Eval(*e.args[1], row, cols);
+  if (l.is_null() || r.is_null()) return Value();
+  switch (e.bin) {
+    case BinOp::kEq: return Value(l == r);
+    case BinOp::kNe: return Value(!(l == r));
+    case BinOp::kLt: return Value(l.Compare(r) < 0);
+    case BinOp::kLe: return Value(l.Compare(r) <= 0);
+    case BinOp::kGt: return Value(l.Compare(r) > 0);
+    case BinOp::kGe: return Value(l.Compare(r) >= 0);
+    case BinOp::kAdd:
+      if (l.kind() == Value::Kind::kString || r.kind() == Value::Kind::kString)
+        return Value(l.ToString() + r.ToString());
+      if (l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt)
+        return Value(l.AsInt() + r.AsInt());
+      return Value(l.ToDouble() + r.ToDouble());
+    case BinOp::kSub:
+      if (l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt)
+        return Value(l.AsInt() - r.AsInt());
+      return Value(l.ToDouble() - r.ToDouble());
+    case BinOp::kMul:
+      if (l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt)
+        return Value(l.AsInt() * r.AsInt());
+      return Value(l.ToDouble() * r.ToDouble());
+    case BinOp::kDiv:
+      if (l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt &&
+          r.AsInt() != 0)
+        return Value(l.AsInt() / r.AsInt());
+      if (r.ToDouble() == 0) return Value();
+      return Value(l.ToDouble() / r.ToDouble());
+    case BinOp::kMod:
+      if (l.kind() == Value::Kind::kInt && r.kind() == Value::Kind::kInt &&
+          r.AsInt() != 0)
+        return Value(l.AsInt() % r.AsInt());
+      return Value();
+    case BinOp::kIn: {
+      if (r.kind() != Value::Kind::kList) return Value(false);
+      for (const auto& x : r.AsList()) {
+        if (l == x) return Value(true);
+      }
+      return Value(false);
+    }
+    case BinOp::kContains:
+      if (l.kind() != Value::Kind::kString || r.kind() != Value::Kind::kString)
+        return Value();
+      return Value(l.AsString().find(r.AsString()) != std::string::npos);
+    case BinOp::kStartsWith:
+      if (l.kind() != Value::Kind::kString || r.kind() != Value::Kind::kString)
+        return Value();
+      return Value(l.AsString().rfind(r.AsString(), 0) == 0);
+    default:
+      return Value();
+  }
+}
+
+Value ExprEval::EvalFunc(const Expr& e, const Row& row,
+                         const ColMap& cols) const {
+  if (e.func == "all_edges_distinct") {
+    // All-distinct filter over matched edges (and path edge lists), the
+    // homomorphism -> no-repeated-edge conversion (paper Remark 3.1).
+    std::set<EdgeId> seen;
+    for (const auto& a : e.args) {
+      Value v = Eval(*a, row, cols);
+      if (v.kind() == Value::Kind::kEdge) {
+        if (!seen.insert(v.AsEdge().id).second) return Value(false);
+      } else if (v.kind() == Value::Kind::kPath) {
+        for (EdgeId id : v.AsPath().edges) {
+          if (!seen.insert(id).second) return Value(false);
+        }
+      }
+    }
+    return Value(true);
+  }
+  if (e.args.empty()) return Value();
+  Value x = Eval(*e.args[0], row, cols);
+  if (e.func == "id") {
+    if (x.kind() == Value::Kind::kVertex)
+      return Value(static_cast<int64_t>(x.AsVertex().id));
+    if (x.kind() == Value::Kind::kEdge)
+      return Value(static_cast<int64_t>(x.AsEdge().id));
+    return Value();
+  }
+  if (e.func == "label" || e.func == "type") {
+    if (x.kind() == Value::Kind::kVertex)
+      return Value(g_->schema().VertexTypeName(
+          g_->VertexType(x.AsVertex().id)));
+    if (x.kind() == Value::Kind::kEdge)
+      return Value(g_->schema().EdgeTypeName(x.AsEdge().type));
+    return Value();
+  }
+  if (e.func == "length") {
+    if (x.kind() == Value::Kind::kPath)
+      return Value(static_cast<int64_t>(x.AsPath().Length()));
+    if (x.kind() == Value::Kind::kString)
+      return Value(static_cast<int64_t>(x.AsString().size()));
+    return Value();
+  }
+  if (e.func == "size") {
+    if (x.kind() == Value::Kind::kList)
+      return Value(static_cast<int64_t>(x.AsList().size()));
+    return Value();
+  }
+  if (e.func == "head") {
+    if (x.kind() == Value::Kind::kList && !x.AsList().empty())
+      return x.AsList()[0];
+    return Value();
+  }
+  return Value();
+}
+
+}  // namespace gopt

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/exec/result.h"
+#include "src/gir/expr.h"
+#include "src/graph/property_graph.h"
+
+namespace gopt {
+
+/// Column name -> slot index mapping for one operator's row layout.
+using ColMap = std::map<std::string, int>;
+
+ColMap MakeColMap(const std::vector<std::string>& cols);
+
+/// Expression evaluator over runtime rows. Property access resolves through
+/// the graph store; comparisons follow Value semantics with SQL-ish null
+/// handling (any comparison with null is null, treated as false by
+/// EvalBool).
+class ExprEval {
+ public:
+  explicit ExprEval(const PropertyGraph* g) : g_(g) {}
+
+  Value Eval(const Expr& e, const Row& row, const ColMap& cols) const;
+
+  /// Predicate evaluation: null results count as false.
+  bool EvalBool(const ExprPtr& e, const Row& row, const ColMap& cols) const {
+    if (!e) return true;
+    Value v = Eval(*e, row, cols);
+    return v.kind() == Value::Kind::kBool && v.AsBool();
+  }
+
+  /// Entity property lookup (vertex or edge refs).
+  Value Property(const Value& entity, const std::string& prop) const;
+
+ private:
+  Value EvalBinary(const Expr& e, const Row& row, const ColMap& cols) const;
+  Value EvalFunc(const Expr& e, const Row& row, const ColMap& cols) const;
+
+  const PropertyGraph* g_;
+};
+
+}  // namespace gopt

@@ -1,0 +1,88 @@
+#include "src/exec/executor.h"
+
+#include <stdexcept>
+
+namespace gopt {
+
+ResultTable SingleMachineExecutor::Execute(const PhysOpPtr& root) {
+  memo_.clear();
+  stats_ = ExecStats{};
+  TablePtr rows = Run(root);
+  ResultTable out;
+  out.columns = root->out_cols;
+  out.rows = *rows;
+  return out;
+}
+
+SingleMachineExecutor::TablePtr SingleMachineExecutor::Run(
+    const PhysOpPtr& op) {
+  auto it = memo_.find(op.get());
+  if (it != memo_.end()) return it->second;
+
+  TablePtr result = std::make_shared<std::vector<Row>>();
+  switch (op->kind) {
+    case PhysOpKind::kScanVertices:
+      *result = k_.Scan(*op);
+      break;
+    case PhysOpKind::kExpandEdge:
+      *result = k_.ExpandEdge(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kExpandIntersect:
+      if (!allow_intersect_) {
+        throw std::runtime_error(
+            "SingleMachineExecutor: ExpandIntersect is not implemented by "
+            "this backend (register it via PhysicalSpec on a backend that "
+            "supports it)");
+      }
+      *result = k_.ExpandIntersect(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kPathExpand:
+      *result = k_.PathExpand(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kSelect:
+      *result = k_.Filter(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kProject:
+      *result = k_.Project(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kAggregate:
+      *result = k_.Aggregate(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kOrder:
+      *result = k_.SortLimit(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kLimit: {
+      auto in = Run(op->children[0]);
+      size_t n = std::min(in->size(), static_cast<size_t>(op->limit));
+      result->assign(in->begin(), in->begin() + static_cast<long>(n));
+      break;
+    }
+    case PhysOpKind::kDedup:
+      *result = k_.Dedup(*op, *Run(op->children[0]));
+      break;
+    case PhysOpKind::kHashJoin:
+      *result = k_.Join(*op, *Run(op->children[0]), *Run(op->children[1]));
+      break;
+    case PhysOpKind::kUnion: {
+      auto l = Run(op->children[0]);
+      auto r = Run(op->children[1]);
+      *result = *l;
+      auto mapped = k_.MapColumns(*r, op->children[1]->out_cols, op->out_cols);
+      for (auto& row : mapped) result->push_back(std::move(row));
+      if (op->union_distinct) {
+        PhysOp dd(PhysOpKind::kDedup);
+        dd.children = {op};  // reuse layout
+        *result = k_.Dedup(dd, *result);
+      }
+      break;
+    }
+    case PhysOpKind::kUnfold:
+      *result = k_.Unfold(*op, *Run(op->children[0]));
+      break;
+  }
+  stats_.rows_produced += result->size();
+  memo_[op.get()] = result;
+  return result;
+}
+
+}  // namespace gopt

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "src/exec/kernels.h"
+#include "src/exec/result.h"
+
+namespace gopt {
+
+/// Execution statistics shared by both executors.
+struct ExecStats {
+  uint64_t rows_produced = 0;   ///< total intermediate rows across operators
+  uint64_t comm_rows = 0;       ///< rows exchanged between workers (dist only)
+  uint64_t exchanges = 0;       ///< number of exchange steps (dist only)
+};
+
+/// The Neo4j-like backend runtime: a sequential, materialize-per-operator
+/// interpreted executor. Its only vertex-expansion strategy is flattened
+/// per-edge expansion (ExpandInto); plans containing ExpandIntersect are
+/// rejected, mirroring the operator repertoire the paper attributes to
+/// Neo4j (Section 6.3.2).
+class SingleMachineExecutor {
+ public:
+  explicit SingleMachineExecutor(const PropertyGraph* g) : k_(g) {}
+
+  ResultTable Execute(const PhysOpPtr& root);
+
+  const ExecStats& stats() const { return stats_; }
+
+  /// When false (default), kExpandIntersect plans throw — the backend does
+  /// not implement the operator. Tests may enable it to compare kernels.
+  void set_allow_intersect(bool allow) { allow_intersect_ = allow; }
+
+ private:
+  using TablePtr = std::shared_ptr<std::vector<Row>>;
+  TablePtr Run(const PhysOpPtr& op);
+
+  Kernels k_;
+  ExecStats stats_;
+  bool allow_intersect_ = false;
+  std::map<const PhysOp*, TablePtr> memo_;  // DAG-shared results
+};
+
+}  // namespace gopt

@@ -1,0 +1,646 @@
+#include "src/exec/kernels.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace gopt {
+
+namespace {
+
+int IndexOf(const std::vector<std::string>& cols, const std::string& c) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == c) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+template <typename F>
+void Kernels::ForEachAdj(VertexId u, Direction dir, const TypeConstraint& etc_,
+                         F&& f) const {
+  auto iter_dir = [&](bool out) {
+    if (etc_.IsAll()) {
+      auto span = out ? g_->OutEdges(u) : g_->InEdges(u);
+      for (const auto& a : span) f(a, !out);
+    } else {
+      for (TypeId t : etc_.types()) {
+        auto span = out ? g_->OutEdges(u, t) : g_->InEdges(u, t);
+        for (const auto& a : span) f(a, !out);
+      }
+    }
+  };
+  if (dir == Direction::kOut || dir == Direction::kBoth) iter_dir(true);
+  if (dir == Direction::kIn || dir == Direction::kBoth) iter_dir(false);
+}
+
+std::vector<Row> Kernels::Scan(const PhysOp& op, int worker, int W) const {
+  std::vector<Row> out;
+  ColMap self{{op.alias, 0}};
+  auto try_vertex = [&](VertexId v) {
+    if (W > 1 && static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
+      return;
+    }
+    Row row = {Value(VertexRef{v})};
+    for (const auto& p : op.vertex_preds) {
+      if (!eval_.EvalBool(p, row, self)) return;
+    }
+    out.push_back(std::move(row));
+  };
+  if (op.vtc.IsAll()) {
+    for (VertexId v = 0; v < g_->NumVertices(); ++v) try_vertex(v);
+  } else {
+    for (TypeId t : op.vtc.types()) {
+      for (VertexId v : g_->VerticesOfType(t)) try_vertex(v);
+    }
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
+                                     const std::vector<Row>& in) const {
+  const auto& child_cols = op.children[0]->out_cols;
+  ColMap cmap = MakeColMap(child_cols);
+  int from_idx = cmap.at(op.from_tag);
+  int tgt_idx = op.target_bound ? cmap.at(op.alias) : -1;
+
+  // Scratch layout: child row + [edge, vertex].
+  ColMap smap = cmap;
+  const int epos = static_cast<int>(child_cols.size());
+  const int vpos = epos + 1;
+  if (!op.edge_alias.empty()) smap[op.edge_alias] = epos;
+  if (!op.target_bound) smap[op.alias] = vpos;
+  // Output projection: out_cols -> scratch positions.
+  std::vector<int> proj;
+  for (const auto& c : op.out_cols) {
+    if (!op.edge_alias.empty() && c == op.edge_alias) {
+      proj.push_back(epos);
+    } else if (!op.target_bound && c == op.alias) {
+      proj.push_back(vpos);
+    } else {
+      proj.push_back(cmap.at(c));
+    }
+  }
+
+  std::vector<Row> out;
+  Row scratch;
+  auto emit = [&](const Row& row, const AdjEntry& a, VertexId v) {
+    scratch.assign(row.begin(), row.end());
+    scratch.push_back(Value(g_->MakeEdgeRef(a.eid)));
+    scratch.push_back(Value(VertexRef{v}));
+    for (const auto& p : op.edge_preds) {
+      if (!eval_.EvalBool(p, scratch, smap)) return;
+    }
+    for (const auto& p : op.vertex_preds) {
+      if (!eval_.EvalBool(p, scratch, smap)) return;
+    }
+    Row r;
+    r.reserve(proj.size());
+    for (int i : proj) r.push_back(scratch[static_cast<size_t>(i)]);
+    out.push_back(std::move(r));
+  };
+
+  if (op.target_bound) {
+    // Closing step (ExpandInto): probe the sorted per-type adjacency span
+    // for the bound target instead of scanning the whole neighborhood.
+    std::vector<TypeId> etypes = op.etc_.Resolve(
+        [&] {
+          std::vector<TypeId> all(g_->schema().NumEdgeTypes());
+          for (size_t i = 0; i < all.size(); ++i) {
+            all[i] = static_cast<TypeId>(i);
+          }
+          return all;
+        }());
+    for (const Row& row : in) {
+      VertexId u = row[static_cast<size_t>(from_idx)].AsVertex().id;
+      VertexId t = row[static_cast<size_t>(tgt_idx)].AsVertex().id;
+      auto probe = [&](bool out_dir) {
+        for (TypeId et : etypes) {
+          auto span = out_dir ? g_->OutEdges(u, et) : g_->InEdges(u, et);
+          auto lo = std::lower_bound(
+              span.begin(), span.end(), t,
+              [](const AdjEntry& a, VertexId x) { return a.nbr < x; });
+          for (auto it = lo; it != span.end() && it->nbr == t; ++it) {
+            emit(row, *it, t);
+          }
+        }
+      };
+      if (op.dir == Direction::kOut || op.dir == Direction::kBoth) probe(true);
+      if (op.dir == Direction::kIn || op.dir == Direction::kBoth) probe(false);
+    }
+    return out;
+  }
+
+  for (const Row& row : in) {
+    VertexId u = row[static_cast<size_t>(from_idx)].AsVertex().id;
+    ForEachAdj(u, op.dir, op.etc_, [&](const AdjEntry& a, bool) {
+      VertexId v = a.nbr;
+      if (!op.vtc.Matches(g_->VertexType(v))) return;
+      emit(row, a, v);
+    });
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
+                                          const std::vector<Row>& in) const {
+  const auto& child_cols = op.children[0]->out_cols;
+  ColMap cmap = MakeColMap(child_cols);
+  std::vector<int> from_idx;
+  for (const auto& arm : op.arms) from_idx.push_back(cmap.at(arm.from_tag));
+
+  ColMap smap = cmap;
+  const int vpos = static_cast<int>(child_cols.size());
+  smap[op.alias] = vpos;
+
+  // Scratch buffers reused across rows: (neighbor, multiplicity) lists.
+  std::vector<std::pair<VertexId, uint64_t>> cur, next, arm_list;
+
+  // Collects one arm's qualifying neighbors as a sorted multiplicity list.
+  auto collect_arm = [&](const IntersectArm& arm, VertexId u,
+                         std::vector<std::pair<VertexId, uint64_t>>* outv) {
+    outv->clear();
+    ForEachAdj(u, arm.dir, arm.etc_, [&](const AdjEntry& a, bool) {
+      if (!op.vtc.Matches(g_->VertexType(a.nbr))) return;
+      outv->emplace_back(a.nbr, 1);
+    });
+    // Per-type spans are sorted by neighbor, but multiple types / both
+    // directions interleave: sort then compress parallel edges.
+    std::sort(outv->begin(), outv->end());
+    size_t w = 0;
+    for (size_t r = 0; r < outv->size(); ++r) {
+      if (w > 0 && (*outv)[w - 1].first == (*outv)[r].first) {
+        (*outv)[w - 1].second += 1;
+      } else {
+        (*outv)[w++] = (*outv)[r];
+      }
+    }
+    outv->resize(w);
+  };
+
+  std::vector<Row> out;
+  Row scratch;
+  for (const Row& row : in) {
+    // WCOJ-style sorted intersection, multiplicity-preserving: the result
+    // multiplicity is the product of parallel-edge counts per arm
+    // (flatten-equivalent, so both backends agree exactly).
+    collect_arm(op.arms[0],
+                row[static_cast<size_t>(from_idx[0])].AsVertex().id, &cur);
+    for (size_t i = 1; i < op.arms.size() && !cur.empty(); ++i) {
+      collect_arm(op.arms[i],
+                  row[static_cast<size_t>(from_idx[i])].AsVertex().id,
+                  &arm_list);
+      next.clear();
+      size_t a = 0, b = 0;
+      while (a < cur.size() && b < arm_list.size()) {
+        if (cur[a].first < arm_list[b].first) {
+          ++a;
+        } else if (cur[a].first > arm_list[b].first) {
+          ++b;
+        } else {
+          next.emplace_back(cur[a].first, cur[a].second * arm_list[b].second);
+          ++a;
+          ++b;
+        }
+      }
+      std::swap(cur, next);
+    }
+    for (auto [v, mult] : cur) {
+      scratch.assign(row.begin(), row.end());
+      scratch.push_back(Value(VertexRef{v}));
+      bool ok = true;
+      for (const auto& p : op.vertex_preds) {
+        if (!eval_.EvalBool(p, scratch, smap)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (uint64_t k = 0; k < mult; ++k) out.push_back(scratch);
+    }
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::PathExpand(const PhysOp& op,
+                                     const std::vector<Row>& in) const {
+  const auto& child_cols = op.children[0]->out_cols;
+  ColMap cmap = MakeColMap(child_cols);
+  int from_idx = cmap.at(op.from_tag);
+  int tgt_idx = op.target_bound ? cmap.at(op.alias) : -1;
+
+  ColMap smap = cmap;
+  const int vpos = static_cast<int>(child_cols.size());
+  const int ppos = vpos + 1;
+  if (!op.target_bound) smap[op.alias] = vpos;
+  if (!op.path_alias.empty()) smap[op.path_alias] = ppos;
+  std::vector<int> proj;
+  for (const auto& c : op.out_cols) {
+    if (!op.target_bound && c == op.alias) {
+      proj.push_back(vpos);
+    } else if (!op.path_alias.empty() && c == op.path_alias) {
+      proj.push_back(ppos);
+    } else {
+      proj.push_back(cmap.at(c));
+    }
+  }
+
+  std::vector<Row> out;
+  std::vector<VertexId> path_v;
+  std::vector<EdgeId> path_e;
+
+  for (const Row& row : in) {
+    VertexId start = row[static_cast<size_t>(from_idx)].AsVertex().id;
+    path_v = {start};
+    path_e.clear();
+
+    auto emit = [&](VertexId end) {
+      if (op.target_bound) {
+        if (row[static_cast<size_t>(tgt_idx)].AsVertex().id != end) return;
+      } else if (!op.vtc.Matches(g_->VertexType(end))) {
+        return;
+      }
+      Row scratch(row);
+      scratch.push_back(Value(VertexRef{end}));
+      scratch.push_back(Value(PathRef{path_v, path_e}));
+      for (const auto& p : op.vertex_preds) {
+        if (!eval_.EvalBool(p, scratch, smap)) return;
+      }
+      Row r;
+      r.reserve(proj.size());
+      for (int i : proj) r.push_back(scratch[static_cast<size_t>(i)]);
+      out.push_back(std::move(r));
+    };
+
+    std::function<void(VertexId, int)> dfs = [&](VertexId v, int depth) {
+      if (depth >= op.min_hops) emit(v);
+      if (depth >= op.max_hops) return;
+      ForEachAdj(v, op.dir, op.etc_, [&](const AdjEntry& a, bool) {
+        if (op.semantics == PathSemantics::kSimple &&
+            std::find(path_v.begin(), path_v.end(), a.nbr) != path_v.end()) {
+          return;
+        }
+        if (op.semantics == PathSemantics::kTrail &&
+            std::find(path_e.begin(), path_e.end(), a.eid) != path_e.end()) {
+          return;
+        }
+        path_v.push_back(a.nbr);
+        path_e.push_back(a.eid);
+        dfs(a.nbr, depth + 1);
+        path_v.pop_back();
+        path_e.pop_back();
+      });
+    };
+    dfs(start, 0);
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::Filter(const PhysOp& op,
+                                 const std::vector<Row>& in) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  std::vector<Row> out;
+  for (const Row& r : in) {
+    if (eval_.EvalBool(op.predicate, r, cmap)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::Project(const PhysOp& op,
+                                  const std::vector<Row>& in) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  std::vector<Row> out;
+  out.reserve(in.size());
+  for (const Row& r : in) {
+    Row nr;
+    if (op.append) nr = r;
+    for (const auto& item : op.items) {
+      nr.push_back(eval_.Eval(*item.expr, r, cmap));
+    }
+    out.push_back(std::move(nr));
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::Unfold(const PhysOp& op,
+                                 const std::vector<Row>& in) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  int idx = cmap.at(op.unfold_tag);
+  std::vector<Row> out;
+  for (const Row& r : in) {
+    const Value& v = r[static_cast<size_t>(idx)];
+    if (v.kind() != Value::Kind::kList) continue;
+    for (const Value& x : v.AsList()) {
+      Row nr = r;
+      nr.push_back(x);
+      out.push_back(std::move(nr));
+    }
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::Dedup(const PhysOp& op,
+                                const std::vector<Row>& in) const {
+  const auto& cols = op.children[0]->out_cols;
+  std::vector<int> key_idx;
+  if (op.dedup_tags.empty()) {
+    for (size_t i = 0; i < cols.size(); ++i) key_idx.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& t : op.dedup_tags) key_idx.push_back(IndexOf(cols, t));
+  }
+  std::unordered_map<std::vector<Value>, bool, ValueVecHash> seen;
+  std::vector<Row> out;
+  for (const Row& r : in) {
+    std::vector<Value> key;
+    key.reserve(key_idx.size());
+    for (int i : key_idx) key.push_back(r[static_cast<size_t>(i)]);
+    if (seen.emplace(std::move(key), true).second) out.push_back(r);
+  }
+  return out;
+}
+
+bool SupportsPartialAgg(const PhysOp& op) {
+  for (const auto& a : op.aggs) {
+    if (a.fn != AggFunc::kCount && a.fn != AggFunc::kSum &&
+        a.fn != AggFunc::kMin && a.fn != AggFunc::kMax) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  double dsum = 0;
+  int64_t isum = 0;
+  bool any_double = false;
+  bool has_value = false;
+  Value min, max;
+  std::set<Value> distinct;
+  std::vector<Value> collect;
+};
+
+Value AggResult(const AggCall& call, const AggState& s) {
+  switch (call.fn) {
+    case AggFunc::kCount:
+      return Value(s.count);
+    case AggFunc::kCountDistinct:
+      return Value(static_cast<int64_t>(s.distinct.size()));
+    case AggFunc::kSum:
+      if (!s.has_value) return Value(static_cast<int64_t>(0));
+      return s.any_double ? Value(s.dsum) : Value(s.isum);
+    case AggFunc::kMin:
+      return s.has_value ? s.min : Value();
+    case AggFunc::kMax:
+      return s.has_value ? s.max : Value();
+    case AggFunc::kAvg:
+      if (s.count == 0) return Value();
+      return Value((s.any_double ? s.dsum : static_cast<double>(s.isum)) /
+                   static_cast<double>(s.count));
+    case AggFunc::kCollect:
+      return Value::List(s.collect);
+  }
+  return Value();
+}
+
+void AggUpdate(AggState* s, const AggCall& call, const Value& v) {
+  switch (call.fn) {
+    case AggFunc::kCount:
+      if (call.arg == nullptr || !v.is_null()) s->count++;
+      break;
+    case AggFunc::kCountDistinct:
+      if (!v.is_null()) s->distinct.insert(v);
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (!v.is_null()) {
+        s->count++;
+        s->has_value = true;
+        if (v.kind() == Value::Kind::kDouble) {
+          if (!s->any_double) {
+            s->dsum = static_cast<double>(s->isum);
+            s->any_double = true;
+          }
+          s->dsum += v.AsDouble();
+        } else if (s->any_double) {
+          s->dsum += v.ToDouble();
+        } else {
+          s->isum += v.AsInt();
+        }
+      }
+      break;
+    case AggFunc::kMin:
+      if (!v.is_null()) {
+        if (!s->has_value || v.Compare(s->min) < 0) s->min = v;
+        s->has_value = true;
+      }
+      break;
+    case AggFunc::kMax:
+      if (!v.is_null()) {
+        if (!s->has_value || v.Compare(s->max) > 0) s->max = v;
+        s->has_value = true;
+      }
+      break;
+    case AggFunc::kCollect:
+      if (!v.is_null()) s->collect.push_back(v);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<Row> Kernels::Aggregate(const PhysOp& op,
+                                    const std::vector<Row>& in,
+                                    bool combine) const {
+  const size_t nkeys = op.group_keys.size();
+  const size_t naggs = op.aggs.size();
+  ColMap cmap = MakeColMap(combine ? op.out_cols : op.children[0]->out_cols);
+
+  std::unordered_map<std::vector<Value>, size_t, ValueVecHash> index;
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<AggState>> states;
+
+  for (const Row& r : in) {
+    std::vector<Value> key(nkeys);
+    if (combine) {
+      for (size_t i = 0; i < nkeys; ++i) key[i] = r[i];
+    } else {
+      for (size_t i = 0; i < nkeys; ++i) {
+        key[i] = eval_.Eval(*op.group_keys[i].expr, r, cmap);
+      }
+    }
+    auto [it, inserted] = index.emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      states.emplace_back(naggs);
+    }
+    auto& st = states[it->second];
+    for (size_t i = 0; i < naggs; ++i) {
+      const AggCall& call = op.aggs[i];
+      if (combine) {
+        // Partial results sit at column nkeys + i; COUNT/SUM merge by
+        // summation, MIN/MAX by comparison.
+        const Value& v = r[nkeys + i];
+        AggCall merged = call;
+        if (call.fn == AggFunc::kCount) {
+          merged.fn = AggFunc::kSum;
+          merged.arg = Expr::MakeLiteral(Value());  // non-null marker
+          AggUpdate(&st[i], merged, v);
+          // Represent back as count for AggResult:
+          st[i].count = st[i].isum;
+        } else {
+          AggUpdate(&st[i], merged, v);
+        }
+      } else {
+        Value v = call.arg ? eval_.Eval(*call.arg, r, cmap) : Value(true);
+        AggUpdate(&st[i], call, v);
+      }
+    }
+  }
+
+  std::vector<Row> out;
+  // A keyless aggregate over empty input still yields one row.
+  if (keys.empty() && nkeys == 0) {
+    keys.push_back({});
+    states.emplace_back(naggs);
+  }
+  for (size_t gi = 0; gi < keys.size(); ++gi) {
+    Row r = keys[gi];
+    for (size_t i = 0; i < naggs; ++i) {
+      AggCall call = op.aggs[i];
+      if (combine && call.fn == AggFunc::kSum) {
+        // ok as is
+      }
+      r.push_back(AggResult(call, states[gi][i]));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::Join(const PhysOp& op, const std::vector<Row>& left,
+                               const std::vector<Row>& right) const {
+  const auto& lcols = op.children[0]->out_cols;
+  const auto& rcols = op.children[1]->out_cols;
+  std::vector<int> lkey, rkey;
+  for (const auto& k : op.join_keys) {
+    lkey.push_back(IndexOf(lcols, k));
+    rkey.push_back(IndexOf(rcols, k));
+    if (lkey.back() < 0 || rkey.back() < 0) {
+      throw std::runtime_error("HashJoin: key column '" + k +
+                               "' missing from an input");
+    }
+  }
+  // Right columns appended beyond the left layout.
+  std::vector<int> rappend;
+  for (size_t i = lcols.size(); i < op.out_cols.size(); ++i) {
+    rappend.push_back(IndexOf(rcols, op.out_cols[i]));
+    if (rappend.back() < 0) {
+      throw std::runtime_error("HashJoin: output column '" + op.out_cols[i] +
+                               "' missing from the right input");
+    }
+  }
+
+  std::unordered_map<std::vector<Value>, std::vector<const Row*>, ValueVecHash>
+      ht;
+  for (const Row& r : right) {
+    std::vector<Value> key;
+    key.reserve(rkey.size());
+    for (int i : rkey) key.push_back(r[static_cast<size_t>(i)]);
+    ht[std::move(key)].push_back(&r);
+  }
+
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    std::vector<Value> key;
+    key.reserve(lkey.size());
+    for (int i : lkey) key.push_back(l[static_cast<size_t>(i)]);
+    auto it = ht.find(key);
+    bool matched = it != ht.end() && !it->second.empty();
+    switch (op.join_kind) {
+      case JoinKind::kSemi:
+        if (matched) out.push_back(l);
+        break;
+      case JoinKind::kAnti:
+        if (!matched) out.push_back(l);
+        break;
+      case JoinKind::kInner:
+        if (matched) {
+          for (const Row* r : it->second) {
+            Row nr = l;
+            for (int i : rappend) nr.push_back((*r)[static_cast<size_t>(i)]);
+            out.push_back(std::move(nr));
+          }
+        }
+        break;
+      case JoinKind::kLeftOuter:
+        if (matched) {
+          for (const Row* r : it->second) {
+            Row nr = l;
+            for (int i : rappend) nr.push_back((*r)[static_cast<size_t>(i)]);
+            out.push_back(std::move(nr));
+          }
+        } else {
+          Row nr = l;
+          for (size_t i = 0; i < rappend.size(); ++i) nr.push_back(Value());
+          out.push_back(std::move(nr));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::SortLimit(const PhysOp& op,
+                                    std::vector<Row> in) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  const size_t nkeys = op.sort_items.size();
+  // Decorate with sort keys.
+  std::vector<std::pair<std::vector<Value>, Row>> dec;
+  dec.reserve(in.size());
+  for (Row& r : in) {
+    std::vector<Value> keys(nkeys);
+    for (size_t i = 0; i < nkeys; ++i) {
+      keys[i] = eval_.Eval(*op.sort_items[i].expr, r, cmap);
+    }
+    dec.emplace_back(std::move(keys), std::move(r));
+  }
+  std::stable_sort(dec.begin(), dec.end(), [&](const auto& a, const auto& b) {
+    for (size_t i = 0; i < nkeys; ++i) {
+      int c = a.first[i].Compare(b.first[i]);
+      if (c != 0) return op.sort_items[i].asc ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  std::vector<Row> out;
+  size_t n = dec.size();
+  if (op.limit >= 0) n = std::min(n, static_cast<size_t>(op.limit));
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(std::move(dec[i].second));
+  return out;
+}
+
+std::vector<Row> Kernels::MapColumns(std::vector<Row> rows,
+                                     const std::vector<std::string>& from_cols,
+                                     const std::vector<std::string>& to_cols) const {
+  if (from_cols == to_cols) return rows;
+  std::vector<int> perm;
+  for (const auto& c : to_cols) perm.push_back(IndexOf(from_cols, c));
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (Row& r : rows) {
+    Row nr(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      nr[i] = perm[i] >= 0 ? r[static_cast<size_t>(perm[i])] : Value();
+    }
+    out.push_back(std::move(nr));
+  }
+  return out;
+}
+
+}  // namespace gopt

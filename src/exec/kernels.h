@@ -1,0 +1,66 @@
+#pragma once
+
+#include "src/exec/eval.h"
+#include "src/physical/physical_op.h"
+
+namespace gopt {
+
+/// Row-level operator kernels shared by the single-machine and distributed
+/// executors: each kernel transforms a batch of rows according to one
+/// physical operator. The distributed executor applies them per worker
+/// partition and adds exchange steps; the single-machine executor applies
+/// them to one whole table.
+class Kernels {
+ public:
+  explicit Kernels(const PropertyGraph* g) : g_(g), eval_(g) {}
+
+  /// Vertex scan; with W > 1 only vertices owned by `worker` (id % W).
+  std::vector<Row> Scan(const PhysOp& op, int worker = 0, int W = 1) const;
+
+  std::vector<Row> ExpandEdge(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> ExpandIntersect(const PhysOp& op,
+                                   const std::vector<Row>& in) const;
+  std::vector<Row> PathExpand(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Filter(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Project(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Unfold(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Dedup(const PhysOp& op, const std::vector<Row>& in) const;
+
+  /// Aggregation. With combine = false, evaluates group keys / agg args over
+  /// the child layout (a full or "local" aggregation). With combine = true,
+  /// input rows already have the op's output layout and partial results are
+  /// merged (the distributed GroupGlobal phase: COUNT/SUM -> sum, MIN -> min,
+  /// MAX -> max).
+  std::vector<Row> Aggregate(const PhysOp& op, const std::vector<Row>& in,
+                             bool combine = false) const;
+
+  std::vector<Row> Join(const PhysOp& op, const std::vector<Row>& left,
+                        const std::vector<Row>& right) const;
+
+  std::vector<Row> SortLimit(const PhysOp& op, std::vector<Row> in) const;
+
+  /// Permutes `rows` (with layout `from_cols`) into `to_cols` order.
+  std::vector<Row> MapColumns(std::vector<Row> rows,
+                              const std::vector<std::string>& from_cols,
+                              const std::vector<std::string>& to_cols) const;
+
+  const ExprEval& eval() const { return eval_; }
+  const PropertyGraph& graph() const { return *g_; }
+
+ private:
+  /// Iterates adjacency entries of `u` in direction `dir` filtered by the
+  /// edge type constraint; `reversed` in the callback is true when the data
+  /// edge points toward `u`.
+  template <typename F>
+  void ForEachAdj(VertexId u, Direction dir, const TypeConstraint& etc_,
+                  F&& f) const;
+
+  const PropertyGraph* g_;
+  ExprEval eval_;
+};
+
+/// Returns true if all aggregate functions support two-phase (local +
+/// combine) execution.
+bool SupportsPartialAgg(const PhysOp& op);
+
+}  // namespace gopt

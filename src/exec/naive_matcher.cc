@@ -1,0 +1,178 @@
+#include "src/exec/naive_matcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace gopt {
+
+namespace {
+
+/// One concrete assignment for a pattern edge: either a single data edge or
+/// a path (for variable-length edges).
+struct EdgeAssign {
+  EdgeRef edge;
+  PathRef path;
+  bool is_path = false;
+};
+
+}  // namespace
+
+ResultTable NaiveMatch(const PropertyGraph& g, const Pattern& p,
+                       const std::vector<std::string>& out_cols) {
+  ExprEval eval(&g);
+  ResultTable out;
+  out.columns = out_cols;
+  if (p.NumVertices() == 0) return out;
+
+  std::map<int, VertexId> vassign;
+  std::map<int, EdgeAssign> eassign;
+
+  // Candidate check for a vertex assignment (type + predicates).
+  auto vertex_ok = [&](const PatternVertex& pv, VertexId v) {
+    if (!pv.tc.Matches(g.VertexType(v))) return false;
+    Row row = {Value(VertexRef{v})};
+    ColMap m{{pv.alias, 0}};
+    for (const auto& pr : pv.predicates) {
+      if (!eval.EvalBool(pr, row, m)) return false;
+    }
+    return true;
+  };
+  auto edge_ok = [&](const PatternEdge& pe, EdgeId e) {
+    if (!pe.tc.Matches(g.EdgeType(e))) return false;
+    Row row = {Value(g.MakeEdgeRef(e))};
+    ColMap m{{pe.alias, 0}};
+    for (const auto& pr : pe.predicates) {
+      if (!eval.EvalBool(pr, row, m)) return false;
+    }
+    return true;
+  };
+
+  // Order vertices: BFS from vertex 0 so each new vertex is adjacent to an
+  // assigned one whenever the pattern is connected.
+  std::vector<int> order;
+  {
+    std::set<int> seen;
+    std::vector<int> queue;
+    for (const auto& v : p.vertices()) {
+      if (seen.count(v.id)) continue;
+      queue.push_back(v.id);
+      while (!queue.empty()) {
+        int x = queue.front();
+        queue.erase(queue.begin());
+        if (!seen.insert(x).second) continue;
+        order.push_back(x);
+        for (int n : p.NeighborVertices(x)) {
+          if (!seen.count(n)) queue.push_back(n);
+        }
+      }
+    }
+  }
+
+  auto emit = [&]() {
+    Row row;
+    for (const auto& c : out.columns) {
+      const PatternVertex* pv = p.FindVertexByAlias(c);
+      if (pv) {
+        row.push_back(Value(VertexRef{vassign.at(pv->id)}));
+        continue;
+      }
+      const PatternEdge* pe = p.FindEdgeByAlias(c);
+      if (pe) {
+        const EdgeAssign& ea = eassign.at(pe->id);
+        row.push_back(ea.is_path ? Value(ea.path) : Value(ea.edge));
+        continue;
+      }
+      row.push_back(Value());
+    }
+    out.rows.push_back(std::move(row));
+  };
+
+  // Enumerate all assignments of edges between two assigned vertices.
+  // For path edges, enumerate all qualifying walks.
+  std::function<void(size_t)> assign_edges;
+  std::vector<const PatternEdge*> edges;
+  for (const auto& e : p.edges()) edges.push_back(&e);
+
+  assign_edges = [&](size_t i) {
+    if (i == edges.size()) {
+      emit();
+      return;
+    }
+    const PatternEdge& pe = *edges[i];
+    VertexId su = vassign.at(pe.src);
+    VertexId sv = vassign.at(pe.dst);
+    if (!pe.IsPath()) {
+      auto try_dir = [&](VertexId from, VertexId to, bool forward) {
+        // Pattern edge src->dst must map to a data edge from->to.
+        for (const auto& a : g.OutEdges(from)) {
+          if (a.nbr != to) continue;
+          // For kBoth reversed matches, the data edge direction is free.
+          (void)forward;
+          if (!edge_ok(pe, a.eid)) continue;
+          eassign[pe.id] = {g.MakeEdgeRef(a.eid), {}, false};
+          assign_edges(i + 1);
+        }
+      };
+      try_dir(su, sv, true);
+      if (pe.dir == Direction::kBoth && su != sv) try_dir(sv, su, false);
+      eassign.erase(pe.id);
+      return;
+    }
+    // Path edge: DFS all walks su -> sv with length in [min,max] and the
+    // requested semantics.
+    std::vector<VertexId> pv = {su};
+    std::vector<EdgeId> pedges;
+    std::function<void(VertexId, int)> dfs = [&](VertexId cur, int depth) {
+      if (depth >= pe.min_hops && cur == sv) {
+        eassign[pe.id] = {{}, PathRef{pv, pedges}, true};
+        assign_edges(i + 1);
+      }
+      if (depth >= pe.max_hops) return;
+      auto step = [&](const AdjEntry& a) {
+        if (!pe.tc.Matches(a.etype)) return;
+        if (pe.semantics == PathSemantics::kSimple &&
+            std::find(pv.begin(), pv.end(), a.nbr) != pv.end()) {
+          return;
+        }
+        if (pe.semantics == PathSemantics::kTrail &&
+            std::find(pedges.begin(), pedges.end(), a.eid) != pedges.end()) {
+          return;
+        }
+        pv.push_back(a.nbr);
+        pedges.push_back(a.eid);
+        dfs(a.nbr, depth + 1);
+        pv.pop_back();
+        pedges.pop_back();
+      };
+      if (pe.dir == Direction::kOut || pe.dir == Direction::kBoth) {
+        for (const auto& a : g.OutEdges(cur)) step(a);
+      }
+      if (pe.dir == Direction::kIn || pe.dir == Direction::kBoth) {
+        for (const auto& a : g.InEdges(cur)) step(a);
+      }
+      (void)depth;
+    };
+    dfs(su, 0);
+    eassign.erase(pe.id);
+  };
+
+  std::function<void(size_t)> assign_vertices = [&](size_t i) {
+    if (i == order.size()) {
+      assign_edges(0);
+      return;
+    }
+    const PatternVertex& pv = p.VertexById(order[i]);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!vertex_ok(pv, v)) continue;
+      vassign[pv.id] = v;
+      assign_vertices(i + 1);
+      vassign.erase(pv.id);
+    }
+  };
+  assign_vertices(0);
+  return out;
+}
+
+}  // namespace gopt

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "src/exec/eval.h"
+#include "src/exec/result.h"
+#include "src/gir/pattern.h"
+
+namespace gopt {
+
+/// Reference pattern matcher used as the correctness oracle in tests: a
+/// direct backtracking enumeration of homomorphisms h: V_P -> V_G honoring
+/// type constraints, directions, predicates and variable-length path edges.
+/// Intentionally simple and planner-free, so executor results can be
+/// validated against it on arbitrary (small) graphs.
+///
+/// Returns one row per homomorphism with the given output columns (vertex
+/// aliases, edge aliases and path aliases that appear in `out_cols`).
+ResultTable NaiveMatch(const PropertyGraph& g, const Pattern& p,
+                       const std::vector<std::string>& out_cols);
+
+}  // namespace gopt

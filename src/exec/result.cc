@@ -1,0 +1,78 @@
+#include "src/exec/result.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gopt {
+
+int ResultTable::ColIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+void ResultTable::SortRows() {
+  std::sort(rows.begin(), rows.end(), RowLess);
+}
+
+bool ResultTable::SameRows(const ResultTable& other) const {
+  if (columns.size() != other.columns.size()) return false;
+  // Align other's columns to ours by name.
+  std::vector<int> perm(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    int j = other.ColIndex(columns[i]);
+    if (j < 0) return false;
+    perm[i] = j;
+  }
+  if (rows.size() != other.rows.size()) return false;
+  std::vector<Row> a = rows;
+  std::vector<Row> b;
+  b.reserve(other.rows.size());
+  for (const auto& r : other.rows) {
+    Row m(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) m[i] = r[perm[i]];
+    b.push_back(std::move(m));
+  }
+  std::sort(a.begin(), a.end(), RowLess);
+  std::sort(b.begin(), b.end(), RowLess);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < columns.size(); ++j) {
+      if (!(a[i][j] == b[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+std::string ResultTable::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) os << " | ";
+    os << columns[i];
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) os << " | ";
+      os << rows[r][i].ToString();
+    }
+    os << "\n";
+  }
+  if (rows.size() > max_rows) {
+    os << "... (" << rows.size() << " rows total)\n";
+  }
+  return os.str();
+}
+
+}  // namespace gopt

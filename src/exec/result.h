@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace gopt {
+
+/// A runtime row: one value per output column.
+using Row = std::vector<Value>;
+
+/// The materialized result of a query (or of one physical operator).
+struct ResultTable {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// Index of a column by name, or -1.
+  int ColIndex(const std::string& name) const;
+
+  /// Sorts rows into a canonical order (for order-insensitive comparison).
+  void SortRows();
+
+  /// Multiset row equality against `other`, aligning columns by name.
+  /// Returns false if the column sets differ.
+  bool SameRows(const ResultTable& other) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace gopt

@@ -1,0 +1,147 @@
+#include "src/gir/expr.h"
+
+namespace gopt {
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeVar(std::string tag) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->tag = std::move(tag);
+  return e;
+}
+
+ExprPtr Expr::MakeProperty(std::string tag, std::string prop) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kProperty;
+  e->tag = std::move(tag);
+  e->prop = std::move(prop);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->bin = op;
+  e->args = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnOp op, ExprPtr x) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kUnary;
+  e->un = op;
+  e->args = {std::move(x)};
+  return e;
+}
+
+ExprPtr Expr::MakeFunc(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kFunc;
+  e->func = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::And(const std::vector<ExprPtr>& preds) {
+  ExprPtr acc;
+  for (const ExprPtr& p : preds) {
+    if (!p) continue;
+    acc = acc ? MakeBinary(BinOp::kAnd, acc, p) : p;
+  }
+  return acc;
+}
+
+void Expr::CollectTags(std::set<std::string>* tags) const {
+  if (kind == Kind::kVar || kind == Kind::kProperty) tags->insert(tag);
+  for (const auto& a : args) a->CollectTags(tags);
+}
+
+void Expr::CollectProperties(
+    std::set<std::pair<std::string, std::string>>* tag_props) const {
+  if (kind == Kind::kProperty) tag_props->insert({tag, prop});
+  for (const auto& a : args) a->CollectProperties(tag_props);
+}
+
+bool Expr::OnlyUses(const std::set<std::string>& available) const {
+  std::set<std::string> tags;
+  CollectTags(&tags);
+  for (const auto& t : tags) {
+    if (!available.count(t)) return false;
+  }
+  return true;
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kIn: return "IN";
+    case BinOp::kContains: return "CONTAINS";
+    case BinOp::kStartsWith: return "STARTS WITH";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kCountDistinct: return "COUNT_DISTINCT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kCollect: return "COLLECT";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.kind() == Value::Kind::kString ? "'" + literal.ToString() + "'"
+                                                    : literal.ToString();
+    case Kind::kVar:
+      return tag;
+    case Kind::kProperty:
+      return tag + "." + prop;
+    case Kind::kBinary:
+      return "(" + args[0]->ToString() + " " + BinOpName(bin) + " " +
+             args[1]->ToString() + ")";
+    case Kind::kUnary:
+      switch (un) {
+        case UnOp::kNot: return "NOT " + args[0]->ToString();
+        case UnOp::kNeg: return "-" + args[0]->ToString();
+        case UnOp::kIsNull: return args[0]->ToString() + " IS NULL";
+        case UnOp::kIsNotNull: return args[0]->ToString() + " IS NOT NULL";
+      }
+      return "?";
+    case Kind::kFunc: {
+      std::string s = func + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace gopt

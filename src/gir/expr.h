@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace gopt {
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kIn,          // value IN list-literal
+  kContains,    // string contains
+  kStartsWith,  // string prefix
+};
+
+enum class UnOp {
+  kNot,
+  kNeg,
+  kIsNull,
+  kIsNotNull,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Scalar expression tree used by SELECT predicates, PROJECT items, ORDER
+/// keys and pattern-level predicates. Immutable once built (shared freely
+/// between plan alternatives).
+struct Expr {
+  enum class Kind { kLiteral, kVar, kProperty, kBinary, kUnary, kFunc };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;        // kLiteral
+  std::string tag;      // kVar, kProperty: the alias referenced
+  std::string prop;     // kProperty: property name
+  BinOp bin = BinOp::kEq;
+  UnOp un = UnOp::kNot;
+  std::string func;  // kFunc: "id", "label", "length", "size", ...
+  std::vector<ExprPtr> args;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeVar(std::string tag);
+  static ExprPtr MakeProperty(std::string tag, std::string prop);
+  static ExprPtr MakeBinary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeUnary(UnOp op, ExprPtr x);
+  static ExprPtr MakeFunc(std::string name, std::vector<ExprPtr> args);
+
+  /// Conjunction of a list of predicates (nullptr if empty).
+  static ExprPtr And(const std::vector<ExprPtr>& preds);
+
+  /// Collects every alias (tag) the expression references.
+  void CollectTags(std::set<std::string>* tags) const;
+
+  /// Collects referenced properties per tag, for FieldTrim COLUMNS pruning.
+  void CollectProperties(
+      std::set<std::pair<std::string, std::string>>* tag_props) const;
+
+  /// True if all referenced tags are within `available`.
+  bool OnlyUses(const std::set<std::string>& available) const;
+
+  std::string ToString() const;
+};
+
+/// Aggregate functions supported by GROUP (paper's AggFunc).
+enum class AggFunc {
+  kCount,
+  kCountDistinct,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kCollect,
+};
+
+/// One aggregate call: fn(arg) AS alias. A null arg means COUNT(*).
+struct AggCall {
+  AggFunc fn = AggFunc::kCount;
+  ExprPtr arg;
+  std::string alias;
+};
+
+const char* BinOpName(BinOp op);
+const char* AggFuncName(AggFunc fn);
+
+}  // namespace gopt

@@ -1,0 +1,247 @@
+#include "src/gir/ir_builder.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace gopt {
+
+int PatternBuilder::VertexFor(const std::string& alias,
+                              const TypeConstraint& tc) {
+  std::string key = alias;
+  if (key.empty()) key = "$v" + std::to_string(anon_counter_++);
+  auto it = alias_to_vid_.find(key);
+  if (it != alias_to_vid_.end()) {
+    // Re-reference: tighten the type constraint if one was supplied.
+    PatternVertex& v = pattern_.VertexById(it->second);
+    v.tc = v.tc.Intersect(tc);
+    return it->second;
+  }
+  int id = pattern_.AddVertex(key, tc);
+  alias_to_vid_[key] = id;
+  return id;
+}
+
+PatternBuilder& PatternBuilder::GetV(const std::string& alias,
+                                     TypeConstraint tc) {
+  VertexFor(alias, tc);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::ExpandE(const std::string& from_tag,
+                                        const std::string& alias,
+                                        TypeConstraint tc, Direction dir) {
+  auto it = alias_to_vid_.find(from_tag);
+  if (it == alias_to_vid_.end()) {
+    throw std::runtime_error("ExpandE: unknown tag '" + from_tag + "'");
+  }
+  std::string key = alias.empty() ? "$e" + std::to_string(anon_counter_++) : alias;
+  pending_ = PendingEdge{it->second, key, std::move(tc), dir, 1, 1,
+                         PathSemantics::kArbitrary};
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::ExpandPath(const std::string& from_tag,
+                                           const std::string& alias,
+                                           TypeConstraint tc, Direction dir,
+                                           int min_hops, int max_hops,
+                                           PathSemantics semantics) {
+  auto it = alias_to_vid_.find(from_tag);
+  if (it == alias_to_vid_.end()) {
+    throw std::runtime_error("ExpandPath: unknown tag '" + from_tag + "'");
+  }
+  std::string key = alias.empty() ? "$e" + std::to_string(anon_counter_++) : alias;
+  pending_ = PendingEdge{it->second, key,    std::move(tc), dir,
+                         min_hops,   max_hops, semantics};
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::GetV(const std::string& edge_tag,
+                                     const std::string& alias,
+                                     TypeConstraint tc, VertexEnd end) {
+  if (!pending_ || pending_->alias != edge_tag) {
+    throw std::runtime_error("GetV: no pending edge '" + edge_tag + "'");
+  }
+  int other = VertexFor(alias, tc);
+  PendingEdge pe = *pending_;
+  pending_.reset();
+
+  // Normalize direction so stored pattern edges are kOut or kBoth: a kIn
+  // expansion from u to v is the same as a kOut edge v->u.
+  int src = pe.from_vid, dst = other;
+  Direction dir = pe.dir;
+  if (end == VertexEnd::kStart) std::swap(src, dst);
+  if (dir == Direction::kIn) {
+    std::swap(src, dst);
+    dir = Direction::kOut;
+  }
+  int eid = pattern_.AddEdge(src, dst, pe.alias, pe.tc, dir);
+  PatternEdge& e = pattern_.EdgeById(eid);
+  e.min_hops = pe.min_hops;
+  e.max_hops = pe.max_hops;
+  e.semantics = pe.semantics;
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::WhereVertex(const std::string& alias,
+                                            ExprPtr pred) {
+  auto it = alias_to_vid_.find(alias);
+  if (it == alias_to_vid_.end()) {
+    throw std::runtime_error("WhereVertex: unknown alias '" + alias + "'");
+  }
+  pattern_.VertexById(it->second).predicates.push_back(std::move(pred));
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::WhereEdge(const std::string& alias,
+                                          ExprPtr pred) {
+  for (auto& e : pattern_.mutable_edges()) {
+    if (e.alias == alias) {
+      e.predicates.push_back(std::move(pred));
+      return *this;
+    }
+  }
+  throw std::runtime_error("WhereEdge: unknown alias '" + alias + "'");
+}
+
+namespace {
+
+/// Splits a (possibly disconnected) pattern into connected components.
+std::vector<Pattern> ConnectedComponents(const Pattern& p) {
+  std::vector<Pattern> out;
+  std::set<int> seen;
+  for (const auto& v : p.vertices()) {
+    if (seen.count(v.id)) continue;
+    // BFS over vertex ids.
+    std::set<int> comp;
+    std::vector<int> stack = {v.id};
+    while (!stack.empty()) {
+      int x = stack.back();
+      stack.pop_back();
+      if (!comp.insert(x).second) continue;
+      for (int n : p.NeighborVertices(x)) stack.push_back(n);
+    }
+    std::vector<int> edge_ids;
+    for (const auto& e : p.edges()) {
+      if (comp.count(e.src)) edge_ids.push_back(e.id);
+    }
+    Pattern sub = edge_ids.empty() ? p.SingleVertex(v.id)
+                                   : p.SubpatternByEdges(edge_ids);
+    // SubpatternByEdges drops isolated vertices; add them individually.
+    if (!edge_ids.empty()) {
+      for (int x : comp) {
+        if (!sub.HasVertex(x)) {
+          out.push_back(p.SingleVertex(x));
+          seen.insert(x);
+        }
+      }
+    }
+    for (int x : comp) seen.insert(x);
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace
+
+LogicalOpPtr PatternBuilder::PatternEnd() {
+  if (pending_) throw std::runtime_error("PatternEnd with dangling ExpandE");
+  GraphIrBuilder b;
+  return b.MatchComponents(std::move(pattern_));
+}
+
+LogicalOpPtr GraphIrBuilder::MatchComponents(Pattern p) {
+  if (p.IsConnected()) return Match(std::move(p));
+  // Cartesian product of the matches of each connected component.
+  auto comps = ConnectedComponents(p);
+  LogicalOpPtr acc;
+  for (auto& c : comps) {
+    LogicalOpPtr m = Match(std::move(c));
+    acc = acc ? Join(acc, m, {}, JoinKind::kInner) : m;
+  }
+  return acc;
+}
+
+LogicalOpPtr GraphIrBuilder::Match(Pattern p) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kMatchPattern);
+  op->pattern = std::move(p);
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Join(LogicalOpPtr left, LogicalOpPtr right,
+                                  std::vector<std::string> keys, JoinKind kind) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kJoin);
+  op->inputs = {std::move(left), std::move(right)};
+  op->join_keys = std::move(keys);
+  op->join_kind = kind;
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Select(LogicalOpPtr in, ExprPtr predicate) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kSelect);
+  op->inputs = {std::move(in)};
+  op->predicate = std::move(predicate);
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Project(LogicalOpPtr in,
+                                     std::vector<ProjectItem> items,
+                                     bool append) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kProject);
+  op->inputs = {std::move(in)};
+  op->items = std::move(items);
+  op->append = append;
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Group(LogicalOpPtr in,
+                                   std::vector<ProjectItem> keys,
+                                   std::vector<AggCall> aggs) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kAggregate);
+  op->inputs = {std::move(in)};
+  op->group_keys = std::move(keys);
+  op->aggs = std::move(aggs);
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Order(LogicalOpPtr in, std::vector<SortItem> keys,
+                                   int64_t limit) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kOrder);
+  op->inputs = {std::move(in)};
+  op->sort_items = std::move(keys);
+  op->limit = limit;
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Limit(LogicalOpPtr in, int64_t n) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kLimit);
+  op->inputs = {std::move(in)};
+  op->limit = n;
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Dedup(LogicalOpPtr in,
+                                   std::vector<std::string> tags) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kDedup);
+  op->inputs = {std::move(in)};
+  op->dedup_tags = std::move(tags);
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Union(LogicalOpPtr left, LogicalOpPtr right,
+                                   bool distinct) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kUnion);
+  op->inputs = {std::move(left), std::move(right)};
+  op->union_distinct = distinct;
+  return op;
+}
+
+LogicalOpPtr GraphIrBuilder::Unfold(LogicalOpPtr in, std::string tag,
+                                    std::string alias) {
+  auto op = std::make_shared<LogicalOp>(LogicalOpKind::kUnfold);
+  op->inputs = {std::move(in)};
+  op->unfold_tag = std::move(tag);
+  op->unfold_alias = std::move(alias);
+  return op;
+}
+
+}  // namespace gopt

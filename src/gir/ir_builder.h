@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gir/logical_op.h"
+
+namespace gopt {
+
+/// Which endpoint of the pending edge the next GetV binds.
+enum class VertexEnd { kStart, kEnd };
+
+/// Fluent builder for one MATCH_PATTERN, mirroring the paper's Section 5.2
+/// snippet:
+///
+///   GraphIrBuilder b;
+///   auto p = b.PatternStart()
+///       .GetV("v1", TypeConstraint::All())
+///       .ExpandE("v1", "e1", TypeConstraint::All(), Direction::kOut)
+///       .GetV("e1", "v2", TypeConstraint::All(), VertexEnd::kEnd)
+///       .PatternEnd();
+///
+/// Aliases are shared: re-using an alias in GetV refers to the same pattern
+/// vertex, which is how chains are stitched into general graphs. Anonymous
+/// vertices/edges get internal aliases prefixed with '$'.
+class PatternBuilder {
+ public:
+  /// Binds (or re-references) a source vertex.
+  PatternBuilder& GetV(const std::string& alias,
+                       TypeConstraint tc = TypeConstraint::All());
+
+  /// Starts an edge expansion from the vertex bound to `from_tag`.
+  PatternBuilder& ExpandE(const std::string& from_tag, const std::string& alias,
+                          TypeConstraint tc = TypeConstraint::All(),
+                          Direction dir = Direction::kOut);
+
+  /// Starts a variable-length path expansion of `min..max` hops.
+  PatternBuilder& ExpandPath(const std::string& from_tag,
+                             const std::string& alias, TypeConstraint tc,
+                             Direction dir, int min_hops, int max_hops,
+                             PathSemantics semantics = PathSemantics::kArbitrary);
+
+  /// Closes the pending edge at the given endpoint vertex.
+  PatternBuilder& GetV(const std::string& edge_tag, const std::string& alias,
+                       TypeConstraint tc, VertexEnd end);
+
+  /// Attaches a predicate to the vertex bound to `alias`.
+  PatternBuilder& WhereVertex(const std::string& alias, ExprPtr pred);
+  /// Attaches a predicate to the edge bound to `alias`.
+  PatternBuilder& WhereEdge(const std::string& alias, ExprPtr pred);
+
+  /// Finishes the pattern. A disconnected pattern is split into connected
+  /// components combined by cartesian JOINs (paper Section 3).
+  LogicalOpPtr PatternEnd();
+
+  /// Access to the in-construction pattern (used by parsers).
+  Pattern& pattern() { return pattern_; }
+
+ private:
+  friend class GraphIrBuilder;
+  int VertexFor(const std::string& alias, const TypeConstraint& tc);
+
+  Pattern pattern_;
+  std::map<std::string, int> alias_to_vid_;
+  int anon_counter_ = 0;
+
+  struct PendingEdge {
+    int from_vid;
+    std::string alias;
+    TypeConstraint tc;
+    Direction dir;
+    int min_hops, max_hops;
+    PathSemantics semantics;
+  };
+  std::optional<PendingEdge> pending_;
+};
+
+/// The high-level GraphIrBuilder interface (paper Section 5): assembles the
+/// language-independent GIR logical plan that all frontends lower into.
+class GraphIrBuilder {
+ public:
+  PatternBuilder PatternStart() { return PatternBuilder(); }
+
+  /// Wraps an already-built Pattern as a MATCH_PATTERN leaf.
+  LogicalOpPtr Match(Pattern p);
+
+  /// Like Match, but a disconnected pattern is split into connected
+  /// components combined by cartesian JOINs (paper Section 3: matching a
+  /// disconnected pattern is the cartesian product of its components).
+  /// Frontends lower MATCH clauses through this entry point.
+  LogicalOpPtr MatchComponents(Pattern p);
+
+  LogicalOpPtr Join(LogicalOpPtr left, LogicalOpPtr right,
+                    std::vector<std::string> keys,
+                    JoinKind kind = JoinKind::kInner);
+  LogicalOpPtr Select(LogicalOpPtr in, ExprPtr predicate);
+  LogicalOpPtr Project(LogicalOpPtr in, std::vector<ProjectItem> items,
+                       bool append = false);
+  LogicalOpPtr Group(LogicalOpPtr in, std::vector<ProjectItem> keys,
+                     std::vector<AggCall> aggs);
+  LogicalOpPtr Order(LogicalOpPtr in, std::vector<SortItem> keys,
+                     int64_t limit = -1);
+  LogicalOpPtr Limit(LogicalOpPtr in, int64_t n);
+  LogicalOpPtr Dedup(LogicalOpPtr in, std::vector<std::string> tags);
+  LogicalOpPtr Union(LogicalOpPtr left, LogicalOpPtr right,
+                     bool distinct = false);
+  LogicalOpPtr Unfold(LogicalOpPtr in, std::string tag, std::string alias);
+};
+
+}  // namespace gopt

@@ -1,0 +1,166 @@
+#include "src/gir/logical_op.h"
+
+#include <set>
+
+namespace gopt {
+
+const char* LogicalOpKindName(LogicalOpKind k) {
+  switch (k) {
+    case LogicalOpKind::kMatchPattern: return "MATCH_PATTERN";
+    case LogicalOpKind::kPatternExtend: return "PATTERN_EXTEND";
+    case LogicalOpKind::kSelect: return "SELECT";
+    case LogicalOpKind::kProject: return "PROJECT";
+    case LogicalOpKind::kAggregate: return "GROUP";
+    case LogicalOpKind::kOrder: return "ORDER";
+    case LogicalOpKind::kLimit: return "LIMIT";
+    case LogicalOpKind::kDedup: return "DEDUP";
+    case LogicalOpKind::kJoin: return "JOIN";
+    case LogicalOpKind::kUnion: return "UNION";
+    case LogicalOpKind::kUnfold: return "UNFOLD";
+  }
+  return "?";
+}
+
+LogicalOpPtr LogicalOp::Clone() const {
+  auto copy = std::make_shared<LogicalOp>(*this);
+  for (auto& in : copy->inputs) in = in->Clone();
+  return copy;
+}
+
+std::vector<std::string> LogicalOp::OutputAliases() const {
+  std::set<std::string> out;
+  switch (kind) {
+    case LogicalOpKind::kMatchPattern: {
+      for (const auto& a : pattern.Aliases()) out.insert(a);
+      break;
+    }
+    case LogicalOpKind::kPatternExtend: {
+      if (!inputs.empty()) {
+        for (const auto& a : inputs[0]->OutputAliases()) out.insert(a);
+      }
+      for (const auto& a : pattern.Aliases()) out.insert(a);
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      if (append && !inputs.empty()) {
+        for (const auto& a : inputs[0]->OutputAliases()) out.insert(a);
+      }
+      for (const auto& it : items) out.insert(it.alias);
+      break;
+    }
+    case LogicalOpKind::kAggregate: {
+      for (const auto& k : group_keys) out.insert(k.alias);
+      for (const auto& a : aggs) out.insert(a.alias);
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      for (const auto& in : inputs) {
+        for (const auto& a : in->OutputAliases()) out.insert(a);
+      }
+      break;
+    }
+    case LogicalOpKind::kUnfold: {
+      if (!inputs.empty()) {
+        for (const auto& a : inputs[0]->OutputAliases()) out.insert(a);
+      }
+      out.insert(unfold_alias);
+      break;
+    }
+    default: {
+      if (!inputs.empty()) {
+        for (const auto& a : inputs[0]->OutputAliases()) out.insert(a);
+      }
+      break;
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::string LogicalOp::ToString(const GraphSchema& schema, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s = pad + LogicalOpKindName(kind);
+  switch (kind) {
+    case LogicalOpKind::kMatchPattern:
+    case LogicalOpKind::kPatternExtend:
+      s += " " + pattern.ToString(schema);
+      if (!columns.empty()) {
+        s += " COLUMNS={";
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (i) s += ",";
+          s += columns[i].first + "." + columns[i].second;
+        }
+        s += "}";
+      }
+      break;
+    case LogicalOpKind::kSelect:
+      s += " " + (predicate ? predicate->ToString() : "true");
+      break;
+    case LogicalOpKind::kProject:
+      s += append ? " append{" : " {";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i) s += ", ";
+        s += items[i].expr->ToString() + " AS " + items[i].alias;
+      }
+      s += "}";
+      break;
+    case LogicalOpKind::kAggregate: {
+      s += " keys={";
+      for (size_t i = 0; i < group_keys.size(); ++i) {
+        if (i) s += ", ";
+        s += group_keys[i].expr->ToString() + " AS " + group_keys[i].alias;
+      }
+      s += "} aggs={";
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i) s += ", ";
+        s += std::string(AggFuncName(aggs[i].fn)) + "(" +
+             (aggs[i].arg ? aggs[i].arg->ToString() : "*") + ") AS " +
+             aggs[i].alias;
+      }
+      s += "}";
+      break;
+    }
+    case LogicalOpKind::kOrder: {
+      s += " keys={";
+      for (size_t i = 0; i < sort_items.size(); ++i) {
+        if (i) s += ", ";
+        s += sort_items[i].expr->ToString() +
+             (sort_items[i].asc ? " ASC" : " DESC");
+      }
+      s += "}";
+      if (limit >= 0) s += " limit=" + std::to_string(limit);
+      break;
+    }
+    case LogicalOpKind::kLimit:
+      s += " " + std::to_string(limit);
+      break;
+    case LogicalOpKind::kDedup: {
+      s += " {";
+      for (size_t i = 0; i < dedup_tags.size(); ++i) {
+        if (i) s += ", ";
+        s += dedup_tags[i];
+      }
+      s += "}";
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      s += " keys={";
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i) s += ", ";
+        s += join_keys[i];
+      }
+      s += "}";
+      break;
+    }
+    case LogicalOpKind::kUnion:
+      if (union_distinct) s += " DISTINCT";
+      break;
+    case LogicalOpKind::kUnfold:
+      s += " " + unfold_tag + " AS " + unfold_alias;
+      break;
+  }
+  s += "\n";
+  for (const auto& in : inputs) s += in->ToString(schema, indent + 1);
+  return s;
+}
+
+}  // namespace gopt

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gir/expr.h"
+#include "src/gir/pattern.h"
+
+namespace gopt {
+
+/// GIR logical operator kinds (paper Section 5.1). Graph operators
+/// (EXPAND_EDGE / GET_VERTEX / EXPAND_PATH) live inside MATCH_PATTERN as the
+/// composite `Pattern`; the DAG-level operators below combine patterns with
+/// relational operations.
+enum class LogicalOpKind {
+  kMatchPattern,   ///< Leaf: match a Pattern against the data graph.
+  kPatternExtend,  ///< Extend bound prefix rows by a delta pattern
+                   ///< (produced by the ComSubPattern rule).
+  kSelect,         ///< Filter rows by a predicate.
+  kProject,        ///< Compute expressions; optionally append to the row.
+  kAggregate,      ///< GROUP keys + aggregate calls.
+  kOrder,          ///< Sort; optional fused limit (top-k).
+  kLimit,          ///< Truncate.
+  kDedup,          ///< Distinct on a tag list (empty = whole row).
+  kJoin,           ///< Binary join on tag keys.
+  kUnion,          ///< Binary union (all or distinct).
+  kUnfold,         ///< Explode a list value into rows.
+};
+
+enum class JoinKind { kInner, kLeftOuter, kSemi, kAnti };
+
+/// One PROJECT output: expr AS alias.
+struct ProjectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+/// One ORDER key.
+struct SortItem {
+  ExprPtr expr;
+  bool asc = true;
+};
+
+struct LogicalOp;
+using LogicalOpPtr = std::shared_ptr<LogicalOp>;
+
+/// A node of the GIR logical plan DAG. A single struct with per-kind payload
+/// fields keeps plan rewriting (RBO) simple; unused fields stay default.
+struct LogicalOp {
+  LogicalOpKind kind;
+  std::vector<LogicalOpPtr> inputs;
+
+  // kMatchPattern / kPatternExtend
+  Pattern pattern;
+  std::vector<int> bound_vertices;  ///< kPatternExtend: already-bound ids.
+  std::vector<int> bound_edges;     ///< kPatternExtend: already-matched edges.
+  /// FieldTrim: aliases that must survive this pattern (meaningful only
+  /// when `trimmed` is set; may legitimately be empty, e.g. under COUNT(*)).
+  std::vector<std::string> output_tags;
+  bool trimmed = false;
+  /// FieldTrim: properties to materialize per tag ("COLUMNS" in the paper).
+  std::vector<std::pair<std::string, std::string>> columns;
+
+  // kSelect
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ProjectItem> items;
+  bool append = false;
+
+  // kAggregate
+  std::vector<ProjectItem> group_keys;
+  std::vector<AggCall> aggs;
+
+  // kOrder / kLimit
+  std::vector<SortItem> sort_items;
+  int64_t limit = -1;
+
+  // kDedup
+  std::vector<std::string> dedup_tags;
+
+  // kJoin
+  std::vector<std::string> join_keys;
+  JoinKind join_kind = JoinKind::kInner;
+
+  // kUnion
+  bool union_distinct = false;
+
+  // kUnfold
+  std::string unfold_tag;
+  std::string unfold_alias;
+
+  explicit LogicalOp(LogicalOpKind k) : kind(k) {}
+
+  /// Deep copy of this op and its subtree (patterns/exprs shared where
+  /// immutable).
+  LogicalOpPtr Clone() const;
+
+  /// Aliases visible in rows produced by this operator.
+  std::vector<std::string> OutputAliases() const;
+
+  /// Pretty-prints the plan subtree, one operator per line.
+  std::string ToString(const GraphSchema& schema, int indent = 0) const;
+};
+
+const char* LogicalOpKindName(LogicalOpKind k);
+
+}  // namespace gopt

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gir/expr.h"
+#include "src/gir/type_constraint.h"
+
+namespace gopt {
+
+/// Direction of a pattern edge relative to its `src` endpoint.
+enum class Direction { kOut, kIn, kBoth };
+
+/// Path-expansion semantics for variable-length pattern edges (paper
+/// Section 5.1): Arbitrary (no constraint), Simple (no repeated vertex),
+/// Trail (no repeated edge).
+enum class PathSemantics { kArbitrary, kSimple, kTrail };
+
+/// A vertex of a query pattern.
+struct PatternVertex {
+  int id = -1;             ///< Stable id, preserved across subpatterns.
+  std::string alias;       ///< Tag binding the matched vertex in rows.
+  TypeConstraint tc;       ///< Basic/Union/All type constraint.
+  std::vector<ExprPtr> predicates;  ///< Filters pushed into the pattern.
+  double selectivity = 1.0;         ///< Estimated predicate selectivity.
+};
+
+/// An edge of a query pattern. Direction kOut means src->dst in the data
+/// graph; kBoth matches either orientation. min/max_hops > 1 turns the edge
+/// into an EXPAND_PATH of the given semantics.
+struct PatternEdge {
+  int id = -1;
+  int src = -1;  ///< PatternVertex id.
+  int dst = -1;  ///< PatternVertex id.
+  std::string alias;
+  TypeConstraint tc;
+  std::vector<ExprPtr> predicates;
+  Direction dir = Direction::kOut;
+  int min_hops = 1;
+  int max_hops = 1;
+  PathSemantics semantics = PathSemantics::kArbitrary;
+  double selectivity = 1.0;
+
+  bool IsPath() const { return !(min_hops == 1 && max_hops == 1); }
+};
+
+/// A query pattern P = (V_P, E_P): a small connected typed graph with
+/// aliases and embedded predicates. Vertex/edge ids are stable so that
+/// subpatterns taken during CBO can be related back to the original.
+class Pattern {
+ public:
+  /// Adds a vertex; if id < 0 assigns the next free id. Returns the id.
+  int AddVertex(std::string alias, TypeConstraint tc = TypeConstraint::All(),
+                int id = -1);
+  /// Adds an edge between existing vertex ids; returns the edge id.
+  int AddEdge(int src, int dst, std::string alias,
+              TypeConstraint tc = TypeConstraint::All(),
+              Direction dir = Direction::kOut, int id = -1);
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  bool Empty() const { return vertices_.empty(); }
+
+  const std::vector<PatternVertex>& vertices() const { return vertices_; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+  std::vector<PatternVertex>& mutable_vertices() { return vertices_; }
+  std::vector<PatternEdge>& mutable_edges() { return edges_; }
+
+  /// Vertex/edge accessors by stable id (asserts existence).
+  const PatternVertex& VertexById(int id) const;
+  PatternVertex& VertexById(int id);
+  const PatternEdge& EdgeById(int id) const;
+  PatternEdge& EdgeById(int id);
+  bool HasVertex(int id) const;
+
+  const PatternVertex* FindVertexByAlias(const std::string& alias) const;
+  const PatternEdge* FindEdgeByAlias(const std::string& alias) const;
+
+  /// Ids of edges incident to vertex `v`.
+  std::vector<int> IncidentEdges(int v) const;
+  /// Neighbor vertex ids of `v` (ignoring direction).
+  std::vector<int> NeighborVertices(int v) const;
+
+  /// True if the pattern is connected (ignoring direction). The empty
+  /// pattern counts as connected.
+  bool IsConnected() const;
+  /// True if removing vertex `v` (and incident edges) keeps it connected.
+  bool IsConnectedWithout(int v) const;
+
+  /// The subpattern induced by a set of edge ids (vertices = endpoints).
+  Pattern SubpatternByEdges(const std::vector<int>& edge_ids) const;
+  /// Copy of the pattern without vertex `v` and its incident edges.
+  Pattern WithoutVertex(int v) const;
+  /// Single-vertex subpattern.
+  Pattern SingleVertex(int v) const;
+
+  /// Vertex ids shared with `other` (matched by id).
+  std::vector<int> CommonVertices(const Pattern& other) const;
+
+  /// All aliases bound by this pattern (vertices, edges, paths).
+  std::vector<std::string> Aliases() const;
+
+  std::string ToString(const GraphSchema& schema) const;
+
+  /// Whether every vertex and edge constraint is a BasicType (needed for a
+  /// direct Glogue lookup, paper Section 6.3.1).
+  bool AllBasicTypes() const;
+
+  /// True if any edge is a variable-length path expansion.
+  bool HasPathEdge() const;
+
+ private:
+  std::vector<PatternVertex> vertices_;
+  std::vector<PatternEdge> edges_;
+  int next_vertex_id_ = 0;
+  int next_edge_id_ = 0;
+};
+
+}  // namespace gopt

@@ -1,0 +1,53 @@
+#include "src/gir/type_constraint.h"
+
+#include <algorithm>
+
+namespace gopt {
+
+TypeConstraint TypeConstraint::Union(std::vector<TypeId> ts) {
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  TypeConstraint c;
+  c.all_ = false;
+  c.types_ = std::move(ts);
+  return c;
+}
+
+bool TypeConstraint::Matches(TypeId t) const {
+  if (all_) return true;
+  return std::binary_search(types_.begin(), types_.end(), t);
+}
+
+std::vector<TypeId> TypeConstraint::Resolve(
+    const std::vector<TypeId>& universe) const {
+  return all_ ? universe : types_;
+}
+
+TypeConstraint TypeConstraint::Intersect(const TypeConstraint& other) const {
+  if (all_) return other;
+  if (other.all_) return *this;
+  TypeConstraint c;
+  c.all_ = false;
+  std::set_intersection(types_.begin(), types_.end(), other.types_.begin(),
+                        other.types_.end(), std::back_inserter(c.types_));
+  return c;
+}
+
+bool TypeConstraint::operator==(const TypeConstraint& other) const {
+  return all_ == other.all_ && types_ == other.types_;
+}
+
+std::string TypeConstraint::ToString(const GraphSchema& schema,
+                                     bool is_vertex) const {
+  if (all_) return "AllType";
+  if (types_.empty()) return "None";
+  std::string s;
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (i > 0) s += "|";
+    s += is_vertex ? schema.VertexTypeName(types_[i])
+                   : schema.EdgeTypeName(types_[i]);
+  }
+  return s;
+}
+
+}  // namespace gopt

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/graph/schema.h"
+
+namespace gopt {
+
+/// A type constraint on a pattern vertex or edge (paper Section 3):
+///  - BasicType: exactly one concrete type;
+///  - UnionType: any of a set of types;
+///  - AllType:   unconstrained (matches every type in the data graph).
+///
+/// Internally AllType is a flag so it stays schema-independent until
+/// resolution; Resolve() expands it to the full type list of a schema.
+class TypeConstraint {
+ public:
+  /// Default-constructed constraint is AllType.
+  TypeConstraint() : all_(true) {}
+
+  static TypeConstraint All() { return TypeConstraint(); }
+  static TypeConstraint Basic(TypeId t) {
+    TypeConstraint c;
+    c.all_ = false;
+    c.types_ = {t};
+    return c;
+  }
+  static TypeConstraint Union(std::vector<TypeId> ts);
+  /// An empty (unsatisfiable) constraint; produced by failed intersection.
+  static TypeConstraint None() {
+    TypeConstraint c;
+    c.all_ = false;
+    return c;
+  }
+
+  bool IsAll() const { return all_; }
+  bool IsBasic() const { return !all_ && types_.size() == 1; }
+  bool IsUnion() const { return !all_ && types_.size() > 1; }
+  bool IsNone() const { return !all_ && types_.empty(); }
+
+  /// The explicit type list (meaningless when IsAll()).
+  const std::vector<TypeId>& types() const { return types_; }
+  TypeId single() const { return types_[0]; }
+
+  bool Matches(TypeId t) const;
+
+  /// Concrete candidate types: the explicit list, or every type in
+  /// `universe` when AllType.
+  std::vector<TypeId> Resolve(const std::vector<TypeId>& universe) const;
+
+  /// Number of candidate types given a universe size (used to order the
+  /// type-inference worklist by |tau(u)|).
+  size_t Cardinality(size_t universe_size) const {
+    return all_ ? universe_size : types_.size();
+  }
+
+  /// Set intersection; All is the identity.
+  TypeConstraint Intersect(const TypeConstraint& other) const;
+
+  bool operator==(const TypeConstraint& other) const;
+
+  /// Rendering such as "Person", "Person|Product" or "AllType".
+  std::string ToString(const GraphSchema& schema, bool is_vertex) const;
+
+ private:
+  bool all_;
+  std::vector<TypeId> types_;  // sorted, unique
+};
+
+}  // namespace gopt

@@ -1,0 +1,166 @@
+#include "src/graph/property_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gopt {
+
+VertexId PropertyGraph::AddVertex(TypeId type) {
+  VertexId id = vertex_types_of_.size();
+  vertex_types_of_.push_back(type);
+  finalized_ = false;
+  return id;
+}
+
+EdgeId PropertyGraph::AddEdge(VertexId src, VertexId dst, TypeId type) {
+  EdgeId id = edge_src_.size();
+  edge_src_.push_back(src);
+  edge_dst_.push_back(dst);
+  edge_types_of_.push_back(type);
+  finalized_ = false;
+  return id;
+}
+
+void PropertyGraph::SetVertexProp(VertexId v, const std::string& name,
+                                  Value value) {
+  auto& col = vertex_props_[name];
+  if (col.size() <= v) col.resize(vertex_types_of_.size());
+  if (col.size() <= v) col.resize(v + 1);
+  col[v] = std::move(value);
+}
+
+void PropertyGraph::SetEdgeProp(EdgeId e, const std::string& name, Value value) {
+  auto& col = edge_props_[name];
+  if (col.size() <= e) col.resize(edge_src_.size());
+  if (col.size() <= e) col.resize(e + 1);
+  col[e] = std::move(value);
+}
+
+void PropertyGraph::Finalize() {
+  const size_t nv = NumVertices();
+  const size_t ne = NumEdges();
+
+  // Build out-CSR.
+  out_offsets_.assign(nv + 1, 0);
+  for (size_t e = 0; e < ne; ++e) out_offsets_[edge_src_[e] + 1]++;
+  for (size_t v = 0; v < nv; ++v) out_offsets_[v + 1] += out_offsets_[v];
+  out_adj_.resize(ne);
+  {
+    std::vector<uint64_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+    for (size_t e = 0; e < ne; ++e) {
+      out_adj_[cursor[edge_src_[e]]++] = {edge_dst_[e], e, edge_types_of_[e]};
+    }
+  }
+  // Build in-CSR.
+  in_offsets_.assign(nv + 1, 0);
+  for (size_t e = 0; e < ne; ++e) in_offsets_[edge_dst_[e] + 1]++;
+  for (size_t v = 0; v < nv; ++v) in_offsets_[v + 1] += in_offsets_[v];
+  in_adj_.resize(ne);
+  {
+    std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (size_t e = 0; e < ne; ++e) {
+      in_adj_[cursor[edge_dst_[e]]++] = {edge_src_[e], e, edge_types_of_[e]};
+    }
+  }
+  auto by_type_then_nbr = [](const AdjEntry& a, const AdjEntry& b) {
+    return a.etype != b.etype ? a.etype < b.etype : a.nbr < b.nbr;
+  };
+  for (size_t v = 0; v < nv; ++v) {
+    std::sort(out_adj_.begin() + out_offsets_[v],
+              out_adj_.begin() + out_offsets_[v + 1], by_type_then_nbr);
+    std::sort(in_adj_.begin() + in_offsets_[v],
+              in_adj_.begin() + in_offsets_[v + 1], by_type_then_nbr);
+  }
+
+  // Per-type vertex lists and edge counts.
+  vertices_of_type_.assign(schema_.NumVertexTypes(), {});
+  for (size_t v = 0; v < nv; ++v) {
+    vertices_of_type_[vertex_types_of_[v]].push_back(v);
+  }
+  edges_of_type_count_.assign(schema_.NumEdgeTypes(), 0);
+  for (size_t e = 0; e < ne; ++e) edges_of_type_count_[edge_types_of_[e]]++;
+
+  // Pad property columns to full length.
+  for (auto& [name, col] : vertex_props_) col.resize(nv);
+  for (auto& [name, col] : edge_props_) col.resize(ne);
+
+  finalized_ = true;
+}
+
+std::span<const AdjEntry> PropertyGraph::OutEdges(VertexId v) const {
+  return {out_adj_.data() + out_offsets_[v],
+          out_offsets_[v + 1] - out_offsets_[v]};
+}
+
+std::span<const AdjEntry> PropertyGraph::InEdges(VertexId v) const {
+  return {in_adj_.data() + in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]};
+}
+
+namespace {
+std::span<const AdjEntry> TypeRange(std::span<const AdjEntry> all, TypeId t) {
+  auto lo = std::lower_bound(
+      all.begin(), all.end(), t,
+      [](const AdjEntry& a, TypeId ty) { return a.etype < ty; });
+  auto hi = std::upper_bound(
+      all.begin(), all.end(), t,
+      [](TypeId ty, const AdjEntry& a) { return ty < a.etype; });
+  return {&*lo, static_cast<size_t>(hi - lo)};
+}
+}  // namespace
+
+std::span<const AdjEntry> PropertyGraph::OutEdges(VertexId v, TypeId t) const {
+  return TypeRange(OutEdges(v), t);
+}
+
+std::span<const AdjEntry> PropertyGraph::InEdges(VertexId v, TypeId t) const {
+  return TypeRange(InEdges(v), t);
+}
+
+std::span<const VertexId> PropertyGraph::VerticesOfType(TypeId t) const {
+  if (t >= vertices_of_type_.size()) return {};
+  return vertices_of_type_[t];
+}
+
+Value PropertyGraph::GetVertexProp(VertexId v, const std::string& name) const {
+  auto it = vertex_props_.find(name);
+  if (it == vertex_props_.end() || v >= it->second.size()) return Value();
+  return it->second[v];
+}
+
+Value PropertyGraph::GetEdgeProp(EdgeId e, const std::string& name) const {
+  auto it = edge_props_.find(name);
+  if (it == edge_props_.end() || e >= it->second.size()) return Value();
+  return it->second[e];
+}
+
+size_t PropertyGraph::NumVerticesOfType(TypeId t) const {
+  if (t >= vertices_of_type_.size()) return 0;
+  return vertices_of_type_[t].size();
+}
+
+size_t PropertyGraph::NumEdgesOfType(TypeId t) const {
+  if (t >= edges_of_type_count_.size()) return 0;
+  return edges_of_type_count_[t];
+}
+
+GraphSchema ExtractSchemaFromData(const PropertyGraph& g) {
+  const GraphSchema& base = g.schema();
+  GraphSchema out;
+  for (size_t t = 0; t < base.NumVertexTypes(); ++t) {
+    out.AddVertexType(base.vertex_type(static_cast<TypeId>(t)).name,
+                      base.vertex_type(static_cast<TypeId>(t)).properties);
+  }
+  for (size_t t = 0; t < base.NumEdgeTypes(); ++t) {
+    out.AddEdgeType(base.edge_type(static_cast<TypeId>(t)).name, {},
+                    base.edge_type(static_cast<TypeId>(t)).properties);
+  }
+  // Discover the endpoint pairs actually present in the data.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    out.AddEdgeEndpoint(g.EdgeType(e), g.VertexType(g.EdgeSrc(e)),
+                        g.VertexType(g.EdgeDst(e)));
+  }
+  return out;
+}
+
+}  // namespace gopt

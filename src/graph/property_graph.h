@@ -1,0 +1,119 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/graph/schema.h"
+
+namespace gopt {
+
+/// One adjacency-list entry: the neighbor vertex, the edge id and the edge
+/// type. Out- and in-lists are sorted by (edge type, neighbor) so that (a)
+/// a per-edge-type range is a contiguous span and (b) two per-type ranges
+/// can be intersected by a sorted merge — the primitive behind
+/// ExpandIntersect (worst-case-optimal join style expansion).
+struct AdjEntry {
+  VertexId nbr;
+  EdgeId eid;
+  TypeId etype;
+};
+
+/// In-memory property graph store (the data substrate both simulated
+/// backends execute against).
+///
+/// Usage: AddVertex/AddEdge/Set*Prop during loading, then Finalize() to
+/// build the CSR indexes. Reads before Finalize() are invalid.
+class PropertyGraph {
+ public:
+  explicit PropertyGraph(GraphSchema schema) : schema_(std::move(schema)) {}
+
+  // ---- construction ----
+
+  /// Adds a vertex of `type`; returns its dense id.
+  VertexId AddVertex(TypeId type);
+  /// Adds a directed edge; returns its dense id.
+  EdgeId AddEdge(VertexId src, VertexId dst, TypeId type);
+  /// Sets a vertex property (columnar storage keyed by property name).
+  void SetVertexProp(VertexId v, const std::string& name, Value value);
+  /// Sets an edge property.
+  void SetEdgeProp(EdgeId e, const std::string& name, Value value);
+  /// Builds CSR adjacency and per-type vertex lists. Must be called once
+  /// after loading and before reads.
+  void Finalize();
+
+  // ---- topology ----
+
+  size_t NumVertices() const { return vertex_types_of_.size(); }
+  size_t NumEdges() const { return edge_src_.size(); }
+  bool finalized() const { return finalized_; }
+
+  TypeId VertexType(VertexId v) const { return vertex_types_of_[v]; }
+  TypeId EdgeType(EdgeId e) const { return edge_types_of_[e]; }
+  VertexId EdgeSrc(EdgeId e) const { return edge_src_[e]; }
+  VertexId EdgeDst(EdgeId e) const { return edge_dst_[e]; }
+  EdgeRef MakeEdgeRef(EdgeId e) const {
+    return EdgeRef{e, edge_src_[e], edge_dst_[e], edge_types_of_[e]};
+  }
+
+  /// All out edges of v (sorted by edge type, then neighbor id).
+  std::span<const AdjEntry> OutEdges(VertexId v) const;
+  /// All in edges of v.
+  std::span<const AdjEntry> InEdges(VertexId v) const;
+  /// Out edges of v restricted to one edge type (contiguous span).
+  std::span<const AdjEntry> OutEdges(VertexId v, TypeId etype) const;
+  /// In edges of v restricted to one edge type.
+  std::span<const AdjEntry> InEdges(VertexId v, TypeId etype) const;
+
+  size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
+  size_t InDegree(VertexId v) const { return InEdges(v).size(); }
+
+  /// All vertices of one type (dense scan list).
+  std::span<const VertexId> VerticesOfType(TypeId t) const;
+
+  // ---- properties ----
+
+  /// Returns the property value or a null Value if absent.
+  Value GetVertexProp(VertexId v, const std::string& name) const;
+  Value GetEdgeProp(EdgeId e, const std::string& name) const;
+
+  // ---- statistics (low-order) ----
+
+  size_t NumVerticesOfType(TypeId t) const;
+  size_t NumEdgesOfType(TypeId t) const;
+
+  const GraphSchema& schema() const { return schema_; }
+  GraphSchema* mutable_schema() { return &schema_; }
+
+ private:
+  GraphSchema schema_;
+  bool finalized_ = false;
+
+  std::vector<TypeId> vertex_types_of_;
+  std::vector<VertexId> edge_src_;
+  std::vector<VertexId> edge_dst_;
+  std::vector<TypeId> edge_types_of_;
+
+  // CSR adjacency, built by Finalize().
+  std::vector<uint64_t> out_offsets_;
+  std::vector<AdjEntry> out_adj_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<AdjEntry> in_adj_;
+
+  std::vector<std::vector<VertexId>> vertices_of_type_;
+  std::vector<size_t> edges_of_type_count_;
+
+  // Columnar property stores: property name -> column of |V| (or |E|) values.
+  std::unordered_map<std::string, std::vector<Value>> vertex_props_;
+  std::unordered_map<std::string, std::vector<Value>> edge_props_;
+};
+
+/// Extracts a schema from raw typed data, mirroring how the paper handles
+/// schema-loose systems such as Neo4j (Remark 6.1): the vertex/edge types
+/// and endpoint pairs actually present in `g` become the schema used for
+/// type inference. Returns the refined schema (type names are preserved).
+GraphSchema ExtractSchemaFromData(const PropertyGraph& g);
+
+}  // namespace gopt

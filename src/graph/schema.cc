@@ -1,0 +1,124 @@
+#include "src/graph/schema.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gopt {
+
+TypeId GraphSchema::AddVertexType(const std::string& name,
+                                  std::vector<PropertyDef> properties) {
+  TypeId id = static_cast<TypeId>(vertex_types_.size());
+  vertex_types_.push_back({id, name, std::move(properties)});
+  InvalidateCache();
+  return id;
+}
+
+TypeId GraphSchema::AddEdgeType(const std::string& name,
+                                std::vector<std::pair<TypeId, TypeId>> endpoints,
+                                std::vector<PropertyDef> properties) {
+  TypeId id = static_cast<TypeId>(edge_types_.size());
+  edge_types_.push_back({id, name, std::move(endpoints), std::move(properties)});
+  InvalidateCache();
+  return id;
+}
+
+void GraphSchema::AddEdgeEndpoint(TypeId edge_type, TypeId src, TypeId dst) {
+  auto& eps = edge_types_[edge_type].endpoints;
+  if (std::find(eps.begin(), eps.end(), std::make_pair(src, dst)) == eps.end()) {
+    eps.emplace_back(src, dst);
+  }
+  InvalidateCache();
+}
+
+std::optional<TypeId> GraphSchema::FindVertexType(const std::string& name) const {
+  for (const auto& vt : vertex_types_) {
+    if (vt.name == name) return vt.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<TypeId> GraphSchema::FindEdgeType(const std::string& name) const {
+  for (const auto& et : edge_types_) {
+    if (et.name == name) return et.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<TypeId> GraphSchema::AllVertexTypes() const {
+  std::vector<TypeId> r(vertex_types_.size());
+  for (size_t i = 0; i < r.size(); ++i) r[i] = static_cast<TypeId>(i);
+  return r;
+}
+
+std::vector<TypeId> GraphSchema::AllEdgeTypes() const {
+  std::vector<TypeId> r(edge_types_.size());
+  for (size_t i = 0; i < r.size(); ++i) r[i] = static_cast<TypeId>(i);
+  return r;
+}
+
+void GraphSchema::BuildCache() const {
+  size_t n = vertex_types_.size();
+  out_vertex_nbrs_.assign(n, {});
+  in_vertex_nbrs_.assign(n, {});
+  out_edge_types_.assign(n, {});
+  in_edge_types_.assign(n, {});
+  std::vector<std::set<TypeId>> ov(n), iv(n), oe(n), ie(n);
+  for (const auto& et : edge_types_) {
+    for (auto [s, d] : et.endpoints) {
+      ov[s].insert(d);
+      iv[d].insert(s);
+      oe[s].insert(et.id);
+      ie[d].insert(et.id);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out_vertex_nbrs_[i].assign(ov[i].begin(), ov[i].end());
+    in_vertex_nbrs_[i].assign(iv[i].begin(), iv[i].end());
+    out_edge_types_[i].assign(oe[i].begin(), oe[i].end());
+    in_edge_types_[i].assign(ie[i].begin(), ie[i].end());
+  }
+  cache_valid_ = true;
+}
+
+const std::vector<TypeId>& GraphSchema::OutVertexNeighbors(TypeId t) const {
+  if (!cache_valid_) BuildCache();
+  return out_vertex_nbrs_[t];
+}
+
+const std::vector<TypeId>& GraphSchema::InVertexNeighbors(TypeId t) const {
+  if (!cache_valid_) BuildCache();
+  return in_vertex_nbrs_[t];
+}
+
+const std::vector<TypeId>& GraphSchema::OutEdgeTypes(TypeId t) const {
+  if (!cache_valid_) BuildCache();
+  return out_edge_types_[t];
+}
+
+const std::vector<TypeId>& GraphSchema::InEdgeTypes(TypeId t) const {
+  if (!cache_valid_) BuildCache();
+  return in_edge_types_[t];
+}
+
+bool GraphSchema::CanConnect(TypeId s, TypeId e, TypeId d) const {
+  const auto& eps = edge_types_[e].endpoints;
+  return std::find(eps.begin(), eps.end(), std::make_pair(s, d)) != eps.end();
+}
+
+std::vector<TypeId> GraphSchema::DstTypesOf(TypeId s, TypeId e) const {
+  std::set<TypeId> r;
+  for (auto [es, ed] : edge_types_[e].endpoints) {
+    if (es == s) r.insert(ed);
+  }
+  return {r.begin(), r.end()};
+}
+
+std::vector<TypeId> GraphSchema::SrcTypesOf(TypeId e, TypeId d) const {
+  std::set<TypeId> r;
+  for (auto [es, ed] : edge_types_[e].endpoints) {
+    if (ed == d) r.insert(es);
+  }
+  return {r.begin(), r.end()};
+}
+
+}  // namespace gopt

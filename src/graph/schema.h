@@ -1,0 +1,110 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace gopt {
+
+/// Declares one property of a vertex or edge type.
+struct PropertyDef {
+  std::string name;
+  Value::Kind type = Value::Kind::kNull;
+};
+
+/// A vertex type (label) in the graph schema.
+struct VertexTypeDef {
+  TypeId id = kInvalidTypeId;
+  std::string name;
+  std::vector<PropertyDef> properties;
+};
+
+/// An edge type (label) with its permitted endpoint vertex-type pairs.
+/// An edge type may connect several (src, dst) type combinations, e.g.
+/// LIKES: (Person, Post) and (Person, Comment).
+struct EdgeTypeDef {
+  TypeId id = kInvalidTypeId;
+  std::string name;
+  std::vector<std::pair<TypeId, TypeId>> endpoints;
+  std::vector<PropertyDef> properties;
+};
+
+/// The graph schema: the vertex/edge type catalog plus the "schema graph"
+/// connectivity queries used by type inference (paper Algorithm 1), where
+/// N_S(t) denotes the out vertex-type neighbors of vertex type t and
+/// N^E_S(t) its out edge types.
+///
+/// The reproduction assumes a schema-strict context (paper Section 4); for
+/// schema-loose stores the paper extracts an equivalent schema from data
+/// (Remark 6.1), which `ExtractSchemaFromData` in property_graph.h mirrors.
+class GraphSchema {
+ public:
+  /// Registers a vertex type; returns its dense TypeId.
+  TypeId AddVertexType(const std::string& name,
+                       std::vector<PropertyDef> properties = {});
+
+  /// Registers an edge type connecting the given (src, dst) vertex-type
+  /// pairs; returns its dense TypeId.
+  TypeId AddEdgeType(const std::string& name,
+                     std::vector<std::pair<TypeId, TypeId>> endpoints,
+                     std::vector<PropertyDef> properties = {});
+
+  /// Adds an endpoint pair to an existing edge type.
+  void AddEdgeEndpoint(TypeId edge_type, TypeId src, TypeId dst);
+
+  std::optional<TypeId> FindVertexType(const std::string& name) const;
+  std::optional<TypeId> FindEdgeType(const std::string& name) const;
+
+  const VertexTypeDef& vertex_type(TypeId id) const { return vertex_types_[id]; }
+  const EdgeTypeDef& edge_type(TypeId id) const { return edge_types_[id]; }
+  size_t NumVertexTypes() const { return vertex_types_.size(); }
+  size_t NumEdgeTypes() const { return edge_types_.size(); }
+
+  const std::string& VertexTypeName(TypeId id) const {
+    return vertex_types_[id].name;
+  }
+  const std::string& EdgeTypeName(TypeId id) const {
+    return edge_types_[id].name;
+  }
+
+  /// All vertex type ids (used to expand AllType constraints).
+  std::vector<TypeId> AllVertexTypes() const;
+  /// All edge type ids.
+  std::vector<TypeId> AllEdgeTypes() const;
+
+  /// N_S(t): vertex types reachable from t by one out edge (deduplicated,
+  /// sorted).
+  const std::vector<TypeId>& OutVertexNeighbors(TypeId t) const;
+  /// Vertex types that reach t by one out edge.
+  const std::vector<TypeId>& InVertexNeighbors(TypeId t) const;
+  /// N^E_S(t): edge types with src type t.
+  const std::vector<TypeId>& OutEdgeTypes(TypeId t) const;
+  /// Edge types with dst type t.
+  const std::vector<TypeId>& InEdgeTypes(TypeId t) const;
+
+  /// True if an edge of type `e` may connect src type `s` to dst type `d`.
+  bool CanConnect(TypeId s, TypeId e, TypeId d) const;
+
+  /// Destination types reachable from src type `s` via edge type `e`.
+  std::vector<TypeId> DstTypesOf(TypeId s, TypeId e) const;
+  /// Source types that reach dst type `d` via edge type `e`.
+  std::vector<TypeId> SrcTypesOf(TypeId e, TypeId d) const;
+
+ private:
+  void InvalidateCache() const { cache_valid_ = false; }
+  void BuildCache() const;
+
+  std::vector<VertexTypeDef> vertex_types_;
+  std::vector<EdgeTypeDef> edge_types_;
+
+  mutable bool cache_valid_ = false;
+  mutable std::vector<std::vector<TypeId>> out_vertex_nbrs_;
+  mutable std::vector<std::vector<TypeId>> in_vertex_nbrs_;
+  mutable std::vector<std::vector<TypeId>> out_edge_types_;
+  mutable std::vector<std::vector<TypeId>> in_edge_types_;
+};
+
+}  // namespace gopt

@@ -1,0 +1,503 @@
+#include "src/lang/cypher_parser.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/opt/selectivity.h"
+
+namespace gopt {
+
+namespace {
+
+constexpr int kDefaultMaxHops = 4;
+
+bool IsAggName(const std::string& name) {
+  static const char* kAggs[] = {"count", "sum", "min", "max", "avg", "collect"};
+  std::string lower;
+  for (char ch : name) lower.push_back(static_cast<char>(std::tolower(ch)));
+  for (const char* a : kAggs) {
+    if (lower == a) return true;
+  }
+  return false;
+}
+
+AggFunc AggFromName(const std::string& name, bool distinct) {
+  std::string lower;
+  for (char ch : name) lower.push_back(static_cast<char>(std::tolower(ch)));
+  if (lower == "count") return distinct ? AggFunc::kCountDistinct : AggFunc::kCount;
+  if (lower == "sum") return AggFunc::kSum;
+  if (lower == "min") return AggFunc::kMin;
+  if (lower == "max") return AggFunc::kMax;
+  if (lower == "avg") return AggFunc::kAvg;
+  return AggFunc::kCollect;
+}
+
+}  // namespace
+
+LogicalOpPtr CypherParser::Parse(const std::string& query) {
+  Lexer lex(query);
+  TokenCursor c(&lex.tokens());
+  LogicalOpPtr plan = ParsePart(&c);
+  GraphIrBuilder b;
+  while (c.AcceptKw("UNION")) {
+    bool all = c.AcceptKw("ALL");
+    LogicalOpPtr rhs = ParsePart(&c);
+    plan = b.Union(plan, rhs, /*distinct=*/!all);
+  }
+  if (!c.AtEnd()) c.Fail("unexpected trailing input");
+  return plan;
+}
+
+LogicalOpPtr CypherParser::ParsePart(TokenCursor* c) {
+  GraphIrBuilder b;
+  LogicalOpPtr plan;
+
+  auto attach_pattern = [&](Pattern pat) {
+    std::vector<std::string> aliases = pat.Aliases();
+    LogicalOpPtr match = b.MatchComponents(std::move(pat));
+    if (!plan) {
+      plan = match;
+      return;
+    }
+    // Implicit join on shared user-visible aliases (anonymous '$' aliases
+    // are scoped to one MATCH clause and never join).
+    auto prev = plan->OutputAliases();
+    std::set<std::string> prev_set(prev.begin(), prev.end());
+    std::vector<std::string> keys;
+    for (const auto& a : aliases) {
+      if (!a.empty() && a[0] != '$' && prev_set.count(a)) keys.push_back(a);
+    }
+    plan = b.Join(plan, match, keys, JoinKind::kInner);
+  };
+
+  bool saw_clause = false;
+  while (true) {
+    if (c->AcceptKw("MATCH")) {
+      saw_clause = true;
+      attach_pattern(ParsePatternList(c));
+      if (c->AcceptKw("WHERE")) plan = b.Select(plan, ParseExpr(c));
+      continue;
+    }
+    if (c->AcceptKw("WITH")) {
+      saw_clause = true;
+      bool distinct = c->AcceptKw("DISTINCT");
+      std::vector<Item> items;
+      items.push_back(ParseItem(c));
+      while (c->Accept(",")) items.push_back(ParseItem(c));
+      plan = LowerItems(plan, std::move(items));
+      if (distinct) plan = b.Dedup(plan, {});
+      if (c->AcceptKw("WHERE")) plan = b.Select(plan, ParseExpr(c));
+      continue;
+    }
+    break;
+  }
+  if (!saw_clause) c->Fail("expected MATCH");
+
+  c->ExpectKw("RETURN");
+  bool distinct = c->AcceptKw("DISTINCT");
+  std::vector<Item> items;
+  items.push_back(ParseItem(c));
+  while (c->Accept(",")) items.push_back(ParseItem(c));
+  plan = LowerItems(plan, std::move(items));
+  if (distinct) plan = b.Dedup(plan, {});
+
+  if (c->AcceptKw("ORDER")) {
+    c->ExpectKw("BY");
+    std::vector<SortItem> sorts;
+    do {
+      SortItem s;
+      s.expr = ParseExpr(c);
+      s.asc = true;
+      if (c->AcceptKw("DESC")) {
+        s.asc = false;
+      } else {
+        c->AcceptKw("ASC");
+      }
+      sorts.push_back(std::move(s));
+    } while (c->Accept(","));
+    int64_t limit = -1;
+    if (c->AcceptKw("LIMIT")) {
+      if (c->Peek().kind != TokKind::kInt) c->Fail("expected LIMIT count");
+      limit = c->Next().int_val;
+    }
+    plan = b.Order(plan, std::move(sorts), limit);
+  } else if (c->AcceptKw("LIMIT")) {
+    if (c->Peek().kind != TokKind::kInt) c->Fail("expected LIMIT count");
+    plan = b.Limit(plan, c->Next().int_val);
+  }
+  return plan;
+}
+
+Pattern CypherParser::ParsePatternList(TokenCursor* c) {
+  Pattern pat;
+  std::map<std::string, int> alias_to_vid;
+  int anon = 0;
+  ParsePattern(c, &pat, &alias_to_vid, &anon);
+  while (c->Accept(",")) ParsePattern(c, &pat, &alias_to_vid, &anon);
+  return pat;
+}
+
+TypeConstraint CypherParser::ParseVertexTypes(TokenCursor* c) {
+  std::vector<TypeId> types;
+  do {
+    std::string label = c->ExpectIdent();
+    auto t = schema_->FindVertexType(label);
+    if (!t) c->Fail("unknown vertex label '" + label + "'");
+    types.push_back(*t);
+  } while (c->Accept("|"));
+  return TypeConstraint::Union(std::move(types));
+}
+
+TypeConstraint CypherParser::ParseEdgeTypes(TokenCursor* c) {
+  std::vector<TypeId> types;
+  do {
+    std::string label = c->ExpectIdent();
+    auto t = schema_->FindEdgeType(label);
+    if (!t) c->Fail("unknown edge type '" + label + "'");
+    types.push_back(*t);
+  } while (c->Accept("|"));
+  return TypeConstraint::Union(std::move(types));
+}
+
+void CypherParser::ParsePropMap(TokenCursor* c, const std::string& alias,
+                                std::vector<ExprPtr>* preds) {
+  c->Expect("{");
+  if (!c->Accept("}")) {
+    do {
+      std::string prop = c->ExpectIdent();
+      c->Expect(":");
+      ExprPtr val = ParsePrimary(c);
+      preds->push_back(Expr::MakeBinary(
+          BinOp::kEq, Expr::MakeProperty(alias, prop), std::move(val)));
+    } while (c->Accept(","));
+    c->Expect("}");
+  }
+}
+
+void CypherParser::ParsePattern(TokenCursor* c, Pattern* pat,
+                                std::map<std::string, int>* alias_to_vid,
+                                int* anon) {
+  auto parse_node = [&]() -> int {
+    c->Expect("(");
+    std::string alias;
+    if (c->Peek().kind == TokKind::kIdent && !c->Peek().Is(")")) {
+      alias = c->Next().text;
+    }
+    if (alias.empty()) alias = "$v" + std::to_string((*anon)++);
+    TypeConstraint tc = TypeConstraint::All();
+    if (c->Accept(":")) tc = ParseVertexTypes(c);
+    std::vector<ExprPtr> preds;
+    if (c->Peek().Is("{")) ParsePropMap(c, alias, &preds);
+    c->Expect(")");
+
+    int vid;
+    auto it = alias_to_vid->find(alias);
+    if (it != alias_to_vid->end()) {
+      vid = it->second;
+      PatternVertex& v = pat->VertexById(vid);
+      v.tc = v.tc.Intersect(tc);
+    } else {
+      vid = pat->AddVertex(alias, tc);
+      (*alias_to_vid)[alias] = vid;
+    }
+    PatternVertex& v = pat->VertexById(vid);
+    for (auto& p : preds) {
+      v.selectivity *= EstimateSelectivity(p);
+      v.predicates.push_back(std::move(p));
+    }
+    return vid;
+  };
+
+  int left = parse_node();
+  while (true) {
+    bool arrow_in = false, has_bracket = false;
+    if (c->Accept("<-")) {
+      arrow_in = true;
+      has_bracket = c->Accept("[");
+    } else if (c->Accept("-")) {
+      has_bracket = c->Accept("[");
+    } else {
+      break;
+    }
+
+    std::string ealias;
+    TypeConstraint etc_ = TypeConstraint::All();
+    int min_hops = 1, max_hops = 1;
+    PathSemantics sem = PathSemantics::kArbitrary;
+    std::vector<ExprPtr> epreds;
+    if (has_bracket) {
+      if (c->Peek().kind == TokKind::kIdent) ealias = c->Next().text;
+      if (c->Accept(":")) etc_ = ParseEdgeTypes(c);
+      if (c->Accept("*")) {
+        min_hops = 1;
+        max_hops = kDefaultMaxHops;
+        if (c->Peek().kind == TokKind::kInt) {
+          min_hops = static_cast<int>(c->Next().int_val);
+          max_hops = min_hops;
+        }
+        if (c->Accept("..")) {
+          if (c->Peek().kind != TokKind::kInt) c->Fail("expected max hops");
+          max_hops = static_cast<int>(c->Next().int_val);
+        }
+        if (c->AcceptKw("SIMPLE")) sem = PathSemantics::kSimple;
+        if (c->AcceptKw("TRAIL")) sem = PathSemantics::kTrail;
+      }
+      if (ealias.empty()) ealias = "$e" + std::to_string((*anon)++);
+      if (c->Peek().Is("{")) ParsePropMap(c, ealias, &epreds);
+      c->Expect("]");
+    } else {
+      ealias = "$e" + std::to_string((*anon)++);
+    }
+
+    bool arrow_out = false;
+    if (arrow_in) {
+      c->Expect("-");
+    } else if (c->Accept("->")) {
+      arrow_out = true;
+    } else {
+      c->Expect("-");
+    }
+
+    int right = parse_node();
+
+    int src = left, dst = right;
+    Direction dir = Direction::kBoth;
+    if (arrow_out) {
+      dir = Direction::kOut;
+    } else if (arrow_in) {
+      dir = Direction::kOut;
+      std::swap(src, dst);
+    }
+    int eid = pat->AddEdge(src, dst, ealias, etc_, dir);
+    PatternEdge& e = pat->EdgeById(eid);
+    e.min_hops = min_hops;
+    e.max_hops = max_hops;
+    e.semantics = sem;
+    for (auto& p : epreds) {
+      e.selectivity *= EstimateSelectivity(p);
+      e.predicates.push_back(std::move(p));
+    }
+    left = right;
+  }
+}
+
+// ----------------------------------------------------------- expressions --
+
+ExprPtr CypherParser::ParseExpr(TokenCursor* c) { return ParseOr(c); }
+
+ExprPtr CypherParser::ParseOr(TokenCursor* c) {
+  ExprPtr l = ParseAnd(c);
+  while (c->AcceptKw("OR")) {
+    l = Expr::MakeBinary(BinOp::kOr, l, ParseAnd(c));
+  }
+  return l;
+}
+
+ExprPtr CypherParser::ParseAnd(TokenCursor* c) {
+  ExprPtr l = ParseNot(c);
+  while (c->AcceptKw("AND")) {
+    l = Expr::MakeBinary(BinOp::kAnd, l, ParseNot(c));
+  }
+  return l;
+}
+
+ExprPtr CypherParser::ParseNot(TokenCursor* c) {
+  if (c->AcceptKw("NOT")) {
+    return Expr::MakeUnary(UnOp::kNot, ParseNot(c));
+  }
+  return ParseCmp(c);
+}
+
+ExprPtr CypherParser::ParseCmp(TokenCursor* c) {
+  ExprPtr l = ParseAdd(c);
+  if (c->Accept("=")) return Expr::MakeBinary(BinOp::kEq, l, ParseAdd(c));
+  if (c->Accept("<>")) return Expr::MakeBinary(BinOp::kNe, l, ParseAdd(c));
+  if (c->Accept("<=")) return Expr::MakeBinary(BinOp::kLe, l, ParseAdd(c));
+  if (c->Accept(">=")) return Expr::MakeBinary(BinOp::kGe, l, ParseAdd(c));
+  if (c->Accept("<")) return Expr::MakeBinary(BinOp::kLt, l, ParseAdd(c));
+  if (c->Accept(">")) return Expr::MakeBinary(BinOp::kGt, l, ParseAdd(c));
+  if (c->AcceptKw("IN")) return Expr::MakeBinary(BinOp::kIn, l, ParsePrimary(c));
+  if (c->AcceptKw("CONTAINS")) {
+    return Expr::MakeBinary(BinOp::kContains, l, ParseAdd(c));
+  }
+  if (c->AcceptKw("STARTS")) {
+    c->ExpectKw("WITH");
+    return Expr::MakeBinary(BinOp::kStartsWith, l, ParseAdd(c));
+  }
+  if (c->AcceptKw("IS")) {
+    bool neg = c->AcceptKw("NOT");
+    c->ExpectKw("NULL");
+    return Expr::MakeUnary(neg ? UnOp::kIsNotNull : UnOp::kIsNull, l);
+  }
+  return l;
+}
+
+ExprPtr CypherParser::ParseAdd(TokenCursor* c) {
+  ExprPtr l = ParseMul(c);
+  while (true) {
+    if (c->Accept("+")) {
+      l = Expr::MakeBinary(BinOp::kAdd, l, ParseMul(c));
+    } else if (c->Accept("-")) {
+      l = Expr::MakeBinary(BinOp::kSub, l, ParseMul(c));
+    } else {
+      break;
+    }
+  }
+  return l;
+}
+
+ExprPtr CypherParser::ParseMul(TokenCursor* c) {
+  ExprPtr l = ParseUnary(c);
+  while (true) {
+    if (c->Accept("*")) {
+      l = Expr::MakeBinary(BinOp::kMul, l, ParseUnary(c));
+    } else if (c->Accept("/")) {
+      l = Expr::MakeBinary(BinOp::kDiv, l, ParseUnary(c));
+    } else if (c->Accept("%")) {
+      l = Expr::MakeBinary(BinOp::kMod, l, ParseUnary(c));
+    } else {
+      break;
+    }
+  }
+  return l;
+}
+
+ExprPtr CypherParser::ParseUnary(TokenCursor* c) {
+  if (c->Accept("-")) {
+    return Expr::MakeUnary(UnOp::kNeg, ParseUnary(c));
+  }
+  return ParsePrimary(c);
+}
+
+ExprPtr CypherParser::ParsePrimary(TokenCursor* c) {
+  const Token& t = c->Peek();
+  switch (t.kind) {
+    case TokKind::kInt: {
+      int64_t v = c->Next().int_val;
+      return Expr::MakeLiteral(Value(v));
+    }
+    case TokKind::kFloat: {
+      double v = c->Next().float_val;
+      return Expr::MakeLiteral(Value(v));
+    }
+    case TokKind::kString: {
+      std::string v = c->Next().text;
+      return Expr::MakeLiteral(Value(std::move(v)));
+    }
+    case TokKind::kIdent: {
+      if (t.IsKw("true")) {
+        c->Next();
+        return Expr::MakeLiteral(Value(true));
+      }
+      if (t.IsKw("false")) {
+        c->Next();
+        return Expr::MakeLiteral(Value(false));
+      }
+      if (t.IsKw("null")) {
+        c->Next();
+        return Expr::MakeLiteral(Value());
+      }
+      std::string name = c->Next().text;
+      if (c->Accept("(")) {
+        // Function call (aggregates are detected at the item level).
+        std::vector<ExprPtr> args;
+        bool distinct = c->AcceptKw("DISTINCT");
+        if (c->Peek().Is("*")) {
+          c->Next();
+        } else if (!c->Peek().Is(")")) {
+          do {
+            args.push_back(ParseExpr(c));
+          } while (c->Accept(","));
+        }
+        c->Expect(")");
+        ExprPtr f = Expr::MakeFunc(name, std::move(args));
+        if (distinct) {
+          // encode DISTINCT in the function name; only used by aggregates
+          const_cast<Expr*>(f.get())->func = name + "$distinct";
+        }
+        return f;
+      }
+      if (c->Accept(".")) {
+        std::string prop = c->ExpectIdent();
+        return Expr::MakeProperty(name, prop);
+      }
+      return Expr::MakeVar(name);
+    }
+    case TokKind::kPunct: {
+      if (t.Is("(")) {
+        c->Next();
+        ExprPtr e = ParseExpr(c);
+        c->Expect(")");
+        return e;
+      }
+      if (t.Is("[")) {
+        c->Next();
+        std::vector<Value> elems;
+        if (!c->Peek().Is("]")) {
+          do {
+            ExprPtr e = ParsePrimary(c);
+            if (e->kind != Expr::Kind::kLiteral) c->Fail("list literals only");
+            elems.push_back(e->literal);
+          } while (c->Accept(","));
+        }
+        c->Expect("]");
+        return Expr::MakeLiteral(Value::List(std::move(elems)));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  c->Fail("expected expression");
+}
+
+CypherParser::Item CypherParser::ParseItem(TokenCursor* c) {
+  Item item;
+  item.expr = ParseExpr(c);
+  if (c->AcceptKw("AS")) {
+    item.alias = c->ExpectIdent();
+  } else {
+    item.alias = item.expr->kind == Expr::Kind::kVar ? item.expr->tag
+                                                     : item.expr->ToString();
+  }
+  // Top-level aggregate?
+  if (item.expr->kind == Expr::Kind::kFunc) {
+    std::string fn = item.expr->func;
+    bool distinct = false;
+    auto pos = fn.find("$distinct");
+    if (pos != std::string::npos) {
+      distinct = true;
+      fn = fn.substr(0, pos);
+    }
+    if (IsAggName(fn)) {
+      item.is_agg = true;
+      item.agg.fn = AggFromName(fn, distinct);
+      item.agg.arg = item.expr->args.empty() ? nullptr : item.expr->args[0];
+      item.agg.alias = item.alias;
+    }
+  }
+  return item;
+}
+
+LogicalOpPtr CypherParser::LowerItems(LogicalOpPtr in, std::vector<Item> items) {
+  GraphIrBuilder b;
+  bool any_agg = std::any_of(items.begin(), items.end(),
+                             [](const Item& i) { return i.is_agg; });
+  if (!any_agg) {
+    std::vector<ProjectItem> proj;
+    for (auto& i : items) proj.push_back({i.expr, i.alias});
+    return b.Project(in, std::move(proj), /*append=*/false);
+  }
+  std::vector<ProjectItem> keys;
+  std::vector<AggCall> aggs;
+  for (auto& i : items) {
+    if (i.is_agg) {
+      aggs.push_back(i.agg);
+    } else {
+      keys.push_back({i.expr, i.alias});
+    }
+  }
+  return b.Group(in, std::move(keys), std::move(aggs));
+}
+
+}  // namespace gopt

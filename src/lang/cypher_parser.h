@@ -1,0 +1,72 @@
+#pragma once
+
+#include "src/gir/ir_builder.h"
+#include "src/lang/lexer.h"
+
+namespace gopt {
+
+/// Frontend for a Cypher subset, lowering queries into the unified GIR
+/// (paper Section 5.2; ANTLR is replaced by a hand-written recursive-descent
+/// parser — the substitution only affects how the AST is produced, not the
+/// GIR it lowers into).
+///
+/// Supported grammar (case-insensitive keywords):
+///   query      := part (UNION [ALL] part)*
+///   part       := (MATCH patterns [WHERE expr])+ with* RETURN [DISTINCT]
+///                 items [ORDER BY sort,*] [LIMIT n]
+///   with       := WITH [DISTINCT] items [WHERE expr]
+///   patterns   := pattern (',' pattern)*
+///   pattern    := node (edge node)*
+///   node       := '(' [var] [':' label ('|' label)*] [propMap] ')'
+///   edge       := '-[' inner ']->' | '<-[' inner ']-' | '-[' inner ']-'
+///                 | '-->' | '<--' | '--'
+///   inner      := [var] [':' type ('|' type)*] ['*' [n] ['..' m]
+///                 [SIMPLE|TRAIL]] [propMap]
+///   items      := expr [AS alias] (',' expr [AS alias])*
+/// Aggregates (COUNT/SUM/MIN/MAX/AVG/COLLECT, COUNT(DISTINCT x)) may appear
+/// at the top level of WITH/RETURN items and turn the projection into a
+/// GROUP. Multiple MATCH clauses join implicitly on shared variables.
+class CypherParser {
+ public:
+  explicit CypherParser(const GraphSchema* schema) : schema_(schema) {}
+
+  /// Parses a query into a GIR logical plan. Throws std::runtime_error with
+  /// a message on syntax errors or unknown labels.
+  LogicalOpPtr Parse(const std::string& query);
+
+ private:
+  struct PatternScope;
+
+  LogicalOpPtr ParsePart(TokenCursor* c);
+  Pattern ParsePatternList(TokenCursor* c);
+  void ParsePattern(TokenCursor* c, Pattern* pat,
+                    std::map<std::string, int>* alias_to_vid, int* anon);
+  TypeConstraint ParseVertexTypes(TokenCursor* c);
+  TypeConstraint ParseEdgeTypes(TokenCursor* c);
+  void ParsePropMap(TokenCursor* c, const std::string& alias,
+                    std::vector<ExprPtr>* preds);
+
+  ExprPtr ParseExpr(TokenCursor* c);
+  ExprPtr ParseOr(TokenCursor* c);
+  ExprPtr ParseAnd(TokenCursor* c);
+  ExprPtr ParseNot(TokenCursor* c);
+  ExprPtr ParseCmp(TokenCursor* c);
+  ExprPtr ParseAdd(TokenCursor* c);
+  ExprPtr ParseMul(TokenCursor* c);
+  ExprPtr ParseUnary(TokenCursor* c);
+  ExprPtr ParsePrimary(TokenCursor* c);
+
+  struct Item {
+    ExprPtr expr;
+    std::string alias;
+    bool is_agg = false;
+    AggCall agg;
+  };
+  Item ParseItem(TokenCursor* c);
+  /// Lowers WITH/RETURN items into PROJECT or GROUP.
+  LogicalOpPtr LowerItems(LogicalOpPtr in, std::vector<Item> items);
+
+  const GraphSchema* schema_;
+};
+
+}  // namespace gopt

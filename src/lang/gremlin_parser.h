@@ -1,0 +1,47 @@
+#pragma once
+
+#include "src/gir/ir_builder.h"
+#include "src/lang/lexer.h"
+
+namespace gopt {
+
+/// Frontend for a Gremlin subset, lowering traversals into the same GIR as
+/// the Cypher frontend (the paper's cross-language compatibility claim,
+/// Section 5).
+///
+/// Supported steps:
+///   g.V()                      source
+///   .hasLabel('L' [,'L2'...])  type constraint (folds into the pattern)
+///   .has('prop', literal)      value filter -> SELECT op (so the RBO's
+///                              FilterIntoPattern has work to do, as in the
+///                              paper's Fig. 3 example)
+///   .has('prop', gt(x)) / gte / lt / lte / neq / within([..])
+///   .as('x')                   alias binding
+///   .out/.in/.both('T'[,...])  edge expansion (new anonymous vertex)
+///   .outE/.inE('T').as('e').inV()/.outV()/.otherV()  aliased edge expansion
+///   .match(__.as('a')...out()...as('b'), ...)        pattern composition
+///   .select('a'[,'b'...])      focus change (for subsequent has/hasLabel)
+///   .values('prop')            projection
+///   .groupCount().by('x')      GROUP with COUNT
+///   .group().by('x').by(count) GROUP
+///   .order().by(arg [,desc])   ORDER (arg: alias, property, or `values`)
+///   .limit(n) .count() .dedup() .path()  (path unsupported -> error)
+///   g.union(__.V()... , __.V()...)       top-level UNION ALL
+class GremlinParser {
+ public:
+  explicit GremlinParser(const GraphSchema* schema) : schema_(schema) {}
+
+  /// Parses a traversal into a GIR logical plan; throws on errors.
+  LogicalOpPtr Parse(const std::string& query);
+
+ private:
+  struct TraversalState;
+
+  LogicalOpPtr ParseTraversal(TokenCursor* c);
+  void ParseSteps(TokenCursor* c, TraversalState* st);
+  void ParseMatchArg(TokenCursor* c, TraversalState* st);
+
+  const GraphSchema* schema_;
+};
+
+}  // namespace gopt

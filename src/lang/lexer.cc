@@ -1,0 +1,153 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <stdexcept>
+
+namespace gopt {
+
+bool Token::IsKw(const char* kw) const {
+  if (kind != TokKind::kIdent) return false;
+  if (text.size() != std::strlen(kw)) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Lexer::Lexer(std::string text) : text_(std::move(text)) { Tokenize(); }
+
+void Lexer::Tokenize() {
+  size_t i = 0;
+  const size_t n = text_.size();
+  auto peek = [&](size_t k) { return i + k < n ? text_[i + k] : '\0'; };
+  while (i < n) {
+    char c = text_[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: // ... end of line
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && text_[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                       text_[j] == '_' || text_[j] == '$')) {
+        ++j;
+      }
+      t.kind = TokKind::kIdent;
+      t.text = text_.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text_[j]))) ++j;
+      // ".." is a range, not a float.
+      if (j < n && text_[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text_[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text_[j]))) ++j;
+      }
+      t.text = text_.substr(i, j - i);
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        t.float_val = std::stod(t.text);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_val = std::stoll(t.text);
+      }
+      i = j;
+    } else if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string s;
+      while (j < n && text_[j] != quote) {
+        if (text_[j] == '\\' && j + 1 < n) {
+          s.push_back(text_[j + 1]);
+          j += 2;
+        } else {
+          s.push_back(text_[j]);
+          ++j;
+        }
+      }
+      if (j >= n) throw std::runtime_error("unterminated string literal");
+      t.kind = TokKind::kString;
+      t.text = s;
+      i = j + 1;
+    } else {
+      // Multi-char punctuation first.
+      static const char* kMulti[] = {"<=", ">=", "<>", "->", "<-", "..", "::"};
+      t.kind = TokKind::kPunct;
+      t.text = std::string(1, c);
+      for (const char* m : kMulti) {
+        if (c == m[0] && peek(1) == m[1]) {
+          t.text = m;
+          break;
+        }
+      }
+      i += t.text.size();
+    }
+    tokens_.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.pos = n;
+  tokens_.push_back(end);
+}
+
+const Token& TokenCursor::Peek(size_t ahead) const {
+  size_t idx = i_ + ahead;
+  if (idx >= toks_->size()) idx = toks_->size() - 1;
+  return (*toks_)[idx];
+}
+
+const Token& TokenCursor::Next() {
+  const Token& t = Peek();
+  if (i_ + 1 < toks_->size()) ++i_;
+  return t;
+}
+
+bool TokenCursor::Accept(const char* punct) {
+  if (Peek().Is(punct)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::AcceptKw(const char* kw) {
+  if (Peek().IsKw(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+void TokenCursor::Expect(const char* punct) {
+  if (!Accept(punct)) Fail(std::string("expected '") + punct + "'");
+}
+
+void TokenCursor::ExpectKw(const char* kw) {
+  if (!AcceptKw(kw)) Fail(std::string("expected ") + kw);
+}
+
+std::string TokenCursor::ExpectIdent() {
+  if (Peek().kind != TokKind::kIdent) Fail("expected identifier");
+  return Next().text;
+}
+
+void TokenCursor::Fail(const std::string& msg) const {
+  throw std::runtime_error("parse error at token '" + Peek().text + "' (pos " +
+                           std::to_string(Peek().pos) + "): " + msg);
+}
+
+}  // namespace gopt

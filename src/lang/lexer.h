@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gopt {
+
+/// Token kinds shared by the Cypher and Gremlin frontends.
+enum class TokKind {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kPunct,  // single/multi char punctuation: ( ) [ ] { } , . : ; | - > < = etc.
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t pos = 0;  // byte offset, for error messages
+
+  bool Is(const char* punct) const {
+    return kind == TokKind::kPunct && text == punct;
+  }
+  /// Case-insensitive keyword match for identifiers.
+  bool IsKw(const char* kw) const;
+};
+
+/// A simple hand-written lexer sufficient for both query language subsets.
+/// Multi-char punctuation recognized: <= >= <> -> <- =~ .. ::
+class Lexer {
+ public:
+  explicit Lexer(std::string text);
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+ private:
+  void Tokenize();
+  std::string text_;
+  std::vector<Token> tokens_;
+};
+
+/// Cursor over a token stream with error reporting.
+class TokenCursor {
+ public:
+  explicit TokenCursor(const std::vector<Token>* toks) : toks_(toks) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Next();
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  /// Consumes the token if it matches the punctuation; returns success.
+  bool Accept(const char* punct);
+  /// Consumes the token if it is the (case-insensitive) keyword.
+  bool AcceptKw(const char* kw);
+  /// Consumes a required punctuation token or throws.
+  void Expect(const char* punct);
+  void ExpectKw(const char* kw);
+  /// Consumes a required identifier and returns its text.
+  std::string ExpectIdent();
+
+  [[noreturn]] void Fail(const std::string& msg) const;
+
+ private:
+  const std::vector<Token>* toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace gopt

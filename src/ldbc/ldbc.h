@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "src/graph/property_graph.h"
+
+namespace gopt {
+
+/// The LDBC SNB-like schema used by the evaluation (paper Section 8.1).
+/// Vertex types: Person, Forum, Post, Comment, Place, Tag, TagClass,
+/// Organisation. Edge types: KNOWS, HAS_MEMBER, HAS_MODERATOR, CONTAINER_OF,
+/// HAS_CREATOR, LIKES, IS_LOCATED_IN, REPLY_OF, HAS_TAG, HAS_INTEREST,
+/// HAS_TYPE, IS_SUBCLASS_OF, IS_PART_OF, STUDY_AT, WORK_AT.
+GraphSchema MakeLdbcSchema();
+
+/// A generated LDBC-like social network.
+struct LdbcGraph {
+  std::shared_ptr<PropertyGraph> graph;
+  double scale_factor = 1.0;
+};
+
+/// Deterministically generates an SNB-flavored graph:
+///  - power-law KNOWS / LIKES degrees, zipf-skewed tag & place popularity,
+///  - tree-shaped comment threads (REPLY_OF),
+///  - forum membership with joinDate edge properties,
+///  - a shallow Place hierarchy (city -> country -> continent).
+///
+/// scale_factor 1.0 yields roughly 10k vertices / 90k edges; sizes grow
+/// linearly. This substitutes the official LDBC datagen (laptop-scale; the
+/// degree skew and schema shape drive the same optimizer effects).
+LdbcGraph GenerateLdbc(double scale_factor, uint64_t seed = 42);
+
+/// The running-example schema of the paper (Fig. 5/6): Person, Product,
+/// Place; Knows (Person->Person), Purchases (Person->Product), LocatedIn
+/// (Person->Place), ProducedIn (Product->Place).
+GraphSchema MakePaperSchema();
+
+/// A synthetic transfer graph for the fraud-detection case study (paper
+/// Section 8.5): Account vertices, TRANSFER edges with power-law degrees.
+struct FraudGraph {
+  std::shared_ptr<PropertyGraph> graph;
+};
+FraudGraph GenerateFraud(size_t accounts, double avg_degree,
+                         uint64_t seed = 7);
+
+}  // namespace gopt

@@ -1,0 +1,308 @@
+#include "src/meta/glogue.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/meta/pattern_code.h"
+
+namespace gopt {
+
+namespace {
+
+/// A concrete sampled edge used during motif counting.
+struct SEdge {
+  VertexId src;
+  VertexId dst;
+  TypeId type;
+};
+
+/// Arm bucket for wedge counting: an incident-edge class of a middle vertex.
+struct Arm {
+  bool out;       // edge leaves the middle vertex
+  TypeId etype;
+  TypeId vtype;   // type of the far endpoint
+  auto operator<=>(const Arm&) const = default;
+};
+
+/// Builds the 3-vertex wedge pattern middle--armA, middle--armB.
+Pattern WedgePattern(TypeId middle, const Arm& a, const Arm& b) {
+  Pattern p;
+  int m = p.AddVertex("", TypeConstraint::Basic(middle));
+  int l1 = p.AddVertex("", TypeConstraint::Basic(a.vtype));
+  int l2 = p.AddVertex("", TypeConstraint::Basic(b.vtype));
+  if (a.out) {
+    p.AddEdge(m, l1, "", TypeConstraint::Basic(a.etype));
+  } else {
+    p.AddEdge(l1, m, "", TypeConstraint::Basic(a.etype));
+  }
+  if (b.out) {
+    p.AddEdge(m, l2, "", TypeConstraint::Basic(b.etype));
+  } else {
+    p.AddEdge(l2, m, "", TypeConstraint::Basic(b.etype));
+  }
+  return p;
+}
+
+uint64_t PairKey(VertexId a, VertexId b) {
+  VertexId lo = std::min(a, b), hi = std::max(a, b);
+  return (lo << 32) ^ hi;
+}
+
+/// A directed typed edge between two vertices of a candidate triangle.
+struct TriEdge {
+  VertexId src, dst;
+  TypeId type;
+};
+
+/// Number of automorphisms of a concrete 3-vertex, 3-edge typed instance.
+/// Brute force over the 6 permutations (paper motifs are tiny).
+int TriangleAutomorphisms(const std::array<VertexId, 3>& vs,
+                          const std::array<TypeId, 3>& vtypes,
+                          const std::vector<TriEdge>& edges) {
+  int count = 0;
+  std::array<int, 3> perm = {0, 1, 2};
+  std::sort(perm.begin(), perm.end());
+  do {
+    // Type preservation.
+    bool ok = true;
+    for (int i = 0; i < 3 && ok; ++i) ok = vtypes[i] == vtypes[perm[i]];
+    // Edge preservation: map each edge (by index in vs) through perm and
+    // require an identical edge to exist.
+    auto indexOf = [&](VertexId v) {
+      for (int i = 0; i < 3; ++i) {
+        if (vs[i] == v) return i;
+      }
+      return -1;
+    };
+    for (const auto& e : edges) {
+      if (!ok) break;
+      int si = indexOf(e.src), di = indexOf(e.dst);
+      VertexId ms = vs[perm[si]], md = vs[perm[di]];
+      bool found = false;
+      for (const auto& f : edges) {
+        if (f.src == ms && f.dst == md && f.type == e.type) {
+          found = true;
+          break;
+        }
+      }
+      ok = found;
+    }
+    if (ok) ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return count;
+}
+
+}  // namespace
+
+Glogue Glogue::FromLowOrderStats(
+    const GraphSchema& schema, std::vector<double> vertex_freqs,
+    std::map<std::tuple<TypeId, TypeId, TypeId>, double> edge_triples) {
+  Glogue gl;
+  gl.k_ = 2;
+  gl.vfreq_ = std::move(vertex_freqs);
+  gl.vfreq_.resize(schema.NumVertexTypes(), 0.0);
+  gl.efreq_.assign(schema.NumEdgeTypes(), 0.0);
+  gl.etriple_ = std::move(edge_triples);
+  for (double f : gl.vfreq_) gl.total_vertices_ += f;
+  for (const auto& [key, freq] : gl.etriple_) {
+    gl.efreq_[std::get<1>(key)] += freq;
+    gl.total_edges_ += freq;
+    auto [s, e, d] = key;
+    Pattern p;
+    int a = p.AddVertex("", TypeConstraint::Basic(s));
+    int b = p.AddVertex("", TypeConstraint::Basic(d));
+    p.AddEdge(a, b, "", TypeConstraint::Basic(e));
+    gl.motifs_[CanonicalPatternCode(p)] += freq;
+  }
+  for (size_t t = 0; t < gl.vfreq_.size(); ++t) {
+    if (gl.vfreq_[t] == 0) continue;
+    Pattern p;
+    p.AddVertex("", TypeConstraint::Basic(static_cast<TypeId>(t)));
+    gl.motifs_[CanonicalPatternCode(p)] = gl.vfreq_[t];
+  }
+  return gl;
+}
+
+double Glogue::EdgeTripleFreq(TypeId s, TypeId e, TypeId d) const {
+  auto it = etriple_.find({s, e, d});
+  return it == etriple_.end() ? 0.0 : it->second;
+}
+
+std::optional<double> Glogue::Lookup(const Pattern& p) const {
+  if (static_cast<int>(p.NumVertices()) > k_ || !p.AllBasicTypes() ||
+      p.HasPathEdge()) {
+    return std::nullopt;
+  }
+  for (const auto& e : p.edges()) {
+    if (e.dir == Direction::kBoth) return std::nullopt;
+  }
+  // Multi-edges between the same vertex pair are not precomputed.
+  std::vector<std::pair<int, int>> pairs;
+  for (const auto& e : p.edges()) {
+    auto pr = std::minmax(e.src, e.dst);
+    pairs.emplace_back(pr.first, pr.second);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  if (std::adjacent_find(pairs.begin(), pairs.end()) != pairs.end()) {
+    return std::nullopt;
+  }
+  auto it = motifs_.find(CanonicalPatternCode(p));
+  return it == motifs_.end() ? 0.0 : it->second;
+}
+
+Glogue Glogue::Build(const PropertyGraph& g, GlogueOptions opts) {
+  Glogue gl;
+  gl.k_ = opts.max_pattern_vertices;
+  const GraphSchema& schema = g.schema();
+
+  // ---- low-order statistics (always exact) ----
+  gl.vfreq_.assign(schema.NumVertexTypes(), 0.0);
+  for (size_t t = 0; t < schema.NumVertexTypes(); ++t) {
+    gl.vfreq_[t] = static_cast<double>(g.NumVerticesOfType(static_cast<TypeId>(t)));
+    gl.total_vertices_ += gl.vfreq_[t];
+  }
+  gl.efreq_.assign(schema.NumEdgeTypes(), 0.0);
+
+  // ---- sampled edge set ----
+  const double rate = opts.edge_sample_rate;
+  Rng rng(opts.sample_seed);
+  std::vector<SEdge> edges;
+  edges.reserve(static_cast<size_t>(static_cast<double>(g.NumEdges()) * rate) + 16);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    gl.efreq_[g.EdgeType(e)] += 1.0;
+    gl.total_edges_ += 1.0;
+    if (rate >= 1.0 || rng.NextDouble() < rate) {
+      edges.push_back({g.EdgeSrc(e), g.EdgeDst(e), g.EdgeType(e)});
+    }
+  }
+  const double scale1 = 1.0 / rate;  // per-motif-edge scale factor
+
+  // Edge triple frequencies (scaled if sampled; exact when rate == 1).
+  for (const auto& e : edges) {
+    gl.etriple_[{g.VertexType(e.src), e.type, g.VertexType(e.dst)}] += scale1;
+  }
+
+  // ---- motif store: 1-vertex and 1-edge patterns ----
+  for (size_t t = 0; t < schema.NumVertexTypes(); ++t) {
+    if (gl.vfreq_[t] == 0) continue;
+    Pattern p;
+    p.AddVertex("", TypeConstraint::Basic(static_cast<TypeId>(t)));
+    gl.motifs_[CanonicalPatternCode(p)] = gl.vfreq_[t];
+  }
+  for (const auto& [key, freq] : gl.etriple_) {
+    auto [s, e, d] = key;
+    Pattern p;
+    int a = p.AddVertex("", TypeConstraint::Basic(s));
+    int b = p.AddVertex("", TypeConstraint::Basic(d));
+    p.AddEdge(a, b, "", TypeConstraint::Basic(e));
+    gl.motifs_[CanonicalPatternCode(p)] += freq;
+  }
+  if (gl.k_ < 3) return gl;
+
+  // ---- sampled adjacency (undirected, with parallel-edge payloads) ----
+  const size_t nv = g.NumVertices();
+  std::vector<std::vector<std::pair<VertexId, SEdge>>> undirected(nv);
+  for (const auto& e : edges) {
+    undirected[e.src].push_back({e.dst, e});
+    if (e.dst != e.src) undirected[e.dst].push_back({e.src, e});
+  }
+
+  // ---- wedges: per middle vertex, bucket incident edges into arms ----
+  {
+    std::map<std::tuple<TypeId, Arm, Arm>, double> wedge_counts;
+    std::map<Arm, double> arms;
+    for (VertexId v = 0; v < nv; ++v) {
+      arms.clear();
+      for (const auto& [nbr, e] : undirected[v]) {
+        bool out = (e.src == v);
+        arms[Arm{out, e.type, g.VertexType(nbr)}] += 1.0;
+      }
+      if (arms.size() == 0) continue;
+      TypeId mid = g.VertexType(v);
+      for (auto it1 = arms.begin(); it1 != arms.end(); ++it1) {
+        for (auto it2 = it1; it2 != arms.end(); ++it2) {
+          wedge_counts[{mid, it1->first, it2->first}] +=
+              it1->second * it2->second;
+        }
+      }
+    }
+    const double scale2 = scale1 * scale1;
+    for (const auto& [key, cnt] : wedge_counts) {
+      auto& [mid, a, b] = key;
+      Pattern p = WedgePattern(mid, a, b);
+      gl.motifs_[CanonicalPatternCode(p)] += cnt * scale2;
+    }
+  }
+
+  // ---- triangles: degree-ranked enumeration ----
+  {
+    // Parallel-edge lists per unordered vertex pair.
+    std::unordered_map<uint64_t, std::vector<TriEdge>> pair_edges;
+    pair_edges.reserve(edges.size() * 2);
+    for (const auto& e : edges) {
+      pair_edges[PairKey(e.src, e.dst)].push_back({e.src, e.dst, e.type});
+    }
+    // Rank by (undirected degree, id); adjacency restricted to higher rank.
+    std::vector<uint32_t> rank(nv);
+    {
+      std::vector<VertexId> order(nv);
+      for (VertexId v = 0; v < nv; ++v) order[v] = v;
+      std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        size_t da = undirected[a].size(), db = undirected[b].size();
+        return da != db ? da < db : a < b;
+      });
+      for (size_t i = 0; i < nv; ++i) rank[order[i]] = static_cast<uint32_t>(i);
+    }
+    std::vector<std::vector<VertexId>> up(nv);
+    for (VertexId v = 0; v < nv; ++v) {
+      for (const auto& [nbr, e] : undirected[v]) {
+        if (rank[nbr] > rank[v]) up[v].push_back(nbr);
+      }
+      std::sort(up[v].begin(), up[v].end());
+      up[v].erase(std::unique(up[v].begin(), up[v].end()), up[v].end());
+    }
+    const double scale3 = scale1 * scale1 * scale1;
+    std::unordered_map<std::string, double> tri_counts;
+    for (VertexId u = 0; u < nv; ++u) {
+      const auto& ups = up[u];
+      for (size_t i = 0; i < ups.size(); ++i) {
+        for (size_t j = i + 1; j < ups.size(); ++j) {
+          VertexId v = ups[i], w = ups[j];
+          auto it = pair_edges.find(PairKey(v, w));
+          if (it == pair_edges.end()) continue;
+          const auto& uv = pair_edges[PairKey(u, v)];
+          const auto& uw = pair_edges[PairKey(u, w)];
+          const auto& vw = it->second;
+          std::array<VertexId, 3> vs = {u, v, w};
+          std::array<TypeId, 3> vts = {g.VertexType(u), g.VertexType(v),
+                                       g.VertexType(w)};
+          // Every combination of one concrete edge per pair is an instance.
+          for (const auto& e1 : uv) {
+            for (const auto& e2 : uw) {
+              for (const auto& e3 : vw) {
+                std::vector<TriEdge> inst = {e1, e2, e3};
+                Pattern p;
+                std::map<VertexId, int> vid;
+                for (int x = 0; x < 3; ++x) {
+                  vid[vs[x]] = p.AddVertex("", TypeConstraint::Basic(vts[x]));
+                }
+                for (const auto& te : inst) {
+                  p.AddEdge(vid[te.src], vid[te.dst], "",
+                            TypeConstraint::Basic(te.type));
+                }
+                int aut = TriangleAutomorphisms(vs, vts, inst);
+                tri_counts[CanonicalPatternCode(p)] +=
+                    static_cast<double>(aut) * scale3;
+              }
+            }
+          }
+        }
+      }
+    }
+    for (auto& [code, cnt] : tri_counts) gl.motifs_[code] += cnt;
+  }
+
+  return gl;
+}
+
+}  // namespace gopt

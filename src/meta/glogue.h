@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gir/pattern.h"
+#include "src/graph/property_graph.h"
+
+namespace gopt {
+
+/// Options for building GLogue statistics.
+struct GlogueOptions {
+  /// Motifs with up to this many vertices are precomputed (paper: k >= 3).
+  int max_pattern_vertices = 3;
+  /// Edge-sampling sparsification rate in (0, 1]; counts are scaled by
+  /// (1/rate)^(#edges) per motif (the GLogS sparsification technique).
+  double edge_sample_rate = 1.0;
+  uint64_t sample_seed = 7;
+};
+
+/// GLogue: the high-order statistics store (paper Section 4 / 6.3.1,
+/// following GLogS [40]). Precomputes the homomorphism frequency of every
+/// small motif (<= k vertices) present in the data graph, keyed by the
+/// canonical pattern code, plus low-order vertex/edge frequencies.
+class Glogue {
+ public:
+  /// Counts motifs over `g` (which must be finalized).
+  static Glogue Build(const PropertyGraph& g, GlogueOptions opts = {});
+
+  /// Builds a GLogue holding only low-order statistics supplied explicitly
+  /// (vertex-type frequencies and (src, edge, dst) triple frequencies).
+  /// Used by tests that reproduce the paper's worked examples (Fig. 6) and
+  /// as the substrate of the low-order baseline.
+  static Glogue FromLowOrderStats(
+      const GraphSchema& schema, std::vector<double> vertex_freqs,
+      std::map<std::tuple<TypeId, TypeId, TypeId>, double> edge_triples);
+
+  /// Frequency of a vertex type.
+  double VertexTypeFreq(TypeId t) const {
+    return t < vfreq_.size() ? vfreq_[t] : 0.0;
+  }
+  /// Frequency of edges (s)-[e]->(d) for one concrete type triple.
+  double EdgeTripleFreq(TypeId s, TypeId e, TypeId d) const;
+  /// Total frequency of an edge type across all endpoint pairs.
+  double EdgeTypeFreq(TypeId e) const {
+    return e < efreq_.size() ? efreq_[e] : 0.0;
+  }
+
+  /// Direct motif lookup by canonical code of a BasicType pattern with at
+  /// most max_pattern_vertices() vertices. Returns nullopt if the pattern is
+  /// out of range; returns 0 for in-range patterns absent from the data.
+  std::optional<double> Lookup(const Pattern& p) const;
+
+  int max_pattern_vertices() const { return k_; }
+  size_t NumMotifs() const { return motifs_.size(); }
+  double total_vertices() const { return total_vertices_; }
+  double total_edges() const { return total_edges_; }
+
+  /// All (src, edge, dst) triple frequencies (iterated by the estimator to
+  /// resolve Union/All constraints).
+  const std::map<std::tuple<TypeId, TypeId, TypeId>, double>& edge_triples()
+      const {
+    return etriple_;
+  }
+
+ private:
+  int k_ = 3;
+  double total_vertices_ = 0;
+  double total_edges_ = 0;
+  std::vector<double> vfreq_;
+  std::vector<double> efreq_;
+  std::map<std::tuple<TypeId, TypeId, TypeId>, double> etriple_;
+  std::unordered_map<std::string, double> motifs_;
+};
+
+}  // namespace gopt

@@ -1,0 +1,427 @@
+#include "src/opt/cbo.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gopt {
+
+namespace {
+
+/// Memo key of a subpattern: its sorted edge-id list, or the vertex id for
+/// single-vertex patterns. Subpatterns of one query pattern are identified
+/// exactly by these sets, so no isomorphism reasoning is needed in the memo.
+std::string KeyOf(const Pattern& p) {
+  if (p.NumEdges() == 0) {
+    return "v" + std::to_string(p.vertices().empty() ? -1 : p.vertices()[0].id);
+  }
+  std::vector<int> ids;
+  for (const auto& e : p.edges()) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  std::string k = "e";
+  for (int id : ids) k += std::to_string(id) + ",";
+  return k;
+}
+
+bool IntersectApplicable(const ExpandSpec& spec, int new_vertex,
+                         const std::vector<int>& added, const Pattern& pt) {
+  if (spec.Impl() != PhysExpandImpl::kExpandIntersect) return true;
+  // Intersection binds exactly one new vertex; multi-edge intersects over
+  // path edges are not executable.
+  if (new_vertex < 0 && added.size() > 1) return false;
+  if (added.size() > 1) {
+    for (int eid : added) {
+      if (pt.EdgeById(eid).IsPath()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PatternPlanNode::ToString(const GraphSchema& schema,
+                                      int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kScan:
+      os << pad << "Scan v" << scan_vertex << " ("
+         << pattern.VertexById(scan_vertex).tc.ToString(schema, true) << ")";
+      break;
+    case Kind::kExpand:
+      os << pad << (expand_spec ? expand_spec->Name() : "Expand");
+      if (new_vertex >= 0) os << " bind v" << new_vertex;
+      os << " edges{";
+      for (size_t i = 0; i < added_edges.size(); ++i) {
+        if (i) os << ",";
+        os << added_edges[i];
+      }
+      os << "}";
+      break;
+    case Kind::kJoin:
+      os << pad << (join_spec ? join_spec->Name() : "Join") << " keys{";
+      for (size_t i = 0; i < join_vertices.size(); ++i) {
+        if (i) os << ",";
+        os << "v" << join_vertices[i];
+      }
+      os << "}";
+      break;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "  [freq=%.1f cost=%.1f]", freq, cost);
+  os << buf << "\n";
+  if (child) os << child->ToString(schema, indent + 1);
+  if (left) os << left->ToString(schema, indent + 1);
+  if (right) os << right->ToString(schema, indent + 1);
+  return os.str();
+}
+
+PatternPlanPtr GraphOptimizer::MakeScan(const Pattern& p, int vid) const {
+  auto node = std::make_shared<PatternPlanNode>();
+  node->kind = PatternPlanNode::Kind::kScan;
+  node->pattern = p.SingleVertex(vid);
+  node->scan_vertex = vid;
+  node->freq = gq_->GetFreq(node->pattern);
+  node->cost = node->freq;
+  return node;
+}
+
+double GraphOptimizer::ExpandStepCost(const Pattern& ps, const Pattern& pt,
+                                      int new_vertex,
+                                      const std::vector<int>& added,
+                                      const ExpandSpec& spec) const {
+  double out_freq = gq_->GetFreq(pt);
+  double comp = spec.ComputeCost(*gq_, ps, pt, new_vertex, added);
+  double comm = backend_->comm_factor * out_freq;
+  return out_freq + comp + comm;
+}
+
+struct GraphOptimizer::SearchCtx {
+  std::map<std::string, MemoEntry> memo;
+  double cost_star = std::numeric_limits<double>::infinity();
+  std::string full_key;
+};
+
+PatternPlanPtr GraphOptimizer::Optimize(const Pattern& p) const {
+  searched_subpatterns = 0;
+  pruned_branches = 0;
+  if (p.NumVertices() == 0) return nullptr;
+  if (p.NumVertices() == 1) return MakeScan(p, p.vertices()[0].id);
+
+  PatternPlanPtr greedy = GreedyPlan(p);
+  SearchCtx ctx;
+  ctx.cost_star = greedy ? greedy->cost : ctx.cost_star;
+  ctx.full_key = KeyOf(p);
+  if (greedy) {
+    ctx.memo[ctx.full_key] = {greedy, greedy->cost, false};
+  }
+  RecursiveSearch(p, &ctx);
+  auto it = ctx.memo.find(ctx.full_key);
+  if (it != ctx.memo.end() && it->second.plan) return it->second.plan;
+  return greedy;
+}
+
+void GraphOptimizer::RecursiveSearch(const Pattern& p, SearchCtx* ctx) const {
+  std::string key = KeyOf(p);
+  auto& entry = ctx->memo[key];
+  if (entry.done) return;
+  entry.done = true;  // subpatterns are strictly smaller; no cycles
+  ++searched_subpatterns;
+  if (!entry.plan) entry.cost = std::numeric_limits<double>::infinity();
+
+  if (p.NumVertices() == 1) {
+    auto scan = MakeScan(p, p.vertices()[0].id);
+    if (!entry.plan || scan->cost < entry.cost) {
+      entry.plan = scan;
+      entry.cost = scan->cost;
+    }
+    return;
+  }
+
+  const double out_freq = gq_->GetFreq(p);
+  auto update = [&](PatternPlanPtr node) {
+    if (node->cost < entry.cost) {
+      entry.plan = node;
+      entry.cost = node->cost;
+      if (key == ctx->full_key && node->cost < ctx->cost_star) {
+        ctx->cost_star = node->cost;
+      }
+    }
+  };
+
+  // ---- Expand candidates: peel each removable vertex ----
+  for (const auto& v : p.vertices()) {
+    if (!p.IsConnectedWithout(v.id)) continue;
+    Pattern ps = p.WithoutVertex(v.id);
+    std::vector<int> added = p.IncidentEdges(v.id);
+    for (const auto& spec : backend_->expands) {
+      if (!IntersectApplicable(*spec, v.id, added, p)) continue;
+      double noncum = ExpandStepCost(ps, p, v.id, added, *spec);
+      if (noncum >= ctx->cost_star) {
+        ++pruned_branches;
+        continue;
+      }
+      RecursiveSearch(ps, ctx);
+      const auto& sub = ctx->memo[KeyOf(ps)];
+      if (!sub.plan) continue;
+      double total = sub.cost + noncum;
+      if (total >= entry.cost) continue;
+      auto node = std::make_shared<PatternPlanNode>();
+      node->kind = PatternPlanNode::Kind::kExpand;
+      node->pattern = p;
+      node->freq = out_freq;
+      node->child = sub.plan;
+      node->new_vertex = v.id;
+      node->added_edges = added;
+      node->expand_spec = spec;
+      node->cost = total;
+      update(node);
+    }
+  }
+
+  // ---- Join candidates: connected binary edge splits ----
+  const int m = static_cast<int>(p.NumEdges());
+  if (m >= 2 && m <= 12 && !backend_->joins.empty()) {
+    std::vector<int> eids;
+    for (const auto& e : p.edges()) eids.push_back(e.id);
+    for (uint32_t mask = 1; mask + 1 < (1u << m); ++mask) {
+      if (__builtin_popcount(mask) > m / 2 ||
+          (__builtin_popcount(mask) == m - __builtin_popcount(mask) &&
+           (mask & 1) == 0)) {
+        continue;  // dedupe unordered splits
+      }
+      std::vector<int> s1, s2;
+      for (int i = 0; i < m; ++i) ((mask >> i) & 1 ? s1 : s2).push_back(eids[i]);
+      Pattern p1 = p.SubpatternByEdges(s1);
+      Pattern p2 = p.SubpatternByEdges(s2);
+      if (!p1.IsConnected() || !p2.IsConnected()) continue;
+      auto common = p1.CommonVertices(p2);
+      if (common.empty()) continue;
+      double f1 = gq_->GetFreq(p1), f2 = gq_->GetFreq(p2);
+      for (const auto& jspec : backend_->joins) {
+        double noncum = out_freq + jspec->ComputeCost(*gq_, p1, p2) +
+                        backend_->comm_factor * (f1 + f2);
+        if (noncum >= ctx->cost_star) {
+          ++pruned_branches;
+          continue;
+        }
+        RecursiveSearch(p1, ctx);
+        RecursiveSearch(p2, ctx);
+        const auto& e1 = ctx->memo[KeyOf(p1)];
+        const auto& e2 = ctx->memo[KeyOf(p2)];
+        if (!e1.plan || !e2.plan) continue;
+        double total = e1.cost + e2.cost + noncum;
+        if (total >= entry.cost) continue;
+        auto node = std::make_shared<PatternPlanNode>();
+        node->kind = PatternPlanNode::Kind::kJoin;
+        node->pattern = p;
+        node->freq = out_freq;
+        node->left = e1.plan;
+        node->right = e2.plan;
+        node->join_vertices = common;
+        node->join_spec = jspec;
+        node->cost = total;
+        update(node);
+      }
+    }
+  }
+}
+
+PatternPlanPtr GraphOptimizer::GreedyPlan(const Pattern& p) const {
+  if (p.NumVertices() == 0) return nullptr;
+  if (p.NumVertices() == 1) return MakeScan(p, p.vertices()[0].id);
+  // Peel greedily: repeatedly remove the (vertex, spec) with the cheapest
+  // expand step, then build the plan bottom-up in reverse.
+  struct Step {
+    Pattern pt;
+    int v;
+    std::vector<int> added;
+    std::shared_ptr<ExpandSpec> spec;
+  };
+  std::vector<Step> steps;
+  Pattern q = p;
+  while (q.NumVertices() > 1) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    Step best;
+    for (const auto& v : q.vertices()) {
+      if (!q.IsConnectedWithout(v.id)) continue;
+      Pattern ps = q.WithoutVertex(v.id);
+      std::vector<int> added = q.IncidentEdges(v.id);
+      for (const auto& spec : backend_->expands) {
+        if (!IntersectApplicable(*spec, v.id, added, q)) continue;
+        double c = ExpandStepCost(ps, q, v.id, added, *spec) + gq_->GetFreq(ps);
+        if (c < best_cost) {
+          best_cost = c;
+          best = {q, v.id, added, spec};
+        }
+      }
+    }
+    if (!best.spec) return nullptr;  // should not happen for connected p
+    steps.push_back(best);
+    q = q.WithoutVertex(best.v);
+  }
+  PatternPlanPtr plan = MakeScan(q, q.vertices()[0].id);
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    auto node = std::make_shared<PatternPlanNode>();
+    node->kind = PatternPlanNode::Kind::kExpand;
+    node->pattern = it->pt;
+    node->freq = gq_->GetFreq(it->pt);
+    node->child = plan;
+    node->new_vertex = it->v;
+    node->added_edges = it->added;
+    node->expand_spec = it->spec;
+    node->cost = plan->cost +
+                 ExpandStepCost(plan->pattern, it->pt, it->v, it->added,
+                                *it->spec);
+    plan = node;
+  }
+  return plan;
+}
+
+namespace {
+
+std::shared_ptr<ExpandSpec> DefaultSingleEdgeSpec(const BackendSpec& b) {
+  for (const auto& s : b.expands) {
+    if (s->Impl() == PhysExpandImpl::kExpandInto) return s;
+  }
+  return b.expands.empty() ? nullptr : b.expands[0];
+}
+
+}  // namespace
+
+PatternPlanPtr GraphOptimizer::UserOrderPlan(const Pattern& p) const {
+  if (p.NumVertices() == 0) return nullptr;
+  if (p.NumVertices() == 1) return MakeScan(p, p.vertices()[0].id);
+  auto spec = DefaultSingleEdgeSpec(*backend_);
+
+  std::vector<int> remaining;
+  for (const auto& e : p.edges()) remaining.push_back(e.id);
+  std::set<int> bound;
+  std::vector<int> done_edges;
+  PatternPlanPtr plan;
+
+  while (!remaining.empty()) {
+    // First edge in textual order that touches the bound set (the first
+    // edge overall to start).
+    size_t pick = 0;
+    if (plan) {
+      bool found = false;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const auto& e = p.EdgeById(remaining[i]);
+        if (bound.count(e.src) || bound.count(e.dst)) {
+          pick = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) pick = 0;  // disconnected; take next in order
+    }
+    const PatternEdge& e = p.EdgeById(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<long>(pick));
+    if (!plan) {
+      plan = MakeScan(p, e.src);
+      bound.insert(e.src);
+    }
+    int nv = -1;
+    if (!bound.count(e.src)) nv = e.src;
+    if (!bound.count(e.dst)) nv = e.dst;
+    done_edges.push_back(e.id);
+
+    auto node = std::make_shared<PatternPlanNode>();
+    node->kind = PatternPlanNode::Kind::kExpand;
+    node->pattern = p.SubpatternByEdges(done_edges);
+    node->freq = gq_->GetFreq(node->pattern);
+    node->child = plan;
+    node->new_vertex = nv;
+    node->added_edges = {e.id};
+    node->expand_spec = spec;
+    node->cost = plan->cost + ExpandStepCost(plan->pattern, node->pattern, nv,
+                                             {e.id}, *spec);
+    bound.insert(e.src);
+    bound.insert(e.dst);
+    plan = node;
+  }
+  return plan;
+}
+
+PatternPlanPtr GraphOptimizer::RandomPlan(const Pattern& p, Rng* rng) const {
+  if (p.NumVertices() == 0) return nullptr;
+  if (p.NumVertices() == 1) return MakeScan(p, p.vertices()[0].id);
+  auto spec = DefaultSingleEdgeSpec(*backend_);
+
+  std::vector<int> remaining;
+  for (const auto& e : p.edges()) remaining.push_back(e.id);
+  std::set<int> bound;
+  std::vector<int> done_edges;
+  PatternPlanPtr plan;
+
+  while (!remaining.empty()) {
+    std::vector<size_t> cands;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const auto& e = p.EdgeById(remaining[i]);
+      if (!plan || bound.count(e.src) || bound.count(e.dst)) cands.push_back(i);
+    }
+    size_t pick = cands[rng->NextInt(cands.size())];
+    const PatternEdge& e = p.EdgeById(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<long>(pick));
+    if (!plan) {
+      int anchor = rng->NextBool(0.5) ? e.src : e.dst;
+      plan = MakeScan(p, anchor);
+      bound.insert(anchor);
+    }
+    int nv = -1;
+    if (!bound.count(e.src)) nv = e.src;
+    if (!bound.count(e.dst)) nv = e.dst;
+    done_edges.push_back(e.id);
+
+    auto node = std::make_shared<PatternPlanNode>();
+    node->kind = PatternPlanNode::Kind::kExpand;
+    node->pattern = p.SubpatternByEdges(done_edges);
+    node->freq = gq_->GetFreq(node->pattern);
+    node->child = plan;
+    node->new_vertex = nv;
+    node->added_edges = {e.id};
+    node->expand_spec = spec;
+    node->cost = plan->cost + ExpandStepCost(plan->pattern, node->pattern, nv,
+                                             {e.id}, *spec);
+    bound.insert(e.src);
+    bound.insert(e.dst);
+    plan = node;
+  }
+  return plan;
+}
+
+void GraphOptimizer::Recost(const PatternPlanPtr& node) const {
+  if (!node) return;
+  switch (node->kind) {
+    case PatternPlanNode::Kind::kScan:
+      node->freq = gq_->GetFreq(node->pattern);
+      node->cost = node->freq;
+      return;
+    case PatternPlanNode::Kind::kExpand: {
+      Recost(node->child);
+      node->freq = gq_->GetFreq(node->pattern);
+      node->cost = node->child->cost +
+                   ExpandStepCost(node->child->pattern, node->pattern,
+                                  node->new_vertex, node->added_edges,
+                                  *node->expand_spec);
+      return;
+    }
+    case PatternPlanNode::Kind::kJoin: {
+      Recost(node->left);
+      Recost(node->right);
+      node->freq = gq_->GetFreq(node->pattern);
+      double f1 = gq_->GetFreq(node->left->pattern);
+      double f2 = gq_->GetFreq(node->right->pattern);
+      node->cost = node->left->cost + node->right->cost + node->freq +
+                   node->join_spec->ComputeCost(*gq_, node->left->pattern,
+                                                node->right->pattern) +
+                   backend_->comm_factor * (f1 + f2);
+      return;
+    }
+  }
+}
+
+}  // namespace gopt

@@ -1,0 +1,86 @@
+#include "src/opt/physical_spec.h"
+
+#include <set>
+
+namespace gopt {
+
+namespace {
+
+/// Intermediate patterns while appending `added` edges one at a time onto
+/// ps (within pt); returns the sum of their frequencies.
+double SumIntermediateFreqs(const GlogueQuery& gq, const Pattern& ps,
+                            const Pattern& pt,
+                            const std::vector<int>& added) {
+  std::vector<int> edge_ids;
+  for (const auto& e : ps.edges()) edge_ids.push_back(e.id);
+  double cost = 0;
+  for (int eid : added) {
+    edge_ids.push_back(eid);
+    Pattern pi = pt.SubpatternByEdges(edge_ids);
+    cost += gq.GetFreq(pi);
+  }
+  return cost;
+}
+
+}  // namespace
+
+double ExpandIntoSpec::ComputeCost(const GlogueQuery& gq, const Pattern& ps,
+                                   const Pattern& pt, int new_vertex,
+                                   const std::vector<int>& added_edges) const {
+  (void)new_vertex;
+  return SumIntermediateFreqs(gq, ps, pt, added_edges);
+}
+
+double ExpandIntersectSpec::ComputeCost(
+    const GlogueQuery& gq, const Pattern& ps, const Pattern& pt,
+    int new_vertex, const std::vector<int>& added_edges) const {
+  (void)pt;
+  (void)new_vertex;
+  return static_cast<double>(added_edges.size()) * gq.GetFreq(ps);
+}
+
+double MiscostedIntersectSpec::ComputeCost(
+    const GlogueQuery& gq, const Pattern& ps, const Pattern& pt,
+    int new_vertex, const std::vector<int>& added_edges) const {
+  (void)new_vertex;
+  // Deliberately price the intersect as if it flattened intermediates.
+  return SumIntermediateFreqs(gq, ps, pt, added_edges);
+}
+
+double HashJoinSpec::ComputeCost(const GlogueQuery& gq, const Pattern& ps1,
+                                 const Pattern& ps2) const {
+  return gq.GetFreq(ps1) + gq.GetFreq(ps2);
+}
+
+BackendSpec BackendSpec::Neo4jLike() {
+  BackendSpec b;
+  b.name = "neo4j-like";
+  b.distributed = false;
+  b.num_workers = 1;
+  b.comm_factor = 0.0;
+  b.expands = {std::make_shared<ExpandIntoSpec>()};
+  b.joins = {std::make_shared<HashJoinSpec>()};
+  return b;
+}
+
+BackendSpec BackendSpec::GraphScopeLike(int workers) {
+  BackendSpec b;
+  b.name = "graphscope-like";
+  b.distributed = true;
+  b.num_workers = workers;
+  b.comm_factor = 0.1;
+  b.expands = {std::make_shared<ExpandIntersectSpec>(),
+               std::make_shared<ExpandIntoSpec>()};
+  b.joins = {std::make_shared<HashJoinSpec>()};
+  return b;
+}
+
+BackendSpec BackendSpec::GraphScopeWithNeo4jCosts(int workers) {
+  BackendSpec b = GraphScopeLike(workers);
+  b.name = "graphscope-neo-costs";
+  b.expands = {std::make_shared<MiscostedIntersectSpec>(),
+               std::make_shared<ExpandIntoSpec>()};
+  return b;
+}
+
+}  // namespace gopt

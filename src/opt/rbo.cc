@@ -1,0 +1,698 @@
+#include "src/opt/rbo.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/opt/selectivity.h"
+
+namespace gopt {
+
+namespace {
+
+/// Splits a predicate into AND-conjuncts.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::kBinary && e->bin == BinOp::kAnd) {
+    SplitConjuncts(e->args[0], out);
+    SplitConjuncts(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::set<std::string> TagsOf(const ExprPtr& e) {
+  std::set<std::string> tags;
+  if (e) e->CollectTags(&tags);
+  return tags;
+}
+
+bool IsPatternLeaf(const LogicalOpPtr& op) {
+  return op->kind == LogicalOpKind::kMatchPattern;
+}
+
+// ---------------------------------------------------------------- rules --
+
+class FilterIntoPatternRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "FilterIntoPattern"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kSelect || op->inputs.size() != 1) {
+      return nullptr;
+    }
+    const LogicalOpPtr& child = op->inputs[0];
+    if (child->kind != LogicalOpKind::kMatchPattern &&
+        child->kind != LogicalOpKind::kPatternExtend) {
+      return nullptr;
+    }
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(op->predicate, &conjuncts);
+
+    Pattern pattern = child->pattern;
+    std::vector<ExprPtr> rest;
+    bool pushed = false;
+    for (const ExprPtr& c : conjuncts) {
+      auto tags = TagsOf(c);
+      bool handled = false;
+      if (tags.size() == 1) {
+        const std::string& tag = *tags.begin();
+        if (const PatternVertex* v = pattern.FindVertexByAlias(tag)) {
+          PatternVertex& mv = pattern.VertexById(v->id);
+          mv.predicates.push_back(c);
+          mv.selectivity *= EstimateSelectivity(c);
+          handled = true;
+        } else if (pattern.FindEdgeByAlias(tag) != nullptr) {
+          for (auto& e : pattern.mutable_edges()) {
+            if (e.alias == tag) {
+              e.predicates.push_back(c);
+              e.selectivity *= EstimateSelectivity(c);
+              break;
+            }
+          }
+          handled = true;
+        }
+      }
+      if (handled) {
+        pushed = true;
+      } else {
+        rest.push_back(c);
+      }
+    }
+    if (!pushed) return nullptr;
+
+    auto new_child = std::make_shared<LogicalOp>(*child);
+    new_child->pattern = std::move(pattern);
+    if (rest.empty()) return new_child;
+    auto new_select = std::make_shared<LogicalOp>(LogicalOpKind::kSelect);
+    new_select->predicate = Expr::And(rest);
+    new_select->inputs = {new_child};
+    return new_select;
+  }
+};
+
+class FilterPushAcrossJoinRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "FilterPushAcrossJoin"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kSelect || op->inputs.size() != 1) {
+      return nullptr;
+    }
+    const LogicalOpPtr& join = op->inputs[0];
+    if (join->kind != LogicalOpKind::kJoin ||
+        join->join_kind != JoinKind::kInner) {
+      return nullptr;
+    }
+    auto left_tags_v = join->inputs[0]->OutputAliases();
+    auto right_tags_v = join->inputs[1]->OutputAliases();
+    std::set<std::string> left_tags(left_tags_v.begin(), left_tags_v.end());
+    std::set<std::string> right_tags(right_tags_v.begin(), right_tags_v.end());
+
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(op->predicate, &conjuncts);
+    std::vector<ExprPtr> to_left, to_right, rest;
+    for (const ExprPtr& c : conjuncts) {
+      if (TagsOf(c).empty()) {
+        rest.push_back(c);
+      } else if (c->OnlyUses(left_tags)) {
+        to_left.push_back(c);
+      } else if (c->OnlyUses(right_tags)) {
+        to_right.push_back(c);
+      } else {
+        rest.push_back(c);
+      }
+    }
+    if (to_left.empty() && to_right.empty()) return nullptr;
+
+    GraphIrBuilder b;
+    LogicalOpPtr l = join->inputs[0], r = join->inputs[1];
+    if (!to_left.empty()) l = b.Select(l, Expr::And(to_left));
+    if (!to_right.empty()) r = b.Select(r, Expr::And(to_right));
+    LogicalOpPtr nj = b.Join(l, r, join->join_keys, join->join_kind);
+    if (rest.empty()) return nj;
+    return b.Select(nj, Expr::And(rest));
+  }
+};
+
+class SelectMergeRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "SelectMerge"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kSelect ||
+        op->inputs[0]->kind != LogicalOpKind::kSelect) {
+      return nullptr;
+    }
+    GraphIrBuilder b;
+    return b.Select(op->inputs[0]->inputs[0],
+                    Expr::And({op->inputs[0]->predicate, op->predicate}));
+  }
+};
+
+class JoinToPatternRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "JoinToPattern"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kJoin ||
+        op->join_kind != JoinKind::kInner || op->join_keys.empty()) {
+      return nullptr;
+    }
+    if (!IsPatternLeaf(op->inputs[0]) || !IsPatternLeaf(op->inputs[1])) {
+      return nullptr;
+    }
+    const Pattern& lp = op->inputs[0]->pattern;
+    const Pattern& rp = op->inputs[1]->pattern;
+    // Every join key must be a vertex alias present in both patterns.
+    for (const auto& k : op->join_keys) {
+      if (!lp.FindVertexByAlias(k) || !rp.FindVertexByAlias(k)) return nullptr;
+    }
+
+    Pattern merged = lp;
+    // Shared aliases identify shared vertices (implicit Cypher-style join).
+    // Anonymous '$' aliases from the right pattern are renamed so the two
+    // scopes cannot collide.
+    int fresh = 0;
+    auto fresh_alias = [&](char kind) {
+      std::string a;
+      do {
+        a = std::string("$j") + kind + std::to_string(fresh++);
+      } while (merged.FindVertexByAlias(a) || merged.FindEdgeByAlias(a));
+      return a;
+    };
+    std::map<int, int> right_to_merged;
+    for (const auto& rv : rp.vertices()) {
+      bool anonymous = rv.alias.empty() || rv.alias[0] == '$';
+      const PatternVertex* lv =
+          anonymous ? nullptr : merged.FindVertexByAlias(rv.alias);
+      if (lv != nullptr) {
+        PatternVertex& mv = merged.VertexById(lv->id);
+        mv.tc = mv.tc.Intersect(rv.tc);
+        for (const auto& pr : rv.predicates) mv.predicates.push_back(pr);
+        mv.selectivity *= rv.selectivity;
+        right_to_merged[rv.id] = lv->id;
+      } else {
+        int nid = merged.AddVertex(anonymous ? fresh_alias('v') : rv.alias,
+                                   rv.tc);
+        PatternVertex& mv = merged.VertexById(nid);
+        mv.predicates = rv.predicates;
+        mv.selectivity = rv.selectivity;
+        right_to_merged[rv.id] = nid;
+      }
+    }
+    for (const auto& re : rp.edges()) {
+      bool anonymous = re.alias.empty() || re.alias[0] == '$';
+      // A shared edge alias means the same pattern edge: skip duplicates.
+      if (!anonymous && merged.FindEdgeByAlias(re.alias) != nullptr) {
+        continue;
+      }
+      int nid = merged.AddEdge(right_to_merged[re.src], right_to_merged[re.dst],
+                               anonymous ? fresh_alias('e') : re.alias, re.tc,
+                               re.dir);
+      PatternEdge& me = merged.EdgeById(nid);
+      me.predicates = re.predicates;
+      me.selectivity = re.selectivity;
+      me.min_hops = re.min_hops;
+      me.max_hops = re.max_hops;
+      me.semantics = re.semantics;
+    }
+    GraphIrBuilder b;
+    return b.Match(std::move(merged));
+  }
+};
+
+class ComSubPatternRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "ComSubPattern"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kUnion) return nullptr;
+    // Branches are typically RETURN-projected or RETURN-aggregated
+    // patterns: peel one PROJECT/GROUP wrapper per side (re-applied onto
+    // the rewritten branches below).
+    auto peelable = [](const LogicalOpPtr& x) {
+      return (x->kind == LogicalOpKind::kProject && !x->append) ||
+             x->kind == LogicalOpKind::kAggregate;
+    };
+    LogicalOpPtr lwrap, rwrap;
+    LogicalOpPtr lin = op->inputs[0], rin = op->inputs[1];
+    if (peelable(lin) && IsPatternLeaf(lin->inputs[0])) {
+      lwrap = lin;
+      lin = lin->inputs[0];
+    }
+    if (peelable(rin) && IsPatternLeaf(rin->inputs[0])) {
+      rwrap = rin;
+      rin = rin->inputs[0];
+    }
+    if ((lwrap == nullptr) != (rwrap == nullptr)) return nullptr;
+    if (!IsPatternLeaf(lin) || !IsPatternLeaf(rin)) return nullptr;
+    const Pattern& lp = lin->pattern;
+    const Pattern& rp = rin->pattern;
+
+    // Common vertices: matched by alias with identical constraints.
+    std::map<std::string, std::pair<int, int>> common_v;  // alias -> (lid,rid)
+    for (const auto& lv : lp.vertices()) {
+      if (lv.alias.empty() || lv.alias[0] == '$') continue;
+      const PatternVertex* rv = rp.FindVertexByAlias(lv.alias);
+      if (rv && rv->tc == lv.tc && rv->predicates.empty() &&
+          lv.predicates.empty()) {
+        common_v[lv.alias] = {lv.id, rv->id};
+      }
+    }
+    if (common_v.size() < 1) return nullptr;
+
+    // Common edges: both endpoints common, same tc/dir/hops; paired 1:1.
+    std::map<int, int> r_to_l;  // right vid -> left vid
+    for (auto& [alias, pr] : common_v) r_to_l[pr.second] = pr.first;
+    std::vector<int> common_l_edges;
+    std::set<int> used_r_edges;
+    for (const auto& le : lp.edges()) {
+      bool l_src_common = false, l_dst_common = false;
+      for (auto& [alias, pr] : common_v) {
+        if (pr.first == le.src) l_src_common = true;
+        if (pr.first == le.dst) l_dst_common = true;
+      }
+      if (!l_src_common || !l_dst_common) continue;
+      for (const auto& re : rp.edges()) {
+        if (used_r_edges.count(re.id)) continue;
+        if (r_to_l.count(re.src) == 0 || r_to_l.count(re.dst) == 0) continue;
+        if (r_to_l[re.src] != le.src || r_to_l[re.dst] != le.dst) continue;
+        if (!(re.tc == le.tc) || re.dir != le.dir ||
+            re.min_hops != le.min_hops || re.max_hops != le.max_hops) {
+          continue;
+        }
+        if (!re.predicates.empty() || !le.predicates.empty()) continue;
+        common_l_edges.push_back(le.id);
+        used_r_edges.insert(re.id);
+        break;
+      }
+    }
+    if (common_l_edges.empty()) return nullptr;
+
+    Pattern pc = lp.SubpatternByEdges(common_l_edges);
+    if (!pc.IsConnected()) return nullptr;
+    // Factoring pays off only if some branch work is actually shared and
+    // there is remaining work in at least one branch.
+    if (pc.NumEdges() == lp.NumEdges() && pc.NumEdges() == rp.NumEdges()) {
+      return nullptr;
+    }
+
+    GraphIrBuilder b;
+    LogicalOpPtr shared = b.Match(pc);
+    std::vector<int> bound;
+    for (const auto& v : pc.vertices()) bound.push_back(v.id);
+
+    auto make_extend = [&](const Pattern& branch, bool is_left) -> LogicalOpPtr {
+      // Extend pattern: Pc plus the branch's non-common parts, remapped onto
+      // Pc vertex ids.
+      Pattern ext = pc;
+      std::map<int, int> remap;  // branch vid -> ext vid
+      for (const auto& [alias, pr] : common_v) {
+        remap[is_left ? pr.first : pr.second] =
+            pr.first;  // pc uses left ids
+      }
+      std::set<int> common_edge_ids(common_l_edges.begin(),
+                                    common_l_edges.end());
+      for (const auto& e : branch.edges()) {
+        bool is_common =
+            is_left ? common_edge_ids.count(e.id) > 0 : used_r_edges.count(e.id) > 0;
+        if (is_common) continue;
+        for (int endpoint : {e.src, e.dst}) {
+          if (!remap.count(endpoint)) {
+            const PatternVertex& bv = branch.VertexById(endpoint);
+            int nid = ext.AddVertex(bv.alias, bv.tc);
+            PatternVertex& nv = ext.VertexById(nid);
+            nv.predicates = bv.predicates;
+            nv.selectivity = bv.selectivity;
+            remap[endpoint] = nid;
+          }
+        }
+        int nid = ext.AddEdge(remap[e.src], remap[e.dst], e.alias, e.tc, e.dir);
+        PatternEdge& ne = ext.EdgeById(nid);
+        ne.predicates = e.predicates;
+        ne.selectivity = e.selectivity;
+        ne.min_hops = e.min_hops;
+        ne.max_hops = e.max_hops;
+        ne.semantics = e.semantics;
+      }
+      auto extend = std::make_shared<LogicalOp>(LogicalOpKind::kPatternExtend);
+      extend->inputs = {shared};
+      extend->pattern = std::move(ext);
+      extend->bound_vertices = bound;
+      extend->bound_edges = common_l_edges;
+      return extend;
+    };
+
+    LogicalOpPtr l = make_extend(lp, true);
+    LogicalOpPtr r = make_extend(rp, false);
+    if (lwrap) {
+      auto lp2 = std::make_shared<LogicalOp>(*lwrap);
+      lp2->inputs = {l};
+      l = lp2;
+      auto rp2 = std::make_shared<LogicalOp>(*rwrap);
+      rp2->inputs = {r};
+      r = rp2;
+    }
+    return b.Union(l, r, op->union_distinct);
+  }
+};
+
+class OrderLimitToTopKRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "OrderLimitToTopK"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kLimit ||
+        op->inputs[0]->kind != LogicalOpKind::kOrder ||
+        op->inputs[0]->limit >= 0) {
+      return nullptr;
+    }
+    auto order = std::make_shared<LogicalOp>(*op->inputs[0]);
+    order->limit = op->limit;
+    return order;
+  }
+};
+
+class AggregatePushDownRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "AggregatePushDown"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kAggregate) return nullptr;
+    const LogicalOpPtr& join = op->inputs[0];
+    if (join->kind != LogicalOpKind::kJoin ||
+        join->join_kind != JoinKind::kInner || join->join_keys.empty()) {
+      return nullptr;
+    }
+    // Exactly one COUNT(*) aggregate; all group keys from the left side.
+    if (op->aggs.size() != 1 || op->aggs[0].fn != AggFunc::kCount ||
+        op->aggs[0].arg != nullptr) {
+      return nullptr;
+    }
+    auto lv = join->inputs[0]->OutputAliases();
+    auto rv = join->inputs[1]->OutputAliases();
+    std::set<std::string> left_tags(lv.begin(), lv.end());
+    std::set<std::string> right_tags(rv.begin(), rv.end());
+    for (const auto& k : op->group_keys) {
+      if (!k.expr->OnlyUses(left_tags)) return nullptr;
+    }
+    // All correlation between the sides must flow through the join keys.
+    std::set<std::string> join_keys(join->join_keys.begin(),
+                                    join->join_keys.end());
+    for (const auto& t : left_tags) {
+      if (right_tags.count(t) && !join_keys.count(t)) return nullptr;
+    }
+    for (const auto& k : join->join_keys) {
+      if (!right_tags.count(k)) return nullptr;
+    }
+
+    GraphIrBuilder b;
+    // Pre-aggregate the right side on the join keys.
+    std::vector<ProjectItem> rkeys;
+    for (const auto& k : join->join_keys) {
+      rkeys.push_back({Expr::MakeVar(k), k});
+    }
+    std::vector<AggCall> raggs;
+    raggs.push_back({AggFunc::kCount, nullptr, "$cnt"});
+    LogicalOpPtr pre = b.Group(join->inputs[1], rkeys, raggs);
+    LogicalOpPtr nj = b.Join(join->inputs[0], pre, join->join_keys,
+                             JoinKind::kInner);
+    std::vector<AggCall> faggs;
+    faggs.push_back({AggFunc::kSum, Expr::MakeVar("$cnt"), op->aggs[0].alias});
+    return b.Group(nj, op->group_keys, faggs);
+  }
+};
+
+class AggregateUnionTransposeRule : public RewriteRule {
+ public:
+  std::string Name() const override { return "AggregateUnionTranspose"; }
+
+  LogicalOpPtr Apply(const LogicalOpPtr& op,
+                     const GraphSchema& schema) const override {
+    (void)schema;
+    if (op->kind != LogicalOpKind::kAggregate) return nullptr;
+    const LogicalOpPtr& u = op->inputs[0];
+    if (u->kind != LogicalOpKind::kUnion || u->union_distinct) return nullptr;
+    for (const auto& a : op->aggs) {
+      if (a.fn != AggFunc::kCount && a.fn != AggFunc::kSum &&
+          a.fn != AggFunc::kMin && a.fn != AggFunc::kMax) {
+        return nullptr;
+      }
+    }
+    GraphIrBuilder b;
+    auto partial = [&](LogicalOpPtr in) {
+      std::vector<AggCall> paggs;
+      int i = 0;
+      for (const auto& a : op->aggs) {
+        paggs.push_back({a.fn, a.arg, "$p" + std::to_string(i++)});
+      }
+      return b.Group(in, op->group_keys, paggs);
+    };
+    LogicalOpPtr nu = b.Union(partial(u->inputs[0]), partial(u->inputs[1]),
+                              /*distinct=*/false);
+    // Combine partials: COUNT/SUM -> SUM, MIN -> MIN, MAX -> MAX.
+    std::vector<ProjectItem> fkeys;
+    for (const auto& k : op->group_keys) {
+      fkeys.push_back({Expr::MakeVar(k.alias), k.alias});
+    }
+    std::vector<AggCall> faggs;
+    int i = 0;
+    for (const auto& a : op->aggs) {
+      AggFunc fn = (a.fn == AggFunc::kCount || a.fn == AggFunc::kSum)
+                       ? AggFunc::kSum
+                       : a.fn;
+      faggs.push_back({fn, Expr::MakeVar("$p" + std::to_string(i++)), a.alias});
+    }
+    return b.Group(nu, fkeys, faggs);
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- planner --
+
+LogicalOpPtr HepPlanner::Optimize(LogicalOpPtr root, const GraphSchema& schema,
+                                  std::vector<std::string>* fired) const {
+  root = root->Clone();
+  const int kMaxPasses = 10;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+    // Bottom-up rewrite with memoization over shared (DAG) nodes.
+    std::map<const LogicalOp*, LogicalOpPtr> done;
+    std::function<LogicalOpPtr(const LogicalOpPtr&)> rewrite =
+        [&](const LogicalOpPtr& op) -> LogicalOpPtr {
+      auto it = done.find(op.get());
+      if (it != done.end()) return it->second;
+      auto cur = std::make_shared<LogicalOp>(*op);
+      for (auto& in : cur->inputs) in = rewrite(in);
+      for (const auto& rule : rules_) {
+        if (LogicalOpPtr r = rule->Apply(cur, schema)) {
+          if (fired) fired->push_back(rule->Name());
+          changed = true;
+          cur = r;
+        }
+      }
+      done[op.get()] = cur;
+      return cur;
+    };
+    root = rewrite(root);
+    if (!changed) break;
+  }
+  return root;
+}
+
+std::unique_ptr<RewriteRule> MakeFilterIntoPatternRule() {
+  return std::make_unique<FilterIntoPatternRule>();
+}
+std::unique_ptr<RewriteRule> MakeJoinToPatternRule() {
+  return std::make_unique<JoinToPatternRule>();
+}
+std::unique_ptr<RewriteRule> MakeComSubPatternRule() {
+  return std::make_unique<ComSubPatternRule>();
+}
+std::unique_ptr<RewriteRule> MakeFilterPushAcrossJoinRule() {
+  return std::make_unique<FilterPushAcrossJoinRule>();
+}
+std::unique_ptr<RewriteRule> MakeSelectMergeRule() {
+  return std::make_unique<SelectMergeRule>();
+}
+std::unique_ptr<RewriteRule> MakeOrderLimitToTopKRule() {
+  return std::make_unique<OrderLimitToTopKRule>();
+}
+std::unique_ptr<RewriteRule> MakeAggregatePushDownRule() {
+  return std::make_unique<AggregatePushDownRule>();
+}
+std::unique_ptr<RewriteRule> MakeAggregateUnionTransposeRule() {
+  return std::make_unique<AggregateUnionTransposeRule>();
+}
+
+std::vector<std::unique_ptr<RewriteRule>> DefaultRules(
+    bool enable_agg_pushdown) {
+  std::vector<std::unique_ptr<RewriteRule>> rules;
+  rules.push_back(MakeSelectMergeRule());
+  rules.push_back(MakeFilterPushAcrossJoinRule());
+  rules.push_back(MakeJoinToPatternRule());
+  rules.push_back(MakeFilterIntoPatternRule());
+  rules.push_back(MakeComSubPatternRule());
+  rules.push_back(MakeOrderLimitToTopKRule());
+  if (enable_agg_pushdown) {
+    rules.push_back(MakeAggregatePushDownRule());
+    rules.push_back(MakeAggregateUnionTransposeRule());
+  }
+  return rules;
+}
+
+// ----------------------------------------------------------- FieldTrim --
+
+namespace {
+
+struct Needed {
+  std::set<std::string> tags;
+  std::set<std::pair<std::string, std::string>> props;
+};
+
+void TrimRec(const LogicalOpPtr& op, Needed needed,
+             std::map<const LogicalOp*, Needed>* pattern_needs) {
+  auto add_expr = [&needed](const ExprPtr& e) {
+    if (!e) return;
+    e->CollectTags(&needed.tags);
+    e->CollectProperties(&needed.props);
+  };
+  switch (op->kind) {
+    case LogicalOpKind::kMatchPattern:
+    case LogicalOpKind::kPatternExtend: {
+      // Record/merge requirements on the pattern node (Extend nodes share
+      // their Match input, so merge across visits).
+      auto& acc = (*pattern_needs)[op.get()];
+      for (const auto& t : needed.tags) acc.tags.insert(t);
+      for (const auto& p : needed.props) acc.props.insert(p);
+      // Pattern-internal predicates need their own properties too.
+      for (const auto& v : op->pattern.vertices()) {
+        for (const auto& pr : v.predicates) {
+          pr->CollectProperties(&acc.props);
+        }
+      }
+      for (const auto& e : op->pattern.edges()) {
+        for (const auto& pr : e.predicates) pr->CollectProperties(&acc.props);
+      }
+      if (op->kind == LogicalOpKind::kPatternExtend) {
+        Needed child = acc;
+        // The shared prefix must keep the bound vertices' aliases.
+        for (int vid : op->bound_vertices) {
+          if (op->pattern.HasVertex(vid)) {
+            const auto& a = op->pattern.VertexById(vid).alias;
+            if (!a.empty()) child.tags.insert(a);
+          }
+        }
+        TrimRec(op->inputs[0], child, pattern_needs);
+      }
+      return;
+    }
+    case LogicalOpKind::kSelect:
+      add_expr(op->predicate);
+      break;
+    case LogicalOpKind::kProject: {
+      Needed child;
+      if (op->append) child = needed;
+      for (const auto& it : op->items) {
+        child.tags.erase(it.alias);
+      }
+      for (const auto& it : op->items) {
+        it.expr->CollectTags(&child.tags);
+        it.expr->CollectProperties(&child.props);
+      }
+      TrimRec(op->inputs[0], child, pattern_needs);
+      return;
+    }
+    case LogicalOpKind::kAggregate: {
+      Needed child;
+      for (const auto& k : op->group_keys) {
+        k.expr->CollectTags(&child.tags);
+        k.expr->CollectProperties(&child.props);
+      }
+      for (const auto& a : op->aggs) {
+        if (a.arg) {
+          a.arg->CollectTags(&child.tags);
+          a.arg->CollectProperties(&child.props);
+        }
+      }
+      TrimRec(op->inputs[0], child, pattern_needs);
+      return;
+    }
+    case LogicalOpKind::kOrder:
+      for (const auto& s : op->sort_items) add_expr(s.expr);
+      break;
+    case LogicalOpKind::kDedup:
+      for (const auto& t : op->dedup_tags) needed.tags.insert(t);
+      break;
+    case LogicalOpKind::kJoin: {
+      for (const auto& k : op->join_keys) needed.tags.insert(k);
+      for (const auto& in : op->inputs) {
+        auto outs = in->OutputAliases();
+        std::set<std::string> side(outs.begin(), outs.end());
+        Needed child;
+        for (const auto& t : needed.tags) {
+          if (side.count(t)) child.tags.insert(t);
+        }
+        for (const auto& p : needed.props) {
+          if (side.count(p.first)) child.props.insert(p);
+        }
+        TrimRec(in, child, pattern_needs);
+      }
+      return;
+    }
+    case LogicalOpKind::kUnfold:
+      needed.tags.insert(op->unfold_tag);
+      break;
+    default:
+      break;
+  }
+  for (const auto& in : op->inputs) TrimRec(in, needed, pattern_needs);
+}
+
+void ApplyNeeds(const LogicalOpPtr& op,
+                const std::map<const LogicalOp*, Needed>& pattern_needs,
+                std::set<const LogicalOp*>* visited) {
+  if (!visited->insert(op.get()).second) return;
+  if (op->kind == LogicalOpKind::kMatchPattern ||
+      op->kind == LogicalOpKind::kPatternExtend) {
+    auto it = pattern_needs.find(op.get());
+    if (it != pattern_needs.end()) {
+      op->output_tags.assign(it->second.tags.begin(), it->second.tags.end());
+      op->columns.assign(it->second.props.begin(), it->second.props.end());
+      op->trimmed = true;
+    }
+  }
+  for (const auto& in : op->inputs) ApplyNeeds(in, pattern_needs, visited);
+}
+
+}  // namespace
+
+LogicalOpPtr FieldTrim(LogicalOpPtr root) {
+  // The root's full output is needed by the user.
+  Needed needed;
+  for (const auto& a : root->OutputAliases()) needed.tags.insert(a);
+  std::map<const LogicalOp*, Needed> pattern_needs;
+  TrimRec(root, needed, &pattern_needs);
+  std::set<const LogicalOp*> visited;
+  ApplyNeeds(root, pattern_needs, &visited);
+  return root;
+}
+
+}  // namespace gopt

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gir/ir_builder.h"
+#include "src/gir/logical_op.h"
+
+namespace gopt {
+
+/// A heuristic rewrite rule (paper Section 6.1). Rules are extensible and
+/// pluggable: a rule defines a *condition* (when it applies to the root of
+/// a subtree) and an *action* (the rewritten subtree). Returning nullptr
+/// means the condition did not match.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+  virtual std::string Name() const = 0;
+  virtual LogicalOpPtr Apply(const LogicalOpPtr& op,
+                             const GraphSchema& schema) const = 0;
+};
+
+/// HepPlanner-style rule driver (the paper implements RBO on Calcite's
+/// HepPlanner): applies the rule set bottom-up over the plan until a
+/// fixpoint, bounded by a maximum number of passes.
+class HepPlanner {
+ public:
+  void AddRule(std::unique_ptr<RewriteRule> rule) {
+    rules_.push_back(std::move(rule));
+  }
+  size_t NumRules() const { return rules_.size(); }
+
+  /// Rewrites `root` to fixpoint; `fired` (optional) collects the names of
+  /// rules that fired, in order.
+  LogicalOpPtr Optimize(LogicalOpPtr root, const GraphSchema& schema,
+                        std::vector<std::string>* fired = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<RewriteRule>> rules_;
+};
+
+// ---- the built-in rule set ----
+
+/// Pushes SELECT conjuncts that reference a single pattern alias into the
+/// pattern vertex/edge, updating its estimated selectivity (paper:
+/// FilterIntoPattern).
+std::unique_ptr<RewriteRule> MakeFilterIntoPatternRule();
+
+/// Merges two MATCH_PATTERNs connected by an inner JOIN whose keys are
+/// common pattern vertices into a single pattern (paper: JoinToPattern;
+/// sound under homomorphism semantics, Remark 3.1).
+std::unique_ptr<RewriteRule> MakeJoinToPatternRule();
+
+/// Factors the maximal common subpattern out of two patterns combined by a
+/// binary operator (UNION / JOIN), matching it once and extending per
+/// branch (paper: ComSubPattern).
+std::unique_ptr<RewriteRule> MakeComSubPatternRule();
+
+/// Pushes filter conjuncts referencing only one join side below the join.
+std::unique_ptr<RewriteRule> MakeFilterPushAcrossJoinRule();
+
+/// Merges adjacent SELECTs into one conjunction.
+std::unique_ptr<RewriteRule> MakeSelectMergeRule();
+
+/// Fuses ORDER followed by LIMIT into a top-k ORDER.
+std::unique_ptr<RewriteRule> MakeOrderLimitToTopKRule();
+
+/// Pre-aggregates the right join input on the join keys when a COUNT-only
+/// GROUP sits above an inner join (the Calcite AggregatePushDown effect the
+/// paper credits for IC9/BI13 gains).
+std::unique_ptr<RewriteRule> MakeAggregatePushDownRule();
+
+/// Distributes an aggregate over UNION ALL branches with a combining final
+/// aggregate (COUNT/SUM/MIN/MAX only).
+std::unique_ptr<RewriteRule> MakeAggregateUnionTransposeRule();
+
+/// The full default rule set.
+std::vector<std::unique_ptr<RewriteRule>> DefaultRules(
+    bool enable_agg_pushdown = true);
+
+/// FieldTrim (paper Section 6.1): a whole-plan pass (not a local rule) that
+/// computes, top-down, which aliases and properties each operator actually
+/// needs, records them as output_tags / COLUMNS on pattern operators, and
+/// prunes unused PROJECT outputs. Returns the annotated plan.
+LogicalOpPtr FieldTrim(LogicalOpPtr root);
+
+}  // namespace gopt

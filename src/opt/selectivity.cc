@@ -1,0 +1,63 @@
+#include "src/opt/selectivity.h"
+
+#include <algorithm>
+
+namespace gopt {
+
+namespace {
+constexpr double kIdEquality = 0.001;
+constexpr double kRange = 0.3;
+
+bool IsIdProperty(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kProperty && e->prop == "id";
+}
+}  // namespace
+
+double EstimateSelectivity(const ExprPtr& pred) {
+  if (!pred) return 1.0;
+  switch (pred->kind) {
+    case Expr::Kind::kBinary: {
+      const auto& l = pred->args[0];
+      const auto& r = pred->args[1];
+      switch (pred->bin) {
+        case BinOp::kAnd:
+          return EstimateSelectivity(l) * EstimateSelectivity(r);
+        case BinOp::kOr:
+          return std::min(1.0, EstimateSelectivity(l) + EstimateSelectivity(r));
+        case BinOp::kEq:
+          if (IsIdProperty(l) || IsIdProperty(r)) return kIdEquality;
+          return kDefaultSelectivity;
+        case BinOp::kNe:
+          return 1.0 - kDefaultSelectivity;
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+          return kRange;
+        case BinOp::kIn: {
+          size_t k = 1;
+          if (r->kind == Expr::Kind::kLiteral &&
+              r->literal.kind() == Value::Kind::kList) {
+            k = r->literal.AsList().size();
+          }
+          double base = IsIdProperty(l) ? kIdEquality : kDefaultSelectivity;
+          return std::min(1.0, base * static_cast<double>(k));
+        }
+        case BinOp::kContains:
+        case BinOp::kStartsWith:
+          return kDefaultSelectivity;
+        default:
+          return kDefaultSelectivity;
+      }
+    }
+    case Expr::Kind::kUnary:
+      if (pred->un == UnOp::kNot) {
+        return std::max(0.0, 1.0 - EstimateSelectivity(pred->args[0]));
+      }
+      return kDefaultSelectivity;
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+}  // namespace gopt

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "src/gir/expr.h"
+
+namespace gopt {
+
+/// Default selectivity assigned to a pushed-down filter, following the
+/// paper's Remark 7.1 (GLogS-style predefined selectivities; histogram or
+/// sampling-based estimation is future work there and here).
+inline constexpr double kDefaultSelectivity = 0.1;
+
+/// Estimated selectivity for one predicate expression:
+///  - equality on an "id" property: highly selective (point lookup);
+///  - other equality: kDefaultSelectivity;
+///  - range comparison: 0.3;
+///  - IN list of k literals: k * id-equality estimate (bounded);
+///  - conjunction multiplies, disjunction adds (capped at 1).
+double EstimateSelectivity(const ExprPtr& pred);
+
+}  // namespace gopt

@@ -1,0 +1,128 @@
+#include "src/opt/type_inference.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gopt {
+
+namespace {
+
+/// Compatible (u_type, edge_type, v_type) triples for a pattern edge
+/// between u and v, honoring the edge's data direction. For kBoth, both
+/// orientations contribute, reported as (u-side, edge, v-side).
+std::vector<std::tuple<TypeId, TypeId, TypeId>> CompatibleTriples(
+    const GraphSchema& schema, const TypeConstraint& u_tc,
+    const TypeConstraint& e_tc, const TypeConstraint& v_tc, bool u_is_src,
+    Direction dir) {
+  std::vector<std::tuple<TypeId, TypeId, TypeId>> out;
+  for (TypeId et : e_tc.Resolve(schema.AllEdgeTypes())) {
+    for (auto [s, d] : schema.edge_type(et).endpoints) {
+      // Forward orientation: src -> dst as stored.
+      bool fwd_ok, rev_ok = false;
+      TypeId u_fwd = u_is_src ? s : d;
+      TypeId v_fwd = u_is_src ? d : s;
+      fwd_ok = u_tc.Matches(u_fwd) && v_tc.Matches(v_fwd);
+      if (dir == Direction::kBoth) {
+        TypeId u_rev = u_is_src ? d : s;
+        TypeId v_rev = u_is_src ? s : d;
+        rev_ok = u_tc.Matches(u_rev) && v_tc.Matches(v_rev);
+        if (rev_ok) out.emplace_back(u_rev, et, v_rev);
+      }
+      if (fwd_ok) out.emplace_back(u_fwd, et, v_fwd);
+    }
+  }
+  return out;
+}
+
+TypeConstraint FromSet(const std::set<TypeId>& s, size_t universe) {
+  if (s.size() == universe) return TypeConstraint::All();
+  return TypeConstraint::Union({s.begin(), s.end()});
+}
+
+}  // namespace
+
+TypeInferenceResult InferTypes(const Pattern& p, const GraphSchema& schema) {
+  TypeInferenceResult result;
+  result.pattern = p;
+  Pattern& q = result.pattern;
+  if (q.NumVertices() == 0) {
+    result.valid = true;
+    return result;
+  }
+
+  const size_t vtypes = schema.NumVertexTypes();
+
+  // Worklist sorted by ascending |tau(u)| so the most specific constraints
+  // propagate first (paper line 1).
+  auto cardinality = [&](int vid) {
+    return q.VertexById(vid).tc.Cardinality(vtypes);
+  };
+  std::set<int> in_queue;
+  for (const auto& v : q.vertices()) in_queue.insert(v.id);
+
+  int iterations = 0;
+  while (!in_queue.empty()) {
+    ++iterations;
+    // Pop the vertex with the smallest constraint cardinality.
+    int u = *std::min_element(in_queue.begin(), in_queue.end(),
+                              [&](int a, int b) {
+                                size_t ca = cardinality(a), cb = cardinality(b);
+                                return ca != cb ? ca < cb : a < b;
+                              });
+    in_queue.erase(u);
+
+    for (int eid : q.IncidentEdges(u)) {
+      PatternEdge& e = q.EdgeById(eid);
+      int v = (e.src == u) ? e.dst : e.src;
+      bool u_is_src = (e.src == u);
+      PatternVertex& uv = q.VertexById(u);
+      PatternVertex& vv = q.VertexById(v);
+
+      // Variable-length paths: only the terminal hops constrain the
+      // endpoints. A path of >= 2 hops constrains u by "has a compatible
+      // first hop" and v by "has a compatible last hop" independently.
+      bool is_long_path = e.min_hops > 1 || e.max_hops > 1;
+      TypeConstraint far_tc = is_long_path ? TypeConstraint::All() : vv.tc;
+
+      auto triples = CompatibleTriples(schema, uv.tc, e.tc, far_tc, u_is_src,
+                                       e.dir);
+      std::set<TypeId> cand_u, cand_e, cand_v;
+      for (auto [ut, et, vt] : triples) {
+        cand_u.insert(ut);
+        cand_e.insert(et);
+        cand_v.insert(vt);
+      }
+      // Narrow u itself (generalizes paper lines 6-7: types of u with no
+      // compatible schema adjacency for this edge are dropped).
+      TypeConstraint new_u = uv.tc.Intersect(FromSet(cand_u, vtypes));
+      if (!(new_u == uv.tc)) {
+        uv.tc = new_u;
+        in_queue.insert(u);
+      }
+      if (uv.tc.IsNone()) return result;  // INVALID
+
+      // Narrow the edge constraint.
+      TypeConstraint new_e =
+          e.tc.Intersect(FromSet(cand_e, schema.NumEdgeTypes()));
+      if (!(new_e == e.tc)) e.tc = new_e;
+      if (e.tc.IsNone()) return result;  // INVALID
+
+      // Narrow the neighbor (paper lines 11-17), except across long paths.
+      if (!is_long_path) {
+        TypeConstraint new_v = vv.tc.Intersect(FromSet(cand_v, vtypes));
+        if (!(new_v == vv.tc)) {
+          vv.tc = new_v;
+          in_queue.insert(v);
+        }
+        if (vv.tc.IsNone()) return result;  // INVALID
+      }
+    }
+  }
+
+  result.valid = true;
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace gopt

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "src/gir/pattern.h"
+#include "src/graph/schema.h"
+
+namespace gopt {
+
+/// Result of type inference: the pattern with validated (narrowed) type
+/// constraints, or invalid if some vertex/edge admits no type at all —
+/// meaning the pattern cannot match anything under the schema.
+struct TypeInferenceResult {
+  bool valid = false;
+  Pattern pattern;
+  /// Number of worklist iterations until convergence (for diagnostics and
+  /// the complexity tests).
+  int iterations = 0;
+};
+
+/// Automatic type inference and validation (paper Algorithm 1).
+///
+/// Starting from the vertices with the most specific constraints (smallest
+/// |tau(u)|), iteratively narrows the type constraints of each vertex, its
+/// incident edges and its neighbors using schema connectivity, until a
+/// fixpoint. AllType constraints are resolved against the schema universe;
+/// inferred constraints stay UnionTypes when several types remain (unlike
+/// Pathfinder-style inference that explodes into per-BasicType patterns).
+///
+/// Handles out- and in-adjacencies and Both-direction edges. For
+/// variable-length path edges only the first/last hop constrain the
+/// endpoints (intermediate vertices are unconstrained).
+TypeInferenceResult InferTypes(const Pattern& p, const GraphSchema& schema);
+
+}  // namespace gopt

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "src/opt/cbo.h"
+#include "src/physical/physical_op.h"
+
+namespace gopt {
+
+/// Matching semantics of MATCH_PATTERN results (paper Remark 3.1): the
+/// framework plans under homomorphism semantics; Cypher's no-repeated-edge
+/// semantics is realized by an all-distinct filter over the matched edges
+/// appended after the pattern.
+enum class MatchSemantics { kHomomorphism, kNoRepeatedEdge };
+
+struct ConvertOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+};
+
+/// PhysicalConverter: lowers an optimized GIR logical plan plus the CBO's
+/// per-pattern plans into a backend-executable physical operator tree
+/// (paper Section 7, "Output Format" — our in-memory equivalent of the
+/// protobuf physical plan).
+class PhysicalConverter {
+ public:
+  PhysicalConverter(const GraphSchema* schema, ConvertOptions opts = {})
+      : schema_(schema), opts_(opts) {}
+
+  /// `pattern_plans` maps every kMatchPattern node to the pattern plan the
+  /// CBO (or a baseline planner) chose for it.
+  PhysOpPtr Convert(const LogicalOpPtr& root,
+                    const std::map<const LogicalOp*, PatternPlanPtr>&
+                        pattern_plans);
+
+ private:
+  PhysOpPtr ConvertNode(const LogicalOpPtr& op,
+                        const std::map<const LogicalOp*, PatternPlanPtr>&
+                            pattern_plans);
+  PhysOpPtr ConvertPatternPlan(const LogicalOp& match_op,
+                               const PatternPlanPtr& node);
+  PhysOpPtr ConvertPlanRec(const Pattern& full, const PatternPlanPtr& node,
+                           bool bind_all_edges);
+  /// One pattern edge as an Expand/PathExpand step on top of `input`.
+  PhysOpPtr MakeEdgeStep(const Pattern& pat, const PatternEdge& e,
+                         PhysOpPtr input, bool bind_edge);
+  /// Trims pattern output columns and applies no-repeated-edge semantics.
+  PhysOpPtr FinishPattern(const LogicalOp& op, PhysOpPtr in);
+
+  const GraphSchema* schema_;
+  ConvertOptions opts_;
+  std::map<const LogicalOp*, PhysOpPtr> shared_;  // DAG-shared conversions
+  /// FieldTrim tags of the pattern currently being converted (or null).
+  const std::set<std::string>* trimmed_tags_ = nullptr;
+};
+
+}  // namespace gopt

@@ -1,0 +1,110 @@
+#include "src/physical/physical_op.h"
+
+namespace gopt {
+
+const char* PhysOpKindName(PhysOpKind k) {
+  switch (k) {
+    case PhysOpKind::kScanVertices: return "Scan";
+    case PhysOpKind::kExpandEdge: return "Expand";
+    case PhysOpKind::kExpandIntersect: return "ExpandIntersect";
+    case PhysOpKind::kPathExpand: return "PathExpand";
+    case PhysOpKind::kHashJoin: return "HashJoin";
+    case PhysOpKind::kSelect: return "Select";
+    case PhysOpKind::kProject: return "Project";
+    case PhysOpKind::kAggregate: return "Group";
+    case PhysOpKind::kOrder: return "Order";
+    case PhysOpKind::kLimit: return "Limit";
+    case PhysOpKind::kDedup: return "Dedup";
+    case PhysOpKind::kUnion: return "Union";
+    case PhysOpKind::kUnfold: return "Unfold";
+  }
+  return "?";
+}
+
+std::string PhysOp::ToString(const GraphSchema& schema, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s = pad + PhysOpKindName(kind);
+  switch (kind) {
+    case PhysOpKind::kScanVertices:
+      s += " " + alias + " (" + vtc.ToString(schema, true) + ")";
+      if (!vertex_preds.empty()) {
+        s += " where";
+        for (const auto& p : vertex_preds) s += " " + p->ToString();
+      }
+      break;
+    case PhysOpKind::kExpandEdge: {
+      s += target_bound ? "Into " : " ";
+      s += from_tag;
+      s += (dir == Direction::kIn) ? "<-" : "-";
+      s += "[" + etc_.ToString(schema, false) + "]";
+      s += (dir == Direction::kOut) ? "->" : "-";
+      s += alias + " (" + vtc.ToString(schema, true) + ")";
+      break;
+    }
+    case PhysOpKind::kExpandIntersect: {
+      s += " " + alias + " (" + vtc.ToString(schema, true) + ") arms{";
+      for (size_t i = 0; i < arms.size(); ++i) {
+        if (i) s += ", ";
+        s += arms[i].from_tag;
+        s += (arms[i].dir == Direction::kIn) ? "<-" : "->";
+        s += "[" + arms[i].etc_.ToString(schema, false) + "]";
+      }
+      s += "}";
+      break;
+    }
+    case PhysOpKind::kPathExpand:
+      s += " " + from_tag + "-[" + etc_.ToString(schema, false) + "*" +
+           std::to_string(min_hops) + ".." + std::to_string(max_hops) + "]-" +
+           alias;
+      if (target_bound) s += " (into)";
+      break;
+    case PhysOpKind::kHashJoin: {
+      s += " keys{";
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i) s += ",";
+        s += join_keys[i];
+      }
+      s += "}";
+      break;
+    }
+    case PhysOpKind::kSelect:
+      s += " " + (predicate ? predicate->ToString() : "true");
+      break;
+    case PhysOpKind::kProject: {
+      s += " {";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i) s += ", ";
+        s += items[i].expr->ToString() + " AS " + items[i].alias;
+      }
+      s += "}";
+      break;
+    }
+    case PhysOpKind::kAggregate: {
+      s += " keys={";
+      for (size_t i = 0; i < group_keys.size(); ++i) {
+        if (i) s += ",";
+        s += group_keys[i].alias;
+      }
+      s += "} aggs={";
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i) s += ",";
+        s += AggFuncName(aggs[i].fn);
+      }
+      s += "}";
+      break;
+    }
+    case PhysOpKind::kOrder:
+      if (limit >= 0) s += " limit=" + std::to_string(limit);
+      break;
+    case PhysOpKind::kLimit:
+      s += " " + std::to_string(limit);
+      break;
+    default:
+      break;
+  }
+  s += "\n";
+  for (const auto& c : children) s += c->ToString(schema, indent + 1);
+  return s;
+}
+
+}  // namespace gopt

@@ -1,0 +1,466 @@
+#include "src/workloads/queries.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace gopt {
+
+const std::vector<WorkloadQuery>& IcQueries() {
+  static const std::vector<WorkloadQuery> kQueries = {
+      {"IC1",
+       "MATCH (p:Person)-[:KNOWS*1..3]->(f:Person) "
+       "WHERE p.id = $personId AND f.firstName = '$firstName' "
+       "RETURN f.id AS fid, f.lastName AS lastName ORDER BY fid ASC LIMIT 20",
+       ""},
+      {"IC2",
+       "MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post|Comment) "
+       "WHERE p.id = $personId AND m.creationDate < $maxDate "
+       "RETURN f.id AS fid, m.id AS mid, m.creationDate AS date "
+       "ORDER BY date DESC, mid ASC LIMIT 20",
+       ""},
+      {"IC3",
+       "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)"
+       "<-[:HAS_CREATOR]-(m:Post|Comment)-[:IS_LOCATED_IN]->(c:Place) "
+       "WHERE p.id = $personId AND c.name = '$country' "
+       "RETURN f.id AS fid, COUNT(m) AS cnt ORDER BY cnt DESC, fid ASC "
+       "LIMIT 20",
+       ""},
+      {"IC4",
+       "MATCH (p:Person)-[:KNOWS]->(f:Person)"
+       "<-[:HAS_CREATOR]-(post:Post)-[:HAS_TAG]->(t:Tag) "
+       "WHERE p.id = $personId AND post.creationDate >= $minDate "
+       "RETURN t.name AS tagName, COUNT(post) AS postCount "
+       "ORDER BY postCount DESC, tagName ASC LIMIT 10",
+       ""},
+      {"IC5",
+       "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)<-[m:HAS_MEMBER]-(fo:Forum) "
+       "WHERE p.id = $personId AND m.joinDate > $minDate "
+       "RETURN fo.title AS title, COUNT(f) AS memberCount "
+       "ORDER BY memberCount DESC, title ASC LIMIT 20",
+       ""},
+      {"IC6",
+       "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)"
+       "<-[:HAS_CREATOR]-(post:Post)-[:HAS_TAG]->(t:Tag) "
+       "MATCH (post)-[:HAS_TAG]->(other:Tag) "
+       "WHERE p.id = $personId AND t.name = '$tagName' "
+       "AND other.name <> '$tagName' "
+       "RETURN other.name AS tagName, COUNT(post) AS postCount "
+       "ORDER BY postCount DESC, tagName ASC LIMIT 10",
+       ""},
+      {"IC7",
+       "MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post|Comment)"
+       "<-[l:LIKES]-(liker:Person) "
+       "WHERE p.id = $personId "
+       "RETURN liker.id AS lid, m.id AS mid, l.creationDate AS likeDate "
+       "ORDER BY likeDate DESC, lid ASC LIMIT 20",
+       ""},
+      {"IC8",
+       "MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post|Comment)"
+       "<-[:REPLY_OF]-(c:Comment)-[:HAS_CREATOR]->(author:Person) "
+       "WHERE p.id = $personId "
+       "RETURN author.id AS aid, c.id AS cid, c.creationDate AS date "
+       "ORDER BY date DESC, cid ASC LIMIT 20",
+       ""},
+      {"IC9",
+       "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person) WHERE p.id = $personId "
+       "WITH f MATCH (f)<-[:HAS_CREATOR]-(m:Post|Comment) "
+       "WHERE m.creationDate < $maxDate "
+       "RETURN f.id AS fid, COUNT(*) AS msgs ORDER BY msgs DESC, fid ASC "
+       "LIMIT 20",
+       ""},
+      {"IC10",
+       "MATCH (p:Person)-[:KNOWS]->(mid:Person)-[:KNOWS]->(fof:Person)"
+       "-[:IS_LOCATED_IN]->(city:Place) "
+       "WHERE p.id = $personId AND fof.birthday >= $minBirthday "
+       "RETURN fof.id AS fid, city.name AS cityName ORDER BY fid ASC LIMIT 20",
+       ""},
+      {"IC11",
+       "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)-[w:WORK_AT]->"
+       "(o:Organisation)-[:IS_LOCATED_IN]->(c:Place) "
+       "WHERE p.id = $personId AND c.name = '$country' AND w.workFrom < 2015 "
+       "RETURN f.id AS fid, o.name AS orgName, w.workFrom AS since "
+       "ORDER BY since ASC, fid ASC LIMIT 10",
+       ""},
+      {"IC12",
+       "MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(c:Comment)"
+       "-[:REPLY_OF]->(post:Post)-[:HAS_TAG]->(t:Tag)-[:HAS_TYPE]->"
+       "(tc:TagClass) "
+       "WHERE p.id = $personId AND tc.name = '$tagClass' "
+       "RETURN f.id AS fid, COUNT(c) AS replyCount "
+       "ORDER BY replyCount DESC, fid ASC LIMIT 20",
+       ""},
+  };
+  return kQueries;
+}
+
+const std::vector<WorkloadQuery>& BiQueries() {
+  static const std::vector<WorkloadQuery> kQueries = {
+      {"BI1",
+       "MATCH (m:Post|Comment) WHERE m.creationDate < $maxDate "
+       "RETURN m.browserUsed AS browser, COUNT(m) AS cnt "
+       "ORDER BY cnt DESC, browser ASC",
+       ""},
+      {"BI2",
+       "MATCH (t:Tag)<-[:HAS_TAG]-(m:Post|Comment) "
+       "WHERE m.creationDate >= $minDate AND m.creationDate < $maxDate "
+       "RETURN t.name AS tagName, COUNT(m) AS cnt "
+       "ORDER BY cnt DESC, tagName ASC LIMIT 20",
+       ""},
+      {"BI3",
+       "MATCH (t:Tag)<-[:HAS_TAG]-(m:Post|Comment)-[:IS_LOCATED_IN]->"
+       "(c:Place) WHERE c.name = '$country' "
+       "RETURN t.name AS tagName, COUNT(m) AS cnt "
+       "ORDER BY cnt DESC, tagName ASC LIMIT 20",
+       ""},
+      {"BI4",
+       "MATCH (f:Forum)-[:CONTAINER_OF]->(p:Post)-[:HAS_CREATOR]->"
+       "(per:Person)-[:IS_LOCATED_IN]->(c:Place) WHERE c.name = '$city' "
+       "RETURN f.title AS title, COUNT(p) AS postCount "
+       "ORDER BY postCount DESC, title ASC LIMIT 20",
+       ""},
+      {"BI5",
+       "MATCH (c:Place)<-[:IS_LOCATED_IN]-(p:Person)"
+       "<-[:HAS_CREATOR]-(m:Post|Comment) WHERE c.name = '$city' "
+       "RETURN p.id AS pid, COUNT(m) AS cnt ORDER BY cnt DESC, pid ASC "
+       "LIMIT 20",
+       ""},
+      {"BI6",
+       "MATCH (t:Tag)<-[:HAS_TAG]-(m:Post)-[:HAS_CREATOR]->(p:Person)"
+       "<-[:HAS_CREATOR]-(m2:Post)<-[:LIKES]-(liker:Person) "
+       "WHERE t.name = '$tagName' "
+       "RETURN p.id AS pid, COUNT(liker) AS score "
+       "ORDER BY score DESC, pid ASC LIMIT 10",
+       ""},
+      {"BI7",
+       "MATCH (t:Tag)<-[:HAS_TAG]-(m:Post|Comment)<-[:REPLY_OF]-(c:Comment)"
+       "-[:HAS_TAG]->(other:Tag) "
+       "WHERE t.name = '$tagName' AND other.name <> '$tagName' "
+       "RETURN other.name AS tagName, COUNT(c) AS cnt "
+       "ORDER BY cnt DESC, tagName ASC LIMIT 20",
+       ""},
+      {"BI8",
+       "MATCH (t:Tag)<-[:HAS_INTEREST]-(p:Person)-[:KNOWS]->(f:Person)"
+       "-[:HAS_INTEREST]->(t2:Tag) "
+       "WHERE t.name = '$tagName' AND t2.name = '$tagName2' "
+       "RETURN p.id AS pid, f.id AS fid ORDER BY pid ASC, fid ASC LIMIT 50",
+       ""},
+      {"BI9",
+       "MATCH (p:Person)<-[:HAS_CREATOR]-(post:Post)"
+       "<-[:REPLY_OF*1..2]-(c:Comment) "
+       "RETURN p.id AS pid, COUNT(c) AS replies "
+       "ORDER BY replies DESC, pid ASC LIMIT 20",
+       ""},
+      {"BI10",
+       "MATCH (p:Person)-[:KNOWS*1..3]->(expert:Person)-[:HAS_INTEREST]->"
+       "(t:Tag)-[:HAS_TYPE]->(tc:TagClass) "
+       "MATCH (expert)<-[:HAS_CREATOR]-(m:Post)-[:HAS_TAG]->(t) "
+       "WHERE p.id = $personId AND tc.name = '$tagClass' "
+       "RETURN expert.id AS eid, t.name AS tagName, COUNT(m) AS cnt "
+       "ORDER BY cnt DESC, eid ASC LIMIT 20",
+       ""},
+      {"BI11",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person), "
+       "(a)-[:KNOWS]->(c) MATCH (a)-[:IS_LOCATED_IN]->(pl:Place) "
+       "WHERE pl.name = '$city' "
+       "RETURN COUNT(*) AS triangles",
+       ""},
+      {"BI12",
+       "MATCH (m:Post)-[:HAS_CREATOR]->(p:Person) "
+       "MATCH (m)<-[:LIKES]-(liker:Person) "
+       "WHERE m.creationDate > $minDate "
+       "RETURN m.id AS mid, p.id AS pid, COUNT(liker) AS likeCount "
+       "ORDER BY likeCount DESC, mid ASC LIMIT 20",
+       ""},
+      {"BI13",
+       "MATCH (c:Place)<-[:IS_LOCATED_IN]-(p:Person) "
+       "WITH c.name AS country, p "
+       "MATCH (p)<-[:HAS_CREATOR]-(m:Post|Comment) "
+       "RETURN country, COUNT(*) AS msgs ORDER BY msgs DESC, country ASC "
+       "LIMIT 20",
+       ""},
+      {"BI14",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person), "
+       "(a)-[:IS_LOCATED_IN]->(pa:Place), (b)-[:IS_LOCATED_IN]->(pb:Place) "
+       "WHERE pa.name = '$city' AND pb.name = '$city2' "
+       "RETURN a.id AS aid, b.id AS bid ORDER BY aid ASC, bid ASC LIMIT 50",
+       ""},
+      {"BI16",
+       "MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_TAG]-(m:Post)"
+       "-[:HAS_CREATOR]->(p) "
+       "RETURN p.id AS pid, COUNT(m) AS selfTagged "
+       "ORDER BY selfTagged DESC, pid ASC LIMIT 20",
+       ""},
+      {"BI17",
+       "MATCH (t:Tag)<-[:HAS_TAG]-(m1:Post)<-[:REPLY_OF]-(c:Comment)"
+       "-[:HAS_CREATOR]->(p:Person)-[:IS_LOCATED_IN]->(pl:Place) "
+       "WHERE t.name = '$tagName' "
+       "RETURN pl.name AS placeName, COUNT(c) AS cnt "
+       "ORDER BY cnt DESC, placeName ASC LIMIT 20",
+       ""},
+      {"BI18",
+       "MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(fof:Person)"
+       "-[:HAS_INTEREST]->(t:Tag)<-[:HAS_INTEREST]-(p) "
+       "WHERE p.id = $personId "
+       "RETURN fof.id AS fid, COUNT(t) AS common "
+       "ORDER BY common DESC, fid ASC LIMIT 20",
+       ""},
+  };
+  return kQueries;
+}
+
+const std::vector<WorkloadQuery>& QrQueries() {
+  static const std::vector<WorkloadQuery> kQueries = {
+      // FilterIntoPattern: highly selective filters left outside the
+      // pattern by the parser; the rule pushes them into matching.
+      {"QR1",
+       "MATCH (p:Person)-[:KNOWS]->(f:Person)-[:IS_LOCATED_IN]->(c:Place) "
+       "WHERE c.name = '$city' AND p.id = $personId RETURN p, f, c",
+       "g.V().hasLabel('Person').as('p').has('id', $personId)"
+       ".out('KNOWS').as('f').hasLabel('Person')"
+       ".out('IS_LOCATED_IN').as('c').hasLabel('Place')"
+       ".has('name', '$city').select('p')"},
+      {"QR2",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person)"
+       "-[:KNOWS]->(d:Person) WHERE a.id = $personId RETURN a, b, c, d",
+       "g.V().hasLabel('Person').as('a').has('id', $personId)"
+       ".out('KNOWS').as('b').out('KNOWS').as('c').out('KNOWS').as('d')"
+       ".select('a')"},
+      // FieldTrim: named variable-length paths / edges that no downstream
+      // operator uses; trimming avoids materializing them (COLUMNS pruning).
+      {"QR3",
+       "MATCH (a:Person)-[k:KNOWS*3..3]->(b:Person) "
+       "RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('a').out('KNOWS').out('KNOWS')"
+       ".out('KNOWS').as('b').count()"},
+      {"QR4",
+       "MATCH (p:Person)-[e:LIKES]->(m:Post)-[ht:HAS_TAG]->(t:Tag), "
+       "(p)-[w:KNOWS]->(f:Person)-[e2:LIKES]->(m) "
+       "RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('p').out('LIKES').as('m')"
+       ".hasLabel('Post').out('HAS_TAG').as('t')"
+       ".select('p').out('KNOWS').as('f').out('LIKES').as('m').count()"},
+      // JoinToPattern: multiple MATCH clauses sharing variables.
+      {"QR5",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+       "MATCH (b)-[:IS_LOCATED_IN]->(c:Place) WHERE c.name = '$city' "
+       "RETURN a, b, c",
+       "g.V().hasLabel('Person').as('a')"
+       ".match(__.as('a').out('KNOWS').as('b'), "
+       "__.as('b').out('IS_LOCATED_IN').as('c'))"
+       ".select('c').hasLabel('Place').has('name', '$city').select('a')"},
+      {"QR6",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person) MATCH (a)-[:KNOWS]->(c:Person) "
+       "MATCH (b)-[:KNOWS]->(c) RETURN a, b, c",
+       "g.V().hasLabel('Person').as('a')"
+       ".match(__.as('a').out('KNOWS').as('b'), "
+       "__.as('a').out('KNOWS').as('c'), __.as('b').out('KNOWS').as('c'))"
+       ".select('a')"},
+      // ComSubPattern: UNION branches sharing a heavy common subpattern
+      // (the common 3-hop chain is matched once; the branch deltas are
+      // low-fanout expansions, so the shared work dominates).
+      {"QR7",
+       "MATCH (v1:Person)-[:KNOWS]->(v2:Person)-[:KNOWS]->(v3:Person)"
+       "-[:KNOWS]->(v4:Person)-[:IS_LOCATED_IN]->(c:Place {name: '$city'}) "
+       "RETURN COUNT(*) AS cnt "
+       "UNION ALL "
+       "MATCH (v1:Person)-[:KNOWS]->(v2:Person)-[:KNOWS]->(v3:Person)"
+       "-[:KNOWS]->(v4:Person)-[:WORK_AT]->(o:Organisation {name: 'org_0'}) "
+       "RETURN COUNT(*) AS cnt",
+       "g.union(__.V().hasLabel('Person').as('v1').out('KNOWS').as('v2')"
+       ".hasLabel('Person').out('KNOWS').as('v3').out('KNOWS').as('v4')"
+       ".out('IS_LOCATED_IN').as('c').count(), "
+       "__.V().hasLabel('Person').as('v1').out('KNOWS').as('v2')"
+       ".hasLabel('Person').out('KNOWS').as('v3').out('KNOWS').as('v4')"
+       ".out('WORK_AT').as('o').count())"},
+      {"QR8",
+       "MATCH (f:Forum)-[:HAS_MEMBER]->(p:Person)-[:KNOWS]->(q:Person)"
+       "-[:KNOWS]->(r:Person)-[:STUDY_AT]->(o:Organisation) "
+       "RETURN COUNT(*) AS cnt "
+       "UNION ALL "
+       "MATCH (f:Forum)-[:HAS_MEMBER]->(p:Person)-[:KNOWS]->(q:Person)"
+       "-[:KNOWS]->(r:Person)-[:IS_LOCATED_IN]->(c:Place {name: '$city'}) "
+       "RETURN COUNT(*) AS cnt",
+       "g.union(__.V().hasLabel('Forum').as('f').out('HAS_MEMBER').as('p')"
+       ".out('KNOWS').as('q').out('KNOWS').as('r')"
+       ".out('STUDY_AT').as('o').count(), "
+       "__.V().hasLabel('Forum').as('f').out('HAS_MEMBER').as('p')"
+       ".out('KNOWS').as('q').out('KNOWS').as('r')"
+       ".out('IS_LOCATED_IN').as('c').count())"},
+  };
+  return kQueries;
+}
+
+const std::vector<WorkloadQuery>& QtQueries() {
+  // No explicit type constraints: without inference every unconstrained
+  // vertex scans the whole graph; inference narrows scans and expansions to
+  // the schema-viable types (paper Section 6.2).
+  static const std::vector<WorkloadQuery> kQueries = {
+      {"QT1", "MATCH (a)-[:KNOWS]->(b) RETURN COUNT(*) AS cnt", ""},
+      {"QT2",
+       "MATCH (a)-[]->(b)-[:HAS_TYPE]->(c) WHERE c.name = '$tagClass' "
+       "RETURN COUNT(*) AS cnt",
+       ""},
+      {"QT3",
+       "MATCH (a)-[:REPLY_OF]->(b)-[:HAS_CREATOR]->(c) "
+       "WHERE c.firstName = '$firstName' RETURN COUNT(*) AS cnt",
+       ""},
+      {"QT4",
+       "MATCH (a)-[:CONTAINER_OF]->(b)-[:HAS_TAG]->(t) "
+       "WHERE t.name = '$tagName' RETURN a, b, t",
+       ""},
+      {"QT5",
+       "MATCH (a)-[:HAS_MODERATOR]->(b)-[:WORK_AT]->(c)-[:IS_LOCATED_IN]->(d) "
+       "RETURN COUNT(*) AS cnt",
+       ""},
+  };
+  return kQueries;
+}
+
+const std::vector<WorkloadQuery>& QcQueries() {
+  static const std::vector<WorkloadQuery> kQueries = {
+      // Triangle.
+      {"QC1a",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person), "
+       "(a)-[:KNOWS]->(c) RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('a')"
+       ".match(__.as('a').out('KNOWS').as('b'), "
+       "__.as('b').out('KNOWS').as('c'), __.as('a').out('KNOWS').as('c'))"
+       ".count()"},
+      {"QC1b",
+       "MATCH (a:Person)-[:LIKES]->(m:Post|Comment)-[:HAS_CREATOR]->"
+       "(b:Person), (a)-[:KNOWS]->(b) RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('a')"
+       ".match(__.as('a').out('LIKES').as('m'), "
+       "__.as('m').out('HAS_CREATOR').as('b'), "
+       "__.as('a').out('KNOWS').as('b')).count()"},
+      // Square (4-cycle).
+      {"QC2a",
+       "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person), "
+       "(a)-[:KNOWS]->(d:Person), (d)-[:KNOWS]->(c) RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('a')"
+       ".match(__.as('a').out('KNOWS').as('b'), "
+       "__.as('b').out('KNOWS').as('c'), __.as('a').out('KNOWS').as('d'), "
+       "__.as('d').out('KNOWS').as('c')).count()"},
+      {"QC2b",
+       "MATCH (p1:Person)-[:LIKES]->(m:Post|Comment)-[:HAS_CREATOR]->"
+       "(p2:Person), (p1)-[:KNOWS]->(p3:Person), (p3)-[:KNOWS]->(p2) "
+       "RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('p1')"
+       ".match(__.as('p1').out('LIKES').as('m'), "
+       "__.as('m').out('HAS_CREATOR').as('p2'), "
+       "__.as('p1').out('KNOWS').as('p3'), "
+       "__.as('p3').out('KNOWS').as('p2')).count()"},
+      // 5-path anchored at one end.
+      {"QC3a",
+       "MATCH (pl:Place)<-[:IS_LOCATED_IN]-(a:Person)<-[:KNOWS]-(b:Person)"
+       "<-[:KNOWS]-(c:Person)<-[:KNOWS]-(d:Person)<-[:KNOWS]-(e:Person) "
+       "WHERE pl.name = '$city' RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('e').out('KNOWS').as('d')"
+       ".out('KNOWS').as('c').out('KNOWS').as('b').out('KNOWS').as('a')"
+       ".out('IS_LOCATED_IN').as('pl').hasLabel('Place')"
+       ".has('name', '$city').count()"},
+      {"QC3b",
+       "MATCH (pl:Place)<-[:IS_LOCATED_IN]-(b:Person)<-[:KNOWS]-(c:Person)"
+       "-[:LIKES]->(m:Post|Comment)-[:HAS_TAG]->(t:Tag) "
+       "WHERE pl.name = '$city' RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('c').out('LIKES').as('m')"
+       ".out('HAS_TAG').as('t').select('c').out('KNOWS').as('b')"
+       ".out('IS_LOCATED_IN').as('pl').hasLabel('Place')"
+       ".has('name', '$city').count()"},
+      // Complex pattern: 7 vertices, 8 edges.
+      {"QC4a",
+       "MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person), "
+       "(p1)-[:KNOWS]->(p3), (p3)-[:IS_LOCATED_IN]->(pl:Place), "
+       "(p1)<-[:HAS_CREATOR]-(m:Post), (m)-[:HAS_TAG]->(t:Tag), "
+       "(p2)-[:HAS_INTEREST]->(t), (m)<-[:LIKES]-(p4:Person) "
+       "RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('p1')"
+       ".match(__.as('p1').out('KNOWS').as('p2'), "
+       "__.as('p2').out('KNOWS').as('p3'), "
+       "__.as('p1').out('KNOWS').as('p3'), "
+       "__.as('p3').out('IS_LOCATED_IN').as('pl'), "
+       "__.as('m').hasLabel('Post').out('HAS_CREATOR').as('p1'), "
+       "__.as('m').out('HAS_TAG').as('t'), "
+       "__.as('p2').out('HAS_INTEREST').as('t'), "
+       "__.as('p4').out('LIKES').as('m')).count()"},
+      {"QC4b",
+       "MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person), "
+       "(p1)-[:KNOWS]->(p3), (p3)-[:IS_LOCATED_IN]->(pl:Place), "
+       "(p1)<-[:HAS_CREATOR]-(m:Post|Comment), (m)-[:HAS_TAG]->(t:Tag), "
+       "(p2)-[:HAS_INTEREST]->(t), (m)<-[:LIKES]-(p4:Person) "
+       "RETURN COUNT(*) AS cnt",
+       "g.V().hasLabel('Person').as('p1')"
+       ".match(__.as('p1').out('KNOWS').as('p2'), "
+       "__.as('p2').out('KNOWS').as('p3'), "
+       "__.as('p1').out('KNOWS').as('p3'), "
+       "__.as('p3').out('IS_LOCATED_IN').as('pl'), "
+       "__.as('m').out('HAS_CREATOR').as('p1'), "
+       "__.as('m').out('HAS_TAG').as('t'), "
+       "__.as('p2').out('HAS_INTEREST').as('t'), "
+       "__.as('p4').out('LIKES').as('m')).count()"},
+  };
+  return kQueries;
+}
+
+std::string StQuery(int hops, const std::vector<int64_t>& s1,
+                    const std::vector<int64_t>& s2) {
+  auto id_list = [](const std::vector<int64_t>& ids) {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i) os << ", ";
+      os << ids[i];
+    }
+    os << "]";
+    return os.str();
+  };
+  std::ostringstream q;
+  q << "MATCH (a:Account)";
+  for (int i = 1; i < hops; ++i) {
+    q << "-[:TRANSFER]->(x" << i << ":Account)";
+  }
+  q << "-[:TRANSFER]->(b:Account) ";
+  q << "WHERE a.id IN " << id_list(s1) << " AND b.id IN " << id_list(s2)
+    << " RETURN COUNT(*) AS paths";
+  return q.str();
+}
+
+const std::map<std::string, std::string>& DefaultParams() {
+  static const std::map<std::string, std::string> kParams = {
+      {"personId", "17"},
+      {"firstName", "Emma"},
+      {"maxDate", "20200101"},
+      {"minDate", "20150101"},
+      {"minBirthday", "19800101"},
+      {"country", "place_46"},
+      {"city", "place_0"},
+      {"city2", "place_1"},
+      {"tagName", "tag_0"},
+      {"tagName2", "tag_1"},
+      {"tagClass", "tagclass_0"},
+  };
+  return kParams;
+}
+
+std::string SubstituteParams(std::string text,
+                             const std::map<std::string, std::string>& params) {
+  for (const auto& [name, value] : params) {
+    const std::string needle = "$" + name;
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      // Avoid replacing longer names sharing a prefix (e.g. $tagName2).
+      size_t end = pos + needle.size();
+      if (end < text.size() &&
+          (std::isalnum(static_cast<unsigned char>(text[end])) ||
+           text[end] == '_')) {
+        pos = end;
+        continue;
+      }
+      text.replace(pos, needle.size(), value);
+      pos += value.size();
+    }
+  }
+  return text;
+}
+
+}  // namespace gopt

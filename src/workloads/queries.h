@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gopt {
+
+/// One experiment query: a name (paper id such as "IC6" or "QC1a"), its
+/// Cypher text and, where the experiments need it (Fig. 8(e)), a Gremlin
+/// translation. Query texts use $param placeholders resolved by
+/// SubstituteParams before parsing.
+struct WorkloadQuery {
+  std::string name;
+  std::string cypher;
+  std::string gremlin;  // empty when not used by any experiment
+};
+
+/// LDBC Interactive Complex workloads IC1..IC12 (simplified to the engine's
+/// Cypher subset; shapes and anchoring follow the official queries).
+const std::vector<WorkloadQuery>& IcQueries();
+
+/// LDBC Business Intelligence workloads BI1..BI14, BI16..BI18 (same policy;
+/// BI15/19/20 are excluded as in the paper — shortest-path / procedures).
+const std::vector<WorkloadQuery>& BiQueries();
+
+/// QR1..QR8: heuristic-rule micro benchmarks (Fig. 8(a)) — pairs per rule:
+/// FilterIntoPattern (QR1,2), FieldTrim (QR3,4), JoinToPattern (QR5,6),
+/// ComSubPattern (QR7,8). Explicit types only.
+const std::vector<WorkloadQuery>& QrQueries();
+
+/// QT1..QT5: type-inference micro benchmarks (Fig. 8(b)) — patterns without
+/// explicit type constraints.
+const std::vector<WorkloadQuery>& QtQueries();
+
+/// QC1..QC4 (a|b): CBO micro benchmarks (Fig. 8(c,d)) — triangle, square,
+/// 5-path and a 7-vertex/8-edge pattern; 'a' variants use BasicTypes, 'b'
+/// variants UnionTypes.
+const std::vector<WorkloadQuery>& QcQueries();
+
+/// The s-t path case-study query (Fig. 11): a k-hop transfer chain between
+/// two id sets, written as an explicit edge chain so the CBO can pick the
+/// bidirectional join position.
+std::string StQuery(int hops, const std::vector<int64_t>& s1,
+                    const std::vector<int64_t>& s2);
+
+/// Default parameter values valid on any generated LDBC graph.
+const std::map<std::string, std::string>& DefaultParams();
+
+/// Replaces $name placeholders by params.at(name).
+std::string SubstituteParams(std::string text,
+                             const std::map<std::string, std::string>& params);
+
+}  // namespace gopt

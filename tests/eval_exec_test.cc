@@ -1,0 +1,178 @@
+// Edge-case tests for expression evaluation and relational operator
+// behavior (nulls, distinct, unions, unfold, aggregates over empty input).
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/exec/eval.h"
+#include "src/ldbc/ldbc.h"
+
+namespace gopt {
+namespace {
+
+std::shared_ptr<PropertyGraph> TinyGraph() {
+  GraphSchema s = MakePaperSchema();
+  auto g = std::make_shared<PropertyGraph>(s);
+  TypeId person = *s.FindVertexType("Person");
+  TypeId knows = *s.FindEdgeType("Knows");
+  for (int i = 0; i < 3; ++i) {
+    VertexId v = g->AddVertex(person);
+    g->SetVertexProp(v, "id", Value(i));
+    if (i != 1) g->SetVertexProp(v, "name", Value("p" + std::to_string(i)));
+    // vertex 1 has no name: null-handling coverage.
+  }
+  g->AddEdge(0, 1, knows);
+  g->AddEdge(1, 2, knows);
+  g->Finalize();
+  return g;
+}
+
+TEST(ExprEval, NullPropagation) {
+  auto g = TinyGraph();
+  ExprEval eval(g.get());
+  Row row = {Value(VertexRef{1})};
+  ColMap cols{{"v", 0}};
+  // v.name is null: comparisons yield null, EvalBool treats as false.
+  auto cmp = Expr::MakeBinary(BinOp::kEq, Expr::MakeProperty("v", "name"),
+                              Expr::MakeLiteral(Value("x")));
+  EXPECT_TRUE(eval.Eval(*cmp, row, cols).is_null());
+  EXPECT_FALSE(eval.EvalBool(cmp, row, cols));
+  auto isnull = Expr::MakeUnary(UnOp::kIsNull, Expr::MakeProperty("v", "name"));
+  EXPECT_TRUE(eval.EvalBool(isnull, row, cols));
+}
+
+TEST(ExprEval, ArithmeticAndStrings) {
+  auto g = TinyGraph();
+  ExprEval eval(g.get());
+  Row row;
+  ColMap cols;
+  auto lit = [](auto v) { return Expr::MakeLiteral(Value(v)); };
+  EXPECT_EQ(eval.Eval(*Expr::MakeBinary(BinOp::kAdd, lit(2), lit(3)), row, cols)
+                .AsInt(),
+            5);
+  EXPECT_DOUBLE_EQ(
+      eval.Eval(*Expr::MakeBinary(BinOp::kDiv, lit(1), lit(2.0)), row, cols)
+          .AsDouble(),
+      0.5);
+  EXPECT_TRUE(eval.Eval(*Expr::MakeBinary(BinOp::kContains, lit("abcd"),
+                                          lit("bc")),
+                        row, cols)
+                  .AsBool());
+  EXPECT_TRUE(eval.Eval(*Expr::MakeBinary(BinOp::kStartsWith, lit("abcd"),
+                                          lit("ab")),
+                        row, cols)
+                  .AsBool());
+  // Division by zero yields null.
+  EXPECT_TRUE(eval.Eval(*Expr::MakeBinary(BinOp::kDiv, lit(1), lit(0)), row,
+                        cols)
+                  .is_null());
+}
+
+TEST(ExprEval, GraphFunctions) {
+  auto g = TinyGraph();
+  ExprEval eval(g.get());
+  Row row = {Value(VertexRef{0}), Value(g->MakeEdgeRef(0))};
+  ColMap cols{{"v", 0}, {"e", 1}};
+  auto f = [&](const char* name, const char* tag) {
+    return eval.Eval(*Expr::MakeFunc(name, {Expr::MakeVar(tag)}), row, cols);
+  };
+  EXPECT_EQ(f("id", "v").AsInt(), 0);
+  EXPECT_EQ(f("label", "v").AsString(), "Person");
+  EXPECT_EQ(f("type", "e").AsString(), "Knows");
+}
+
+TEST(EndToEnd, DistinctAndUnion) {
+  auto g = TinyGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  // UNION dedups, UNION ALL keeps duplicates.
+  auto all = engine.Run(
+      "MATCH (a:Person) RETURN a UNION ALL MATCH (b:Person) RETURN b AS a");
+  EXPECT_EQ(all.NumRows(), 6u);
+  auto dedup = engine.Run(
+      "MATCH (a:Person) RETURN a UNION MATCH (b:Person) RETURN b AS a");
+  EXPECT_EQ(dedup.NumRows(), 3u);
+  auto distinct = engine.Run(
+      "MATCH (a:Person)-[:Knows]-(b:Person) RETURN DISTINCT a");
+  EXPECT_EQ(distinct.NumRows(), 3u);
+}
+
+TEST(EndToEnd, AggregatesOverEmptyAndNulls) {
+  auto g = TinyGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  // Empty input, keyless: COUNT returns one row with 0.
+  auto r = engine.Run(
+      "MATCH (a:Person) WHERE a.id > 100 RETURN COUNT(*) AS c");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  // COUNT(a.name) skips nulls; COUNT(*) does not.
+  auto r2 = engine.Run(
+      "MATCH (a:Person) RETURN COUNT(a.name) AS named, COUNT(*) AS total");
+  EXPECT_EQ(r2.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r2.rows[0][1].AsInt(), 3);
+  // MIN/MAX/AVG/COLLECT on ids.
+  auto r3 = engine.Run(
+      "MATCH (a:Person) RETURN MIN(a.id) AS lo, MAX(a.id) AS hi, "
+      "AVG(a.id) AS mean, COLLECT(a.id) AS ids");
+  EXPECT_EQ(r3.rows[0][0].AsInt(), 0);
+  EXPECT_EQ(r3.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r3.rows[0][2].AsDouble(), 1.0);
+  EXPECT_EQ(r3.rows[0][3].AsList().size(), 3u);
+}
+
+TEST(EndToEnd, OrderStabilityAndMixedKinds) {
+  auto g = TinyGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto r = engine.Run(
+      "MATCH (a:Person) RETURN a.name AS n ORDER BY n ASC");
+  ASSERT_EQ(r.NumRows(), 3u);
+  // Null name sorts first, then p0, p2.
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[1][0].AsString(), "p0");
+}
+
+TEST(EndToEnd, UnfoldCollectRoundTrip) {
+  auto g = TinyGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  // Collect then unfold through the builder API (no Cypher UNWIND subset).
+  GraphIrBuilder b;
+  CypherParser parser(&g->schema());
+  auto plan = parser.Parse("MATCH (a:Person) RETURN COLLECT(a.id) AS ids");
+  plan = b.Unfold(plan, "ids", "x");
+  EngineOptions opts;
+  GOptEngine eng(g.get(), BackendSpec::Neo4jLike(), opts);
+  // Drive manually through prepare-equivalent path: reuse the facade by
+  // converting the plan directly.
+  GlogueQuery gq(&eng.glogue(), &g->schema(), true);
+  BackendSpec backend = BackendSpec::Neo4jLike();
+  GraphOptimizer optimizer(&gq, &backend);
+  std::map<const LogicalOp*, PatternPlanPtr> plans;
+  std::function<void(const LogicalOpPtr&)> collect =
+      [&](const LogicalOpPtr& op) {
+        for (const auto& in : op->inputs) collect(in);
+        if (op->kind == LogicalOpKind::kMatchPattern) {
+          plans[op.get()] = optimizer.Optimize(op->pattern);
+        }
+      };
+  collect(plan);
+  PhysicalConverter conv(&g->schema());
+  auto phys = conv.Convert(plan, plans);
+  SingleMachineExecutor ex(g.get());
+  auto r = ex.Execute(phys);
+  EXPECT_EQ(r.NumRows(), 3u);  // one row per unfolded element
+}
+
+TEST(EndToEnd, LimitWithoutOrder) {
+  auto g = TinyGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto r = engine.Run("MATCH (a:Person) RETURN a LIMIT 2");
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST(EndToEnd, CartesianProductAcrossComponents) {
+  auto g = TinyGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto r = engine.Run("MATCH (a:Person), (b:Person) RETURN a, b");
+  EXPECT_EQ(r.NumRows(), 9u);
+}
+
+}  // namespace
+}  // namespace gopt

@@ -1,0 +1,164 @@
+// Unit tests for the property graph store and schema substrate.
+#include <gtest/gtest.h>
+
+#include "src/graph/property_graph.h"
+#include "src/ldbc/ldbc.h"
+
+namespace gopt {
+namespace {
+
+GraphSchema TwoTypeSchema() {
+  GraphSchema s;
+  TypeId a = s.AddVertexType("A");
+  TypeId b = s.AddVertexType("B");
+  s.AddEdgeType("X", {{a, b}});
+  s.AddEdgeType("Y", {{b, a}, {b, b}});
+  return s;
+}
+
+TEST(Schema, TypeLookup) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_EQ(*s.FindVertexType("A"), 0u);
+  EXPECT_EQ(*s.FindVertexType("B"), 1u);
+  EXPECT_FALSE(s.FindVertexType("C").has_value());
+  EXPECT_EQ(*s.FindEdgeType("Y"), 1u);
+  EXPECT_EQ(s.NumVertexTypes(), 2u);
+  EXPECT_EQ(s.NumEdgeTypes(), 2u);
+}
+
+TEST(Schema, NeighborQueries) {
+  GraphSchema s = TwoTypeSchema();
+  TypeId a = 0, b = 1;
+  EXPECT_EQ(s.OutVertexNeighbors(a), std::vector<TypeId>{b});
+  std::vector<TypeId> both = {a, b};
+  EXPECT_EQ(s.OutVertexNeighbors(b), both);
+  EXPECT_EQ(s.InVertexNeighbors(a), std::vector<TypeId>{b});
+  EXPECT_EQ(s.OutEdgeTypes(a), std::vector<TypeId>{0});
+  EXPECT_EQ(s.InEdgeTypes(a), std::vector<TypeId>{1});
+}
+
+TEST(Schema, CanConnectAndTypeResolution) {
+  GraphSchema s = TwoTypeSchema();
+  EXPECT_TRUE(s.CanConnect(0, 0, 1));
+  EXPECT_FALSE(s.CanConnect(1, 0, 0));
+  EXPECT_EQ(s.DstTypesOf(1, 1), (std::vector<TypeId>{0, 1}));
+  EXPECT_EQ(s.SrcTypesOf(0, 1), std::vector<TypeId>{0});
+}
+
+TEST(PropertyGraph, CsrAdjacency) {
+  GraphSchema s = TwoTypeSchema();
+  PropertyGraph g(s);
+  VertexId a0 = g.AddVertex(0), a1 = g.AddVertex(0);
+  VertexId b0 = g.AddVertex(1), b1 = g.AddVertex(1);
+  g.AddEdge(a0, b0, 0);
+  g.AddEdge(a0, b1, 0);
+  g.AddEdge(b0, a1, 1);
+  g.AddEdge(b0, b1, 1);
+  g.Finalize();
+
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.OutDegree(a0), 2u);
+  EXPECT_EQ(g.InDegree(b1), 2u);
+  EXPECT_EQ(g.OutEdges(b0, 1).size(), 2u);
+  EXPECT_EQ(g.OutEdges(b0, 0).size(), 0u);
+  // Per-type spans are sorted by neighbor.
+  auto span = g.OutEdges(a0, 0);
+  EXPECT_LT(span[0].nbr, span[1].nbr);
+}
+
+TEST(PropertyGraph, TypedVertexLists) {
+  GraphSchema s = TwoTypeSchema();
+  PropertyGraph g(s);
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(1);
+  g.Finalize();
+  EXPECT_EQ(g.VerticesOfType(0).size(), 1u);
+  EXPECT_EQ(g.VerticesOfType(1).size(), 2u);
+  EXPECT_EQ(g.NumVerticesOfType(1), 2u);
+}
+
+TEST(PropertyGraph, Properties) {
+  GraphSchema s = TwoTypeSchema();
+  PropertyGraph g(s);
+  VertexId v = g.AddVertex(0);
+  g.SetVertexProp(v, "name", Value("n0"));
+  EdgeId e = g.AddEdge(v, g.AddVertex(1), 0);
+  g.SetEdgeProp(e, "weight", Value(3));
+  g.Finalize();
+  EXPECT_EQ(g.GetVertexProp(v, "name").AsString(), "n0");
+  EXPECT_TRUE(g.GetVertexProp(v, "missing").is_null());
+  EXPECT_EQ(g.GetEdgeProp(e, "weight").AsInt(), 3);
+  EXPECT_TRUE(g.GetEdgeProp(e, "missing").is_null());
+}
+
+TEST(PropertyGraph, EdgeRefRoundTrip) {
+  GraphSchema s = TwoTypeSchema();
+  PropertyGraph g(s);
+  VertexId a = g.AddVertex(0), b = g.AddVertex(1);
+  EdgeId e = g.AddEdge(a, b, 0);
+  g.Finalize();
+  EdgeRef ref = g.MakeEdgeRef(e);
+  EXPECT_EQ(ref.src, a);
+  EXPECT_EQ(ref.dst, b);
+  EXPECT_EQ(ref.type, 0u);
+}
+
+TEST(PropertyGraph, SchemaExtractionFromData) {
+  // Schema-loose handling (paper Remark 6.1): endpoint pairs discovered
+  // from data only.
+  GraphSchema declared;
+  TypeId a = declared.AddVertexType("A");
+  TypeId b = declared.AddVertexType("B");
+  declared.AddEdgeType("X", {});  // no declared endpoints
+  PropertyGraph g(declared);
+  VertexId va = g.AddVertex(a), vb = g.AddVertex(b);
+  g.AddEdge(va, vb, 0);
+  g.Finalize();
+  GraphSchema extracted = ExtractSchemaFromData(g);
+  EXPECT_TRUE(extracted.CanConnect(a, 0, b));
+  EXPECT_FALSE(extracted.CanConnect(b, 0, a));
+}
+
+TEST(LdbcGenerator, DeterministicAndWellFormed) {
+  auto g1 = GenerateLdbc(0.05, 7);
+  auto g2 = GenerateLdbc(0.05, 7);
+  EXPECT_EQ(g1.graph->NumVertices(), g2.graph->NumVertices());
+  EXPECT_EQ(g1.graph->NumEdges(), g2.graph->NumEdges());
+  // All edges respect declared schema endpoints.
+  const auto& g = *g1.graph;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_TRUE(g.schema().CanConnect(g.VertexType(g.EdgeSrc(e)), g.EdgeType(e),
+                                      g.VertexType(g.EdgeDst(e))))
+        << "edge " << e;
+  }
+}
+
+TEST(LdbcGenerator, ScalesLinearly) {
+  auto small = GenerateLdbc(0.05, 7);
+  auto large = GenerateLdbc(0.2, 7);
+  EXPECT_GT(large.graph->NumVertices(), 2 * small.graph->NumVertices());
+  EXPECT_GT(large.graph->NumEdges(), 2 * small.graph->NumEdges());
+}
+
+TEST(LdbcGenerator, SkewedDegrees) {
+  auto ldbc = GenerateLdbc(0.3, 7);
+  const auto& g = *ldbc.graph;
+  TypeId tag = *g.schema().FindVertexType("Tag");
+  // Zipf tag popularity: the most popular tag should have far more
+  // references than the median.
+  std::vector<size_t> degs;
+  for (VertexId v : g.VerticesOfType(tag)) degs.push_back(g.InDegree(v));
+  std::sort(degs.begin(), degs.end());
+  EXPECT_GT(degs.back(), 4 * std::max<size_t>(1, degs[degs.size() / 2]));
+}
+
+TEST(FraudGenerator, Basics) {
+  auto fraud = GenerateFraud(500, 3.0, 1);
+  EXPECT_EQ(fraud.graph->NumVertices(), 500u);
+  EXPECT_GT(fraud.graph->NumEdges(), 500u);
+}
+
+}  // namespace
+}  // namespace gopt

@@ -1,0 +1,258 @@
+// Frontend tests: the Cypher and Gremlin parsers and the GraphIrBuilder.
+#include <gtest/gtest.h>
+
+#include "src/gir/ir_builder.h"
+#include "src/lang/cypher_parser.h"
+#include "src/lang/gremlin_parser.h"
+#include "src/ldbc/ldbc.h"
+
+namespace gopt {
+namespace {
+
+class CypherTest : public ::testing::Test {
+ protected:
+  CypherTest() : schema_(MakeLdbcSchema()), parser_(&schema_) {}
+  GraphSchema schema_;
+  CypherParser parser_;
+};
+
+TEST_F(CypherTest, SimplePattern) {
+  auto plan = parser_.Parse("MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  const auto& match = plan->inputs[0];
+  ASSERT_EQ(match->kind, LogicalOpKind::kMatchPattern);
+  EXPECT_EQ(match->pattern.NumVertices(), 2u);
+  EXPECT_EQ(match->pattern.NumEdges(), 1u);
+  EXPECT_EQ(match->pattern.edges()[0].dir, Direction::kOut);
+}
+
+TEST_F(CypherTest, ReversedAndUndirectedEdges) {
+  auto p1 = parser_.Parse("MATCH (a:Person)<-[:KNOWS]-(b:Person) RETURN a");
+  const auto& e1 = p1->inputs[0]->pattern.edges()[0];
+  // <- is normalized to an out-edge b->a.
+  EXPECT_EQ(e1.dir, Direction::kOut);
+  EXPECT_EQ(p1->inputs[0]->pattern.VertexById(e1.src).alias, "b");
+  EXPECT_EQ(p1->inputs[0]->pattern.VertexById(e1.dst).alias, "a");
+
+  auto p2 = parser_.Parse("MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a");
+  EXPECT_EQ(p2->inputs[0]->pattern.edges()[0].dir, Direction::kBoth);
+}
+
+TEST_F(CypherTest, SharedAliasMakesOneVertex) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person), (b)-[:KNOWS]->(c:Person), "
+      "(a)-[:KNOWS]->(c) RETURN a");
+  EXPECT_EQ(plan->inputs[0]->pattern.NumVertices(), 3u);
+  EXPECT_EQ(plan->inputs[0]->pattern.NumEdges(), 3u);
+}
+
+TEST_F(CypherTest, MultiMatchJoinsOnSharedAliases) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) MATCH (b)-[:IS_LOCATED_IN]->"
+      "(c:Place) RETURN a, c");
+  const auto& join = plan->inputs[0];
+  ASSERT_EQ(join->kind, LogicalOpKind::kJoin);
+  EXPECT_EQ(join->join_keys, std::vector<std::string>{"b"});
+}
+
+TEST_F(CypherTest, PropertyMapBecomesPatternPredicate) {
+  auto plan = parser_.Parse("MATCH (a:Person {id: 5}) RETURN a");
+  const auto& v = plan->inputs[0]->pattern.vertices()[0];
+  ASSERT_EQ(v.predicates.size(), 1u);
+  EXPECT_LT(v.selectivity, 1.0);
+}
+
+TEST_F(CypherTest, WhereStaysOutsidePattern) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person) WHERE a.firstName = 'Jan' RETURN a");
+  EXPECT_EQ(plan->inputs[0]->kind, LogicalOpKind::kSelect);
+}
+
+TEST_F(CypherTest, VariableLengthAndSemantics) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person)-[k:KNOWS*2..4 TRAIL]->(b:Person) RETURN a, b");
+  const auto& e = plan->inputs[0]->pattern.edges()[0];
+  EXPECT_EQ(e.min_hops, 2);
+  EXPECT_EQ(e.max_hops, 4);
+  EXPECT_EQ(e.semantics, PathSemantics::kTrail);
+  auto p2 = parser_.Parse("MATCH (a:Person)-[:KNOWS*3]->(b) RETURN a");
+  EXPECT_EQ(p2->inputs[0]->pattern.edges()[0].min_hops, 3);
+  EXPECT_EQ(p2->inputs[0]->pattern.edges()[0].max_hops, 3);
+}
+
+TEST_F(CypherTest, UnionTypesOnVerticesAndEdges) {
+  auto plan = parser_.Parse(
+      "MATCH (m:Post|Comment)-[:HAS_TAG|HAS_INTEREST]->(t:Tag) RETURN m");
+  const auto& pat = plan->inputs[0]->pattern;
+  EXPECT_TRUE(pat.FindVertexByAlias("m")->tc.IsUnion());
+  EXPECT_TRUE(pat.edges()[0].tc.IsUnion());
+}
+
+TEST_F(CypherTest, AggregationGrouping) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+      "RETURN a.id AS aid, COUNT(b) AS friends, COUNT(DISTINCT b) AS uniq");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kAggregate);
+  EXPECT_EQ(plan->group_keys.size(), 1u);
+  ASSERT_EQ(plan->aggs.size(), 2u);
+  EXPECT_EQ(plan->aggs[0].fn, AggFunc::kCount);
+  EXPECT_EQ(plan->aggs[1].fn, AggFunc::kCountDistinct);
+}
+
+TEST_F(CypherTest, OrderLimitUnion) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person) RETURN a.id AS x ORDER BY x DESC LIMIT 3 "
+      "UNION ALL MATCH (b:Person) RETURN b.id AS x");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kUnion);
+  EXPECT_FALSE(plan->union_distinct);
+  EXPECT_EQ(plan->inputs[0]->kind, LogicalOpKind::kOrder);
+  EXPECT_EQ(plan->inputs[0]->limit, 3);
+}
+
+TEST_F(CypherTest, ExpressionPrecedence) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person) WHERE a.id > 1 + 2 * 3 AND NOT a.id = 10 RETURN a");
+  std::string s = plan->inputs[0]->predicate->ToString();
+  EXPECT_NE(s.find("(2 * 3)"), std::string::npos);
+}
+
+TEST_F(CypherTest, InListLiteral) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person) WHERE a.id IN [1, 2, 3] RETURN a");
+  const auto& pred = plan->inputs[0]->predicate;
+  EXPECT_EQ(pred->bin, BinOp::kIn);
+  EXPECT_EQ(pred->args[1]->literal.AsList().size(), 3u);
+}
+
+TEST_F(CypherTest, SyntaxErrors) {
+  EXPECT_THROW(parser_.Parse("MATCH (a:Nope) RETURN a"), std::runtime_error);
+  EXPECT_THROW(parser_.Parse("MATCH (a:Person RETURN a"), std::runtime_error);
+  EXPECT_THROW(parser_.Parse("RETURN 1"), std::runtime_error);
+  EXPECT_THROW(parser_.Parse("MATCH (a:Person)-[:NOPE]->(b) RETURN a"),
+               std::runtime_error);
+}
+
+class GremlinTest : public ::testing::Test {
+ protected:
+  GremlinTest() : schema_(MakeLdbcSchema()), parser_(&schema_) {}
+  GraphSchema schema_;
+  GremlinParser parser_;
+};
+
+TEST_F(GremlinTest, TraversalBuildsPattern) {
+  auto plan = parser_.Parse(
+      "g.V().hasLabel('Person').as('a').out('KNOWS').as('b')"
+      ".hasLabel('Person').select('a')");
+  LogicalOpPtr cur = plan;
+  while (cur->kind != LogicalOpKind::kMatchPattern) cur = cur->inputs[0];
+  EXPECT_EQ(cur->pattern.NumVertices(), 2u);
+  EXPECT_EQ(cur->pattern.NumEdges(), 1u);
+}
+
+TEST_F(GremlinTest, HasBecomesSelect) {
+  auto plan = parser_.Parse(
+      "g.V().hasLabel('Person').as('a').has('id', 5).out('KNOWS').as('b')"
+      ".select('a')");
+  // has() lowers to a SELECT above the pattern (Fig. 3), which
+  // FilterIntoPattern later pushes down.
+  bool found_select = false;
+  LogicalOpPtr cur = plan;
+  while (!cur->inputs.empty()) {
+    if (cur->kind == LogicalOpKind::kSelect) found_select = true;
+    cur = cur->inputs[0];
+  }
+  EXPECT_TRUE(found_select);
+}
+
+TEST_F(GremlinTest, MatchStepMergesAnchors) {
+  auto plan = parser_.Parse(
+      "g.V().hasLabel('Person').as('a')"
+      ".match(__.as('a').out('KNOWS').as('b'), "
+      "__.as('b').out('KNOWS').as('c'), __.as('a').out('KNOWS').as('c'))"
+      ".count()");
+  LogicalOpPtr cur = plan;
+  while (cur->kind != LogicalOpKind::kMatchPattern) cur = cur->inputs[0];
+  EXPECT_EQ(cur->pattern.NumVertices(), 3u);
+  EXPECT_EQ(cur->pattern.NumEdges(), 3u);
+}
+
+TEST_F(GremlinTest, GroupCountOrderLimit) {
+  auto plan = parser_.Parse(
+      "g.V().hasLabel('Person').as('a').out('KNOWS').as('b')"
+      ".groupCount().by('b').order().by(values, desc).limit(7)");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kOrder);
+  EXPECT_EQ(plan->limit, 7);
+  EXPECT_EQ(plan->inputs[0]->kind, LogicalOpKind::kAggregate);
+}
+
+TEST_F(GremlinTest, PredicateArguments) {
+  auto plan = parser_.Parse(
+      "g.V().hasLabel('Post').as('m').has('length', gt(100)).count()");
+  bool found = false;
+  LogicalOpPtr cur = plan;
+  while (!cur->inputs.empty()) {
+    if (cur->kind == LogicalOpKind::kSelect &&
+        cur->predicate->bin == BinOp::kGt) {
+      found = true;
+    }
+    cur = cur->inputs[0];
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GremlinTest, UnsupportedStepThrows) {
+  EXPECT_THROW(parser_.Parse("g.V().repeat(__.out())"), std::runtime_error);
+}
+
+TEST(IrBuilderTest, PaperSnippetShape) {
+  // The paper's Section 5.2 GraphIrBuilder example, transliterated.
+  GraphIrBuilder b;
+  auto pattern1 = b.PatternStart();
+  pattern1.GetV("v1", TypeConstraint::All())
+      .ExpandE("v1", "e1", TypeConstraint::All(), Direction::kOut)
+      .GetV("e1", "v2", TypeConstraint::All(), VertexEnd::kEnd)
+      .ExpandE("v2", "e2", TypeConstraint::All(), Direction::kOut)
+      .GetV("e2", "v3", TypeConstraint::All(), VertexEnd::kEnd);
+  LogicalOpPtr p1 = pattern1.PatternEnd();
+  ASSERT_EQ(p1->kind, LogicalOpKind::kMatchPattern);
+  EXPECT_EQ(p1->pattern.NumVertices(), 3u);
+  EXPECT_EQ(p1->pattern.NumEdges(), 2u);
+
+  auto pattern2 = b.PatternStart();
+  pattern2.GetV("v1", TypeConstraint::All())
+      .ExpandE("v1", "e3", TypeConstraint::All(), Direction::kOut)
+      .GetV("e3", "v3", TypeConstraint::All(), VertexEnd::kEnd);
+  LogicalOpPtr p2 = pattern2.PatternEnd();
+
+  auto query =
+      b.Select(b.Join(p1, p2, {"v1", "v3"}, JoinKind::kInner),
+               Expr::MakeBinary(BinOp::kEq, Expr::MakeProperty("v3", "name"),
+                                Expr::MakeLiteral(Value("China"))));
+  std::vector<ProjectItem> keys = {{Expr::MakeVar("v2"), "v2"}};
+  std::vector<AggCall> aggs = {{AggFunc::kCount, Expr::MakeVar("v2"), "cnt"}};
+  query = b.Group(query, keys, aggs);
+  query = b.Order(query, {{Expr::MakeVar("cnt"), true}}, 10);
+  EXPECT_EQ(query->kind, LogicalOpKind::kOrder);
+  EXPECT_EQ(query->limit, 10);
+}
+
+TEST(IrBuilderTest, DisconnectedPatternSplitsIntoJoin) {
+  GraphIrBuilder b;
+  auto pb = b.PatternStart();
+  pb.GetV("a", TypeConstraint::All()).GetV("b", TypeConstraint::All());
+  LogicalOpPtr plan = pb.PatternEnd();
+  // Two isolated vertices: cartesian join of two single-vertex matches.
+  ASSERT_EQ(plan->kind, LogicalOpKind::kJoin);
+  EXPECT_TRUE(plan->join_keys.empty());
+}
+
+TEST(IrBuilderTest, DanglingExpandThrows) {
+  GraphIrBuilder b;
+  auto pb = b.PatternStart();
+  pb.GetV("a", TypeConstraint::All())
+      .ExpandE("a", "e", TypeConstraint::All(), Direction::kOut);
+  EXPECT_THROW(pb.PatternEnd(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gopt

@@ -1,0 +1,193 @@
+// Tests for Algorithm 1 (type inference and validation), including the
+// paper's Fig. 5 worked example.
+#include <gtest/gtest.h>
+
+#include "src/ldbc/ldbc.h"
+#include "src/opt/type_inference.h"
+
+namespace gopt {
+namespace {
+
+TEST(TypeInference, PaperFig5Example) {
+  // Schema: Person-Knows->Person, Person-Purchases->Product,
+  // Person-LocatedIn->Place, Product-ProducedIn->Place.
+  GraphSchema s = MakePaperSchema();
+  TypeId person = *s.FindVertexType("Person");
+  TypeId product = *s.FindVertexType("Product");
+  TypeId place = *s.FindVertexType("Place");
+
+  // Origin pattern (Fig. 5b): (v1)-[e1]->(v2), (v2)-[e2]->(v3:Place),
+  // (v1)-[e3]->(v3).
+  Pattern p;
+  int v1 = p.AddVertex("v1", TypeConstraint::All());
+  int v2 = p.AddVertex("v2", TypeConstraint::All());
+  int v3 = p.AddVertex("v3", TypeConstraint::Basic(place));
+  int e1 = p.AddEdge(v1, v2, "e1", TypeConstraint::All());
+  int e2 = p.AddEdge(v2, v3, "e2", TypeConstraint::All());
+  int e3 = p.AddEdge(v1, v3, "e3", TypeConstraint::All());
+
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  // Fig. 5(c): v1:Person, v2:Person|Product, e1:Knows|Purchases,
+  // e2:LocatedIn|ProducedIn, e3:LocatedIn.
+  EXPECT_EQ(r.pattern.VertexById(v1).tc, TypeConstraint::Basic(person));
+  EXPECT_EQ(r.pattern.VertexById(v2).tc,
+            TypeConstraint::Union({person, product}));
+  EXPECT_EQ(r.pattern.VertexById(v3).tc, TypeConstraint::Basic(place));
+  EXPECT_EQ(r.pattern.EdgeById(e1).tc,
+            TypeConstraint::Union({*s.FindEdgeType("Knows"),
+                                   *s.FindEdgeType("Purchases")}));
+  EXPECT_EQ(r.pattern.EdgeById(e2).tc,
+            TypeConstraint::Union({*s.FindEdgeType("LocatedIn"),
+                                   *s.FindEdgeType("ProducedIn")}));
+  EXPECT_EQ(r.pattern.EdgeById(e3).tc,
+            TypeConstraint::Basic(*s.FindEdgeType("LocatedIn")));
+}
+
+TEST(TypeInference, DetectsInvalidPattern) {
+  GraphSchema s = MakePaperSchema();
+  // Place has no outgoing edge types: (a:Place)-[..]->(b) is unmatchable.
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::Basic(*s.FindVertexType("Place")));
+  int b = p.AddVertex("b", TypeConstraint::All());
+  p.AddEdge(a, b, "e", TypeConstraint::All());
+  EXPECT_FALSE(InferTypes(p, s).valid);
+}
+
+TEST(TypeInference, InvalidEdgeTypeCombination) {
+  GraphSchema s = MakePaperSchema();
+  // ProducedIn requires Product source; a Person source is invalid.
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::Basic(*s.FindVertexType("Person")));
+  int b = p.AddVertex("b", TypeConstraint::All());
+  p.AddEdge(a, b, "e",
+            TypeConstraint::Basic(*s.FindEdgeType("ProducedIn")));
+  EXPECT_FALSE(InferTypes(p, s).valid);
+}
+
+TEST(TypeInference, NarrowsThroughInEdges) {
+  GraphSchema s = MakePaperSchema();
+  // (a)-[:Purchases]->(b): a must be Person, b must be Product.
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::All());
+  int b = p.AddVertex("b", TypeConstraint::All());
+  p.AddEdge(a, b, "e", TypeConstraint::Basic(*s.FindEdgeType("Purchases")));
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.pattern.VertexById(a).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Person")));
+  EXPECT_EQ(r.pattern.VertexById(b).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Product")));
+}
+
+TEST(TypeInference, BothDirectionEdges) {
+  GraphSchema s = MakePaperSchema();
+  // (a)-[:LocatedIn]-(b) undirected: one endpoint Person, other Place —
+  // both remain Person|Place unions until more context exists.
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::All());
+  int b = p.AddVertex("b", TypeConstraint::All());
+  int e = p.AddEdge(a, b, "e", TypeConstraint::Basic(*s.FindEdgeType("LocatedIn")),
+                    Direction::kBoth);
+  (void)e;
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  TypeConstraint expect = TypeConstraint::Union(
+      {*s.FindVertexType("Person"), *s.FindVertexType("Place")});
+  EXPECT_EQ(r.pattern.VertexById(a).tc, expect);
+  EXPECT_EQ(r.pattern.VertexById(b).tc, expect);
+}
+
+TEST(TypeInference, PathEdgesConstrainTerminalsOnly) {
+  auto s = MakeLdbcSchema();
+  // (a)-[:KNOWS*1..3]->(b): both endpoints must be Person.
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::All());
+  int b = p.AddVertex("b", TypeConstraint::All());
+  int e = p.AddEdge(a, b, "k", TypeConstraint::Basic(*s.FindEdgeType("KNOWS")));
+  p.EdgeById(e).min_hops = 1;
+  p.EdgeById(e).max_hops = 3;
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.pattern.VertexById(a).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Person")));
+  EXPECT_EQ(r.pattern.VertexById(b).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Person")));
+}
+
+TEST(TypeInference, LdbcMultiHopChain) {
+  auto s = MakeLdbcSchema();
+  // (a)-[:CONTAINER_OF]->(b)-[:HAS_TAG]->(c)-[:HAS_TYPE]->(d):
+  // a=Forum, b=Post, c=Tag, d=TagClass.
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::All());
+  int b = p.AddVertex("b", TypeConstraint::All());
+  int c = p.AddVertex("c", TypeConstraint::All());
+  int d = p.AddVertex("d", TypeConstraint::All());
+  p.AddEdge(a, b, "e1", TypeConstraint::Basic(*s.FindEdgeType("CONTAINER_OF")));
+  p.AddEdge(b, c, "e2", TypeConstraint::Basic(*s.FindEdgeType("HAS_TAG")));
+  p.AddEdge(c, d, "e3", TypeConstraint::Basic(*s.FindEdgeType("HAS_TYPE")));
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.pattern.VertexById(a).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Forum")));
+  EXPECT_EQ(r.pattern.VertexById(b).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Post")));
+  EXPECT_EQ(r.pattern.VertexById(c).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Tag")));
+  EXPECT_EQ(r.pattern.VertexById(d).tc,
+            TypeConstraint::Basic(*s.FindVertexType("TagClass")));
+}
+
+TEST(TypeInference, HasTagSourcesStayUnion) {
+  auto s = MakeLdbcSchema();
+  // (a)-[:HAS_TAG]->(t): a may be Post, Comment or Forum (UnionType kept,
+  // unlike BasicType-exploding approaches — paper's Pathfinder remark).
+  Pattern p;
+  int a = p.AddVertex("a", TypeConstraint::All());
+  int t = p.AddVertex("t", TypeConstraint::All());
+  p.AddEdge(a, t, "e", TypeConstraint::Basic(*s.FindEdgeType("HAS_TAG")));
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.pattern.VertexById(a).tc,
+            TypeConstraint::Union({*s.FindVertexType("Forum"),
+                                   *s.FindVertexType("Post"),
+                                   *s.FindVertexType("Comment")}));
+  EXPECT_EQ(r.pattern.VertexById(t).tc,
+            TypeConstraint::Basic(*s.FindVertexType("Tag")));
+}
+
+TEST(TypeInference, ConvergesQuickly) {
+  auto s = MakeLdbcSchema();
+  // A 6-vertex chain converges in a small number of worklist iterations
+  // (the complexity remark in Section 6.2).
+  Pattern p;
+  std::vector<int> vs;
+  for (int i = 0; i < 6; ++i) {
+    vs.push_back(p.AddVertex("v" + std::to_string(i), TypeConstraint::All()));
+  }
+  for (int i = 0; i < 5; ++i) {
+    p.AddEdge(vs[static_cast<size_t>(i)], vs[static_cast<size_t>(i + 1)],
+              "e" + std::to_string(i),
+              TypeConstraint::Basic(*s.FindEdgeType("KNOWS")));
+  }
+  auto r = InferTypes(p, s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LE(r.iterations, 24);  // well under |V_P| * |V_S|
+}
+
+TEST(TypeConstraintOps, IntersectAndMatch) {
+  auto all = TypeConstraint::All();
+  auto b1 = TypeConstraint::Basic(1);
+  auto u = TypeConstraint::Union({1, 2, 3});
+  EXPECT_TRUE(all.Matches(7));
+  EXPECT_TRUE(u.Matches(2));
+  EXPECT_FALSE(u.Matches(4));
+  EXPECT_EQ(all.Intersect(u), u);
+  EXPECT_EQ(u.Intersect(b1), b1);
+  EXPECT_TRUE(TypeConstraint::Union({1}).IsBasic());
+  EXPECT_TRUE(u.Intersect(TypeConstraint::Basic(9)).IsNone());
+}
+
+}  // namespace
+}  // namespace gopt

@@ -1,0 +1,83 @@
+// Unit tests for the runtime Value type: comparisons, hashing, coercion.
+#include <gtest/gtest.h>
+
+#include "src/common/value.h"
+
+namespace gopt {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value().kind(), Value::Kind::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(VertexRef{7}).AsVertex().id, 7u);
+  EXPECT_EQ(Value(EdgeRef{3, 1, 2, 0}).AsEdge().src, 1u);
+}
+
+TEST(Value, NumericCoercionEquality) {
+  EXPECT_TRUE(Value(2) == Value(2.0));
+  EXPECT_FALSE(Value(2) == Value(2.5));
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+}
+
+TEST(Value, CompareTotalOrder) {
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2)), 0);
+  EXPECT_EQ(Value("a").Compare(Value("a")), 0);
+  EXPECT_LT(Value("a").Compare(Value("b")), 0);
+  // Cross-kind ordering is by kind index (stable total order).
+  EXPECT_NE(Value(true).Compare(Value("x")), 0);
+  // Null sorts first.
+  EXPECT_LT(Value().Compare(Value(0)), 0);
+}
+
+TEST(Value, VertexEdgeOrdering) {
+  EXPECT_LT(Value(VertexRef{1}).Compare(Value(VertexRef{2})), 0);
+  EXPECT_EQ(Value(VertexRef{5}).Compare(Value(VertexRef{5})), 0);
+}
+
+TEST(Value, PathEqualityAndHash) {
+  PathRef p1{{1, 2, 3}, {10, 11}};
+  PathRef p2{{1, 2, 3}, {10, 11}};
+  PathRef p3{{1, 2, 4}, {10, 12}};
+  EXPECT_TRUE(Value(p1) == Value(p2));
+  EXPECT_FALSE(Value(p1) == Value(p3));
+  EXPECT_EQ(Value(p1).Hash(), Value(p2).Hash());
+}
+
+TEST(Value, ListSemantics) {
+  Value l1 = Value::List({Value(1), Value("a")});
+  Value l2 = Value::List({Value(1), Value("a")});
+  Value l3 = Value::List({Value(1)});
+  EXPECT_TRUE(l1 == l2);
+  EXPECT_FALSE(l1 == l3);
+  EXPECT_LT(l3.Compare(l1), 0);  // prefix sorts first
+  EXPECT_EQ(l1.AsList().size(), 2u);
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(VertexRef{3}).ToString(), "v[3]");
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value::List({Value(1), Value(2)}).ToString(), "[1, 2]");
+}
+
+TEST(Value, ToDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(Value(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToDouble(), 1.0);
+  EXPECT_THROW(Value("x").ToDouble(), std::runtime_error);
+}
+
+TEST(Value, VecHashConsistency) {
+  std::vector<Value> a = {Value(1), Value("x")};
+  std::vector<Value> b = {Value(1), Value("x")};
+  EXPECT_EQ(ValueVecHash()(a), ValueVecHash()(b));
+}
+
+}  // namespace
+}  // namespace gopt
