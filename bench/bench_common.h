@@ -75,4 +75,15 @@ inline void PrintRule(char c = '-') {
   std::putchar('\n');
 }
 
+/// Prints the declarative pass pipeline an option set resolves to, so each
+/// bench arm documents exactly which planner stages it measures.
+inline void PrintPipeline(const char* label, const gopt::EngineOptions& opts) {
+  auto names = gopt::BuildPipeline(opts).PassNames();
+  std::printf("%-10s pipeline:", label);
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%s%s", i == 0 ? " " : " -> ", names[i].c_str());
+  }
+  std::printf("\n");
+}
+
 }  // namespace gopt_bench

@@ -6,6 +6,7 @@
 //   - Alt-plan1/2: hand-fixed bidirectional splits at other positions.
 #include "bench/bench_common.h"
 #include "src/lang/cypher_parser.h"
+#include "src/opt/rbo.h"
 #include "src/physical/converter.h"
 
 using namespace gopt;

@@ -16,6 +16,15 @@ int main() {
 
   std::printf("Fig 8(a) — Heuristic rules (QR1-8), LDBC sf=%.2f, |V|=%zu |E|=%zu\n",
               sf, ldbc.graph->NumVertices(), ldbc.graph->NumEdges());
+  {
+    EngineOptions with;
+    with.enable_cbo = false;
+    with.enable_type_inference = false;
+    PrintPipeline("WithOpt", with);
+    EngineOptions without;
+    without.mode = PlannerMode::kNoOpt;
+    PrintPipeline("NoOpt", without);
+  }
   std::printf("%-6s %12s %12s %10s   %s\n", "query", "WithOpt(ms)",
               "NoOpt(ms)", "speedup", "rule under test");
   PrintRule();

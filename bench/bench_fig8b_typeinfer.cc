@@ -13,6 +13,13 @@ int main() {
   auto glogue = std::make_shared<Glogue>(Glogue::Build(*ldbc.graph));
 
   std::printf("Fig 8(b) — Type inference (QT1-5), LDBC sf=%.2f\n", sf);
+  {
+    EngineOptions with;
+    PrintPipeline("WithInfer", with);
+    EngineOptions without;
+    without.enable_type_inference = false;
+    PrintPipeline("NoInfer", without);
+  }
   std::printf("%-6s %12s %12s %10s\n", "query", "WithOpt(ms)", "NoOpt(ms)",
               "speedup");
   PrintRule();

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+namespace gopt {
+
+/// Minimal C++17 stand-in for std::span (C++20): a non-owning view
+/// over a contiguous range. Only the read-only surface the graph store and
+/// executors need.
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using iterator = const T*;
+  using const_iterator = const T*;
+
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  template <typename Container>
+  constexpr Span(const Container& c) : data_(c.data()), size_(c.size()) {}
+  /// Refuse container temporaries: the view would dangle at the end of the
+  /// full expression (std::span's borrowed-range rule).
+  template <typename Container>
+  Span(const Container&& c) = delete;
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+  constexpr Span subspan(size_t offset, size_t count) const {
+    return Span(data_ + offset, count);
+  }
+  constexpr Span first(size_t count) const { return Span(data_, count); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gopt

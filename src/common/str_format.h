@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gopt {
+
+/// printf-style formatting into a std::string (diagnostics and Explain
+/// output only — not a hot path).
+template <typename... Args>
+std::string StrFormat(const char* fmt, Args... args) {
+  int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return "";
+  std::string s(static_cast<size_t>(n), '\0');
+  std::snprintf(&s[0], s.size() + 1, fmt, args...);
+  return s;
+}
+
+}  // namespace gopt

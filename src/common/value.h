@@ -23,8 +23,9 @@ inline constexpr TypeId kInvalidTypeId = ~static_cast<TypeId>(0);
 /// integers so runtime rows can distinguish graph entities from primitives.
 struct VertexRef {
   VertexId id = kNullVertex;
-  bool operator==(const VertexRef&) const = default;
-  auto operator<=>(const VertexRef&) const = default;
+  bool operator==(const VertexRef& o) const { return id == o.id; }
+  bool operator!=(const VertexRef& o) const { return !(*this == o); }
+  bool operator<(const VertexRef& o) const { return id < o.id; }
 };
 
 /// A reference to an edge, carrying enough topology (src, dst, type) for the
@@ -34,8 +35,16 @@ struct EdgeRef {
   VertexId src = kNullVertex;
   VertexId dst = kNullVertex;
   TypeId type = kInvalidTypeId;
-  bool operator==(const EdgeRef&) const = default;
-  auto operator<=>(const EdgeRef&) const = default;
+  bool operator==(const EdgeRef& o) const {
+    return id == o.id && src == o.src && dst == o.dst && type == o.type;
+  }
+  bool operator!=(const EdgeRef& o) const { return !(*this == o); }
+  bool operator<(const EdgeRef& o) const {
+    if (id != o.id) return id < o.id;
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    return type < o.type;
+  }
 };
 
 /// A materialized path: n+1 vertices joined by n edges, produced by
@@ -43,7 +52,9 @@ struct EdgeRef {
 struct PathRef {
   std::vector<VertexId> vertices;
   std::vector<EdgeId> edges;
-  bool operator==(const PathRef&) const = default;
+  bool operator==(const PathRef& o) const {
+    return vertices == o.vertices && edges == o.edges;
+  }
   size_t Length() const { return edges.size(); }
 };
 

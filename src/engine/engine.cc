@@ -1,19 +1,25 @@
 #include "src/engine/engine.h"
 
 #include <chrono>
-#include <functional>
-#include <set>
+
+#include "src/common/str_format.h"
 
 namespace gopt {
 
 GOptEngine::GOptEngine(const PropertyGraph* g, BackendSpec backend,
                        EngineOptions opts)
-    : g_(g), backend_(std::move(backend)), opts_(opts) {}
+    : g_(g),
+      backend_(std::move(backend)),
+      opts_(opts),
+      // Sized unconditionally so enable_plan_cache can be toggled through
+      // mutable_options() after construction.
+      plan_cache_(opts.plan_cache_capacity) {}
 
 void GOptEngine::SetGlogue(std::shared_ptr<const Glogue> gl) {
   glogue_ = std::move(gl);
   gq_high_.reset();
   gq_low_.reset();
+  plan_cache_.Clear();
 }
 
 const Glogue& GOptEngine::glogue() {
@@ -36,143 +42,44 @@ void GOptEngine::EnsureStats() {
   }
 }
 
-void GOptEngine::CollectPatterns(const LogicalOpPtr& op,
-                                 std::vector<LogicalOpPtr>* out) const {
-  for (const auto& in : op->inputs) CollectPatterns(in, out);
-  if (op->kind == LogicalOpKind::kMatchPattern) {
-    for (const auto& existing : *out) {
-      if (existing.get() == op.get()) return;
-    }
-    out->push_back(op);
-  }
+GOptEngine::Prepared GOptEngine::PlanQuery(const std::string& query,
+                                           Language lang) {
+  PassManager pipeline = BuildPipeline(opts_);
+
+  PlanContext ctx;
+  ctx.query = query;
+  ctx.lang = lang;
+  ctx.graph = g_;
+  ctx.exec_backend = &backend_;
+  ctx.glogue = glogue_.get();
+  ctx.gq_high = gq_high_.get();
+  ctx.gq_low = gq_low_.get();
+
+  pipeline.Run(ctx);
+
+  Prepared prep;
+  prep.logical = std::move(ctx.logical);
+  prep.physical = std::move(ctx.physical);
+  prep.invalid = ctx.invalid;
+  prep.fired_rules = std::move(ctx.fired_rules);
+  prep.pattern_plans = std::move(ctx.pattern_plans);
+  prep.output_columns = std::move(ctx.output_columns);
+  prep.trace = std::make_shared<const PlanTrace>(std::move(ctx.trace));
+  return prep;
 }
 
 GOptEngine::Prepared GOptEngine::Prepare(const std::string& query,
                                          Language lang) {
   EnsureStats();
-  Prepared prep;
-
-  // ---- 1. parse into GIR ----
-  if (lang == Language::kCypher) {
-    CypherParser parser(&g_->schema());
-    prep.logical = parser.Parse(query);
-  } else {
-    GremlinParser parser(&g_->schema());
-    prep.logical = parser.Parse(query);
+  if (!opts_.enable_plan_cache) return PlanQuery(query, lang);
+  const std::string key = PlanCacheKey(query, lang, opts_);
+  if (const Prepared* hit = plan_cache_.Get(key)) {
+    Prepared prep = *hit;
+    prep.from_cache = true;
+    return prep;
   }
-
-  // Resolve mode presets into effective toggles.
-  bool rbo = opts_.enable_rbo;
-  bool type_infer = opts_.enable_type_inference;
-  bool cbo = opts_.enable_cbo;
-  bool high_order = opts_.high_order_stats;
-  bool agg_pushdown = opts_.enable_agg_pushdown;
-  bool greedy_only = opts_.greedy_only;
-  bool crude_stats = false;
-  const BackendSpec* plan_backend =
-      opts_.planning_backend ? &*opts_.planning_backend : &backend_;
-  // The emulated CypherPlanner plans patterns with expansions only (the
-  // paper observes Neo4j "relies on multiple Expand" and executes s-t
-  // paths single-direction); joins appear in its plans only at MATCH
-  // boundaries, which stay as logical joins regardless.
-  static const BackendSpec kNeo4jCosts = [] {
-    BackendSpec b = BackendSpec::Neo4jLike();
-    b.joins.clear();
-    return b;
-  }();
-  switch (opts_.mode) {
-    case PlannerMode::kGOpt:
-      break;
-    case PlannerMode::kNoOpt:
-      rbo = false;
-      type_infer = false;
-      cbo = false;
-      break;
-    case PlannerMode::kRboOnly:
-      cbo = false;
-      type_infer = false;
-      break;
-    case PlannerMode::kNeo4jStyle:
-      type_infer = false;
-      high_order = false;
-      agg_pushdown = false;
-      greedy_only = true;
-      crude_stats = true;
-      plan_backend = &kNeo4jCosts;
-      break;
-  }
-
-  // ---- 2. RBO (HepPlanner fixpoint) + FieldTrim ----
-  if (rbo) {
-    HepPlanner planner;
-    for (auto& r : DefaultRules(agg_pushdown)) {
-      if (!opts_.rbo_rule_filter.empty()) {
-        bool keep = false;
-        for (const auto& name : opts_.rbo_rule_filter) {
-          if (r->Name() == name) keep = true;
-        }
-        if (!keep) continue;
-      }
-      planner.AddRule(std::move(r));
-    }
-    prep.logical =
-        planner.Optimize(prep.logical, g_->schema(), &prep.fired_rules);
-    if (opts_.rbo_rule_filter.empty()) prep.logical = FieldTrim(prep.logical);
-  }
-
-  // ---- 3. type inference and validation (Algorithm 1) ----
-  if (type_infer) {
-    std::set<const LogicalOp*> visited;
-    std::function<bool(const LogicalOpPtr&)> infer =
-        [&](const LogicalOpPtr& op) -> bool {
-      if (!visited.insert(op.get()).second) return true;
-      for (const auto& in : op->inputs) {
-        if (!infer(in)) return false;
-      }
-      if (op->kind == LogicalOpKind::kMatchPattern ||
-          op->kind == LogicalOpKind::kPatternExtend) {
-        TypeInferenceResult r = InferTypes(op->pattern, g_->schema());
-        if (!r.valid) return false;
-        op->pattern = std::move(r.pattern);
-      }
-      return true;
-    };
-    if (!infer(prep.logical)) {
-      prep.invalid = true;
-      prep.output_columns = prep.logical->OutputAliases();
-      return prep;
-    }
-  }
-
-  // ---- 4. pattern planning (Algorithm 2 CBO or baselines) ----
-  GlogueQuery* gq = high_order ? gq_high_.get() : gq_low_.get();
-  GlogueQuery crude(glogue_.get(), &g_->schema(), /*high_order=*/false,
-                    /*endpoint_filtered=*/false);
-  if (crude_stats) gq = &crude;
-  GraphOptimizer optimizer(gq, plan_backend);
-  std::vector<LogicalOpPtr> matches;
-  CollectPatterns(prep.logical, &matches);
-  for (const auto& m : matches) {
-    PatternPlanPtr plan;
-    if (opts_.random_plan_seed >= 0) {
-      Rng rng(static_cast<uint64_t>(opts_.random_plan_seed));
-      plan = optimizer.RandomPlan(m->pattern, &rng);
-    } else if (cbo && greedy_only) {
-      plan = optimizer.GreedyPlan(m->pattern);
-    } else if (cbo) {
-      plan = optimizer.Optimize(m->pattern);
-    } else {
-      plan = optimizer.UserOrderPlan(m->pattern);
-    }
-    prep.pattern_plans[m.get()] = plan;
-  }
-
-  // ---- 5. physical conversion ----
-  ConvertOptions copts;
-  copts.semantics = opts_.semantics;
-  PhysicalConverter converter(&g_->schema(), copts);
-  prep.physical = converter.Convert(prep.logical, prep.pattern_plans);
-  prep.output_columns = prep.physical->out_cols;
+  Prepared prep = PlanQuery(query, lang);
+  plan_cache_.Put(key, prep);
   return prep;
 }
 
@@ -209,6 +116,11 @@ ResultTable GOptEngine::Run(const std::string& query, Language lang) {
 std::string GOptEngine::Explain(const Prepared& prep) const {
   std::string s = "=== Logical plan (GIR) ===\n";
   s += prep.logical->ToString(g_->schema());
+  if (prep.trace) {
+    s += StrFormat("=== Planner trace%s ===\n",
+                   prep.from_cache ? " (plan cache hit)" : "");
+    s += prep.trace->ToString();
+  }
   if (prep.invalid) {
     s += "=== INVALID: type inference found no matching types ===\n";
     return s;

@@ -6,65 +6,20 @@
 
 #include "src/exec/dist_executor.h"
 #include "src/exec/executor.h"
-#include "src/lang/cypher_parser.h"
-#include "src/lang/gremlin_parser.h"
-#include "src/opt/cbo.h"
-#include "src/opt/rbo.h"
-#include "src/opt/type_inference.h"
+#include "src/opt/pipeline/pipelines.h"
+#include "src/opt/pipeline/plan_cache.h"
+#include "src/opt/pipeline/planner_options.h"
 #include "src/physical/converter.h"
 
 namespace gopt {
 
-enum class Language { kCypher, kGremlin };
-
-/// Planner behavior presets used throughout the experiments:
-///  - kGOpt:       the full pipeline (RBO -> type inference -> CBO).
-///  - kNoOpt:      no rewriting, user-specified pattern order.
-///  - kRboOnly:    heuristic rules only, user order ("GS-plan": GraphScope's
-///                 native rule-based planner per the paper Section 8.2).
-///  - kNeo4jStyle: emulated CypherPlanner — CBO restricted to ExpandInto +
-///                 HashJoin with low-order statistics, no type inference, no
-///                 aggregate pushdown ("Neo4j-plan", Section 8.3).
-enum class PlannerMode { kGOpt, kNoOpt, kRboOnly, kNeo4jStyle };
-
-struct EngineOptions {
-  PlannerMode mode = PlannerMode::kGOpt;
-
-  // Fine-grained toggles for the micro benchmarks (applied on top of mode).
-  bool enable_rbo = true;
-  bool enable_type_inference = true;
-  bool enable_cbo = true;
-  bool high_order_stats = true;
-  bool enable_agg_pushdown = true;
-  /// Plan patterns with the greedy initial solution only, skipping the
-  /// exhaustive top-down search (set by kNeo4jStyle: CypherPlanner-style
-  /// greedy expansion planning).
-  bool greedy_only = false;
-
-  MatchSemantics semantics = MatchSemantics::kHomomorphism;
-
-  /// GLogue construction parameters (ignored if a shared GLogue is set).
-  int glogue_k = 3;
-  double glogue_sample_rate = 1.0;
-
-  /// >= 0: replace CBO pattern plans by the seeded random order (the
-  /// randomized baselines of Fig. 8(c)).
-  int64_t random_plan_seed = -1;
-
-  /// When set, the CBO prices plans with this spec instead of the execution
-  /// backend's (the GOpt-Neo-plan mismatch ablation of Fig. 8(c)).
-  std::optional<BackendSpec> planning_backend;
-
-  /// When non-empty, RBO runs only the named rules (e.g. {"JoinToPattern"}
-  /// emulates GraphScope's native TraversalStrategy rule set, the "GS-plan"
-  /// baseline of Fig. 8(e)).
-  std::vector<std::string> rbo_rule_filter;
-};
-
-/// GOptEngine: the end-to-end facade — parse (Cypher/Gremlin) -> RBO ->
-/// type inference -> CBO -> physical conversion -> execution on the
+/// GOptEngine: the end-to-end facade. Planning runs as a declarative pass
+/// pipeline (opt/pipeline) selected by PlannerMode — parse -> RBO -> type
+/// inference -> CBO -> physical conversion — followed by execution on the
 /// configured backend (Neo4j-like sequential or GraphScope-like
-/// distributed).
+/// distributed). Prepared plans are memoized in an LRU PlanCache keyed by
+/// (normalized query text, language, options fingerprint), so repeated
+/// queries skip planning entirely.
 class GOptEngine {
  public:
   GOptEngine(const PropertyGraph* g, BackendSpec backend,
@@ -78,21 +33,36 @@ class GOptEngine {
     std::vector<std::string> fired_rules;
     std::map<const LogicalOp*, PatternPlanPtr> pattern_plans;
     std::vector<std::string> output_columns;
+    /// Per-pass planning diagnostics (shared with the cache: a cache hit
+    /// returns the trace of the original planning run).
+    std::shared_ptr<const PlanTrace> trace;
+    /// True when this Prepared was served from the plan cache.
+    bool from_cache = false;
   };
 
   Prepared Prepare(const std::string& query, Language lang = Language::kCypher);
   ResultTable Execute(const Prepared& prep);
-  /// Prepare + Execute.
+  /// Prepare + Execute (Prepare hits the plan cache on repeated queries).
   ResultTable Run(const std::string& query, Language lang = Language::kCypher);
 
-  /// Human-readable plan description (logical + pattern plans + physical).
+  /// Human-readable plan description (logical + pattern plans + physical +
+  /// the per-pass PlanTrace with millisecond timings and fired-rule counts).
   std::string Explain(const Prepared& prep) const;
 
   /// Wall-clock milliseconds and executor statistics of the last Execute.
   double last_exec_ms() const { return last_exec_ms_; }
   const ExecStats& last_stats() const { return last_stats_; }
 
+  /// Prepared-plan cache counters (hits / misses / evictions / entries).
+  const PlanCacheStats& plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
+  /// Drops all cached plans (counters are preserved).
+  void ClearPlanCache() { plan_cache_.Clear(); }
+
   /// Shares a prebuilt GLogue (e.g. across engines over the same graph).
+  /// Invalidates the plan cache: cached plans embed cost decisions made
+  /// against the previous statistics.
   void SetGlogue(std::shared_ptr<const Glogue> gl);
   const Glogue& glogue();
 
@@ -102,9 +72,8 @@ class GOptEngine {
 
  private:
   void EnsureStats();
-  /// Collects MATCH_PATTERN nodes (DAG-deduplicated, leaf-first).
-  void CollectPatterns(const LogicalOpPtr& op,
-                       std::vector<LogicalOpPtr>* out) const;
+  /// Runs the full planning pipeline for the current options (no cache).
+  Prepared PlanQuery(const std::string& query, Language lang);
 
   const PropertyGraph* g_;
   BackendSpec backend_;
@@ -112,6 +81,7 @@ class GOptEngine {
   std::shared_ptr<const Glogue> glogue_;
   std::unique_ptr<GlogueQuery> gq_high_;
   std::unique_ptr<GlogueQuery> gq_low_;
+  PlanCache<Prepared> plan_cache_;
   double last_exec_ms_ = 0;
   ExecStats last_stats_;
 };

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace gopt {

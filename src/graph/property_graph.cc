@@ -88,17 +88,17 @@ void PropertyGraph::Finalize() {
   finalized_ = true;
 }
 
-std::span<const AdjEntry> PropertyGraph::OutEdges(VertexId v) const {
+Span<const AdjEntry> PropertyGraph::OutEdges(VertexId v) const {
   return {out_adj_.data() + out_offsets_[v],
           out_offsets_[v + 1] - out_offsets_[v]};
 }
 
-std::span<const AdjEntry> PropertyGraph::InEdges(VertexId v) const {
+Span<const AdjEntry> PropertyGraph::InEdges(VertexId v) const {
   return {in_adj_.data() + in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]};
 }
 
 namespace {
-std::span<const AdjEntry> TypeRange(std::span<const AdjEntry> all, TypeId t) {
+Span<const AdjEntry> TypeRange(Span<const AdjEntry> all, TypeId t) {
   auto lo = std::lower_bound(
       all.begin(), all.end(), t,
       [](const AdjEntry& a, TypeId ty) { return a.etype < ty; });
@@ -109,15 +109,15 @@ std::span<const AdjEntry> TypeRange(std::span<const AdjEntry> all, TypeId t) {
 }
 }  // namespace
 
-std::span<const AdjEntry> PropertyGraph::OutEdges(VertexId v, TypeId t) const {
+Span<const AdjEntry> PropertyGraph::OutEdges(VertexId v, TypeId t) const {
   return TypeRange(OutEdges(v), t);
 }
 
-std::span<const AdjEntry> PropertyGraph::InEdges(VertexId v, TypeId t) const {
+Span<const AdjEntry> PropertyGraph::InEdges(VertexId v, TypeId t) const {
   return TypeRange(InEdges(v), t);
 }
 
-std::span<const VertexId> PropertyGraph::VerticesOfType(TypeId t) const {
+Span<const VertexId> PropertyGraph::VerticesOfType(TypeId t) const {
   if (t >= vertices_of_type_.size()) return {};
   return vertices_of_type_[t];
 }

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <span>
+#include "src/common/span.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -59,19 +59,19 @@ class PropertyGraph {
   }
 
   /// All out edges of v (sorted by edge type, then neighbor id).
-  std::span<const AdjEntry> OutEdges(VertexId v) const;
+  Span<const AdjEntry> OutEdges(VertexId v) const;
   /// All in edges of v.
-  std::span<const AdjEntry> InEdges(VertexId v) const;
+  Span<const AdjEntry> InEdges(VertexId v) const;
   /// Out edges of v restricted to one edge type (contiguous span).
-  std::span<const AdjEntry> OutEdges(VertexId v, TypeId etype) const;
+  Span<const AdjEntry> OutEdges(VertexId v, TypeId etype) const;
   /// In edges of v restricted to one edge type.
-  std::span<const AdjEntry> InEdges(VertexId v, TypeId etype) const;
+  Span<const AdjEntry> InEdges(VertexId v, TypeId etype) const;
 
   size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
   size_t InDegree(VertexId v) const { return InEdges(v).size(); }
 
   /// All vertices of one type (dense scan list).
-  std::span<const VertexId> VerticesOfType(TypeId t) const;
+  Span<const VertexId> VerticesOfType(TypeId t) const;
 
   // ---- properties ----
 

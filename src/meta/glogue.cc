@@ -1,6 +1,8 @@
 #include "src/meta/glogue.h"
 
 #include <algorithm>
+#include <array>
+#include <tuple>
 
 #include "src/common/rng.h"
 #include "src/meta/pattern_code.h"
@@ -21,7 +23,12 @@ struct Arm {
   bool out;       // edge leaves the middle vertex
   TypeId etype;
   TypeId vtype;   // type of the far endpoint
-  auto operator<=>(const Arm&) const = default;
+  bool operator<(const Arm& o) const {
+    return std::tie(out, etype, vtype) < std::tie(o.out, o.etype, o.vtype);
+  }
+  bool operator==(const Arm& o) const {
+    return out == o.out && etype == o.etype && vtype == o.vtype;
+  }
 };
 
 /// Builds the 3-vertex wedge pattern middle--armA, middle--armB.

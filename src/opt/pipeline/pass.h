@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gir/logical_op.h"
+#include "src/opt/cbo.h"
+#include "src/opt/pipeline/planner_options.h"
+#include "src/physical/physical_op.h"
+
+namespace gopt {
+
+class PropertyGraph;
+class Glogue;
+class GlogueQuery;
+
+/// One PassManager::Run step as recorded in the PlanTrace: which pass, how
+/// long it took, whether it was skipped (condition false or plan already
+/// proven invalid), and a free-form diagnostic line from the pass.
+struct PassTraceEntry {
+  std::string pass;
+  double ms = 0;
+  bool skipped = false;
+  std::string note;
+};
+
+/// Per-Prepare planning diagnostics: every pass exactly once, in pipeline
+/// order, with wall-clock timings — the planner-side counterpart of
+/// ExecStats. Surfaced through GOptEngine::Explain.
+struct PlanTrace {
+  std::vector<PassTraceEntry> passes;
+  double total_ms = 0;
+  size_t fired_rule_count = 0;
+
+  const PassTraceEntry* Find(const std::string& pass_name) const;
+  std::string ToString() const;
+};
+
+/// The mutable state a planning pipeline threads through its passes: the
+/// inputs (query text, graph, options, statistics handles) are set once by
+/// the engine; each pass advances the evolving plan state (GIR -> annotated
+/// GIR -> pattern plans -> physical plan).
+struct PlanContext {
+  // ---- inputs (fixed for the whole pipeline run) ----
+  std::string query;
+  Language lang = Language::kCypher;
+  const PropertyGraph* graph = nullptr;
+  const BackendSpec* exec_backend = nullptr;
+  const Glogue* glogue = nullptr;
+  const GlogueQuery* gq_high = nullptr;
+  const GlogueQuery* gq_low = nullptr;
+
+  // ---- evolving plan state ----
+  LogicalOpPtr logical;
+  bool invalid = false;  ///< type inference proved the pattern unmatchable
+  std::vector<std::string> fired_rules;
+  std::map<const LogicalOp*, PatternPlanPtr> pattern_plans;
+  PhysOpPtr physical;
+  std::vector<std::string> output_columns;
+
+  // ---- diagnostics ----
+  PlanTrace trace;
+  /// Scratch note for the pass currently running; the PassManager moves it
+  /// into that pass's PassTraceEntry and clears it.
+  std::string pass_note;
+};
+
+/// One planning stage (parse, a rewrite phase, statistics-based planning,
+/// lowering, ...). Passes are the unit of composition: PlannerMode presets
+/// and EngineOptions toggles select and configure passes instead of
+/// branching inside the engine.
+class PlannerPass {
+ public:
+  virtual ~PlannerPass() = default;
+  virtual std::string Name() const = 0;
+  virtual void Run(PlanContext& ctx) = 0;
+};
+
+using PlannerPassPtr = std::unique_ptr<PlannerPass>;
+
+}  // namespace gopt

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/opt/pipeline/pass.h"
+
+namespace gopt {
+
+/// Runtime predicate of a conditional pass, evaluated against the live
+/// PlanContext immediately before the pass would run.
+using PassCondition = std::function<bool(const PlanContext&)>;
+
+/// Owns an ordered list of planner passes and drives them over a
+/// PlanContext, recording one PassTraceEntry (wall-clock ms + diagnostics)
+/// per registered pass. Supports conditional passes: a pass whose condition
+/// evaluates false is recorded as skipped, not silently dropped, so the
+/// trace always mirrors the declared pipeline. Once a pass proves the plan
+/// invalid (unmatchable pattern), the remaining passes are skipped.
+class PassManager {
+ public:
+  PassManager& AddPass(PlannerPassPtr pass);
+  PassManager& AddPassIf(PassCondition condition, PlannerPassPtr pass,
+                         std::string skip_note = "condition false");
+
+  size_t NumPasses() const { return passes_.size(); }
+  std::vector<std::string> PassNames() const;
+
+  /// Runs the pipeline over `ctx`. Populates ctx.trace.
+  void Run(PlanContext& ctx) const;
+
+ private:
+  struct Registered {
+    PlannerPassPtr pass;
+    PassCondition condition;  // null: unconditional
+    std::string skip_note;
+  };
+  std::vector<Registered> passes_;
+};
+
+}  // namespace gopt

@@ -1,0 +1,160 @@
+#include "src/opt/pipeline/passes.h"
+
+#include <functional>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/str_format.h"
+#include "src/graph/property_graph.h"
+#include "src/lang/cypher_parser.h"
+#include "src/lang/gremlin_parser.h"
+#include "src/meta/glogue_query.h"
+#include "src/opt/rbo.h"
+#include "src/opt/type_inference.h"
+#include "src/physical/converter.h"
+
+namespace gopt {
+
+void ParsePass::Run(PlanContext& ctx) {
+  if (ctx.lang == Language::kCypher) {
+    CypherParser parser(&ctx.graph->schema());
+    ctx.logical = parser.Parse(ctx.query);
+  } else {
+    GremlinParser parser(&ctx.graph->schema());
+    ctx.logical = parser.Parse(ctx.query);
+  }
+  ctx.pass_note = ctx.lang == Language::kCypher ? "cypher" : "gremlin";
+}
+
+void RboPass::Run(PlanContext& ctx) {
+  HepPlanner planner;
+  for (auto& r : DefaultRules(cfg_.enable_agg_pushdown)) {
+    if (!cfg_.rule_filter.empty()) {
+      bool keep = false;
+      for (const auto& name : cfg_.rule_filter) {
+        if (r->Name() == name) keep = true;
+      }
+      if (!keep) continue;
+    }
+    planner.AddRule(std::move(r));
+  }
+  size_t before = ctx.fired_rules.size();
+  ctx.logical =
+      planner.Optimize(ctx.logical, ctx.graph->schema(), &ctx.fired_rules);
+  ctx.pass_note = StrFormat("%zu rules registered, %zu fired",
+                            planner.NumRules(), ctx.fired_rules.size() - before);
+}
+
+void FieldTrimPass::Run(PlanContext& ctx) { ctx.logical = FieldTrim(ctx.logical); }
+
+void TypeInferencePass::Run(PlanContext& ctx) {
+  int patterns = 0;
+  std::set<const LogicalOp*> visited;
+  std::function<bool(const LogicalOpPtr&)> infer =
+      [&](const LogicalOpPtr& op) -> bool {
+    if (!visited.insert(op.get()).second) return true;
+    for (const auto& in : op->inputs) {
+      if (!infer(in)) return false;
+    }
+    if (op->kind == LogicalOpKind::kMatchPattern ||
+        op->kind == LogicalOpKind::kPatternExtend) {
+      ++patterns;
+      TypeInferenceResult r = InferTypes(op->pattern, ctx.graph->schema());
+      if (!r.valid) return false;
+      op->pattern = std::move(r.pattern);
+    }
+    return true;
+  };
+  if (!infer(ctx.logical)) {
+    ctx.invalid = true;
+    ctx.output_columns = ctx.logical->OutputAliases();
+    ctx.pass_note = "proved pattern unmatchable";
+    return;
+  }
+  ctx.pass_note = StrFormat("%d patterns validated", patterns);
+}
+
+namespace {
+
+/// Collects MATCH_PATTERN nodes (DAG-deduplicated, leaf-first).
+void CollectPatterns(const LogicalOpPtr& op, std::vector<LogicalOpPtr>* out) {
+  for (const auto& in : op->inputs) CollectPatterns(in, out);
+  if (op->kind == LogicalOpKind::kMatchPattern) {
+    for (const auto& existing : *out) {
+      if (existing.get() == op.get()) return;
+    }
+    out->push_back(op);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+bool ContainsMatchPattern(const LogicalOpPtr& op) {
+  if (op->kind == LogicalOpKind::kMatchPattern) return true;
+  for (const auto& in : op->inputs) {
+    if (ContainsMatchPattern(in)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CboPass::HasPatterns(const PlanContext& ctx) {
+  return ContainsMatchPattern(ctx.logical);
+}
+
+void CboPass::Run(PlanContext& ctx) {
+  const GlogueQuery* gq =
+      cfg_.high_order_stats ? ctx.gq_high : ctx.gq_low;
+  GlogueQuery crude(ctx.glogue, &ctx.graph->schema(), /*high_order=*/false,
+                    /*endpoint_filtered=*/false);
+  if (cfg_.crude_stats) gq = &crude;
+  const BackendSpec* backend =
+      cfg_.planning_backend ? &*cfg_.planning_backend : ctx.exec_backend;
+  GraphOptimizer optimizer(gq, backend);
+
+  std::vector<LogicalOpPtr> matches;
+  CollectPatterns(ctx.logical, &matches);
+  size_t searched = 0, pruned = 0;
+  for (const auto& m : matches) {
+    PatternPlanPtr plan;
+    switch (cfg_.strategy) {
+      case Strategy::kRandom: {
+        Rng rng(static_cast<uint64_t>(cfg_.random_seed));
+        plan = optimizer.RandomPlan(m->pattern, &rng);
+        break;
+      }
+      case Strategy::kGreedy:
+        plan = optimizer.GreedyPlan(m->pattern);
+        break;
+      case Strategy::kExhaustive:
+        plan = optimizer.Optimize(m->pattern);
+        break;
+      case Strategy::kUserOrder:
+        plan = optimizer.UserOrderPlan(m->pattern);
+        break;
+    }
+    searched += optimizer.searched_subpatterns;
+    pruned += optimizer.pruned_branches;
+    ctx.pattern_plans[m.get()] = plan;
+  }
+  const char* strat = cfg_.strategy == Strategy::kExhaustive ? "exhaustive"
+                      : cfg_.strategy == Strategy::kGreedy   ? "greedy"
+                      : cfg_.strategy == Strategy::kRandom   ? "random"
+                                                             : "user-order";
+  ctx.pass_note =
+      StrFormat("%s over %zu patterns, %zu subpatterns searched, %zu pruned",
+                strat, matches.size(), searched, pruned);
+}
+
+void PhysicalConversionPass::Run(PlanContext& ctx) {
+  ConvertOptions copts;
+  copts.semantics = cfg_.semantics;
+  PhysicalConverter converter(&ctx.graph->schema(), copts);
+  ctx.physical = converter.Convert(ctx.logical, ctx.pattern_plans);
+  ctx.output_columns = ctx.physical->out_cols;
+}
+
+}  // namespace gopt

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/opt/pipeline/pass_manager.h"
+
+namespace gopt {
+
+/// Declarative pipeline builders, one per PlannerMode: each maps the
+/// EngineOptions toggles to a pass list instead of branching inside the
+/// engine. The full pipeline (PlannerMode::kGOpt):
+///   parse -> rbo -> field_trim -> type_inference -> cbo ->
+///   physical_conversion
+/// with the fine-grained toggles deciding which passes are registered and
+/// how they are configured.
+PassManager BuildGOptPipeline(const EngineOptions& opts);
+
+/// kNoOpt: parse -> cbo(user-order) -> physical_conversion.
+PassManager BuildNoOptPipeline(const EngineOptions& opts);
+
+/// kRboOnly ("GS-plan"): parse -> rbo -> field_trim -> cbo(user-order) ->
+/// physical_conversion.
+PassManager BuildRboOnlyPipeline(const EngineOptions& opts);
+
+/// kNeo4jStyle ("Neo4j-plan"): parse -> rbo(no agg pushdown) -> field_trim
+/// -> cbo(greedy, crude low-order stats, ExpandInto-only costs) ->
+/// physical_conversion.
+PassManager BuildNeo4jStylePipeline(const EngineOptions& opts);
+
+/// Dispatches to the builder for opts.mode.
+PassManager BuildPipeline(const EngineOptions& opts);
+
+}  // namespace gopt

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace gopt {
+
+/// Hit/miss/eviction counters of a PlanCache (monotonic over the engine's
+/// lifetime; entries is the current size).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// LRU cache of prepared plans keyed by (normalized query text, language,
+/// options fingerprint) — see PlanCacheKey(). A hit on Prepare/Run skips
+/// the whole planning pipeline: for the repeated-query traffic the ROADMAP
+/// targets, planning cost is paid once per distinct query.
+///
+/// PlanT is the engine's Prepared struct; values are shared (the cached
+/// plan and the returned copy alias the same immutable plan trees).
+template <typename PlanT>
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan and refreshes its recency, or nullptr.
+  /// Counts a hit or a miss.
+  const PlanT* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.hits;
+    return &entries_.front().second;
+  }
+
+  /// Inserts (or refreshes) a plan, evicting the least recently used entry
+  /// when over capacity.
+  void Put(const std::string& key, PlanT plan) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(plan);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(plan));
+    index_[key] = entries_.begin();
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+    stats_.entries = entries_.size();
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    stats_.entries = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const PlanCacheStats& stats() const { return stats_; }
+
+ private:
+  using Entry = std::pair<std::string, PlanT>;
+  size_t capacity_;
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace gopt

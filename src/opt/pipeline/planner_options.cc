@@ -1,0 +1,99 @@
+#include "src/opt/pipeline/planner_options.h"
+
+#include <cstring>
+
+#include "src/common/hash.h"
+#include "src/lang/lexer.h"
+
+namespace gopt {
+
+std::string NormalizeQueryText(const std::string& query) {
+  // Rebuild the query from the real lexer's token stream, so the cache key
+  // follows exactly the rules the frontends tokenize by (whitespace,
+  // '//' comments, string escapes) and can never drift from them.
+  std::vector<Token> tokens;
+  try {
+    tokens = Lexer(query).tokens();
+  } catch (const std::exception&) {
+    // Untokenizable (e.g. unterminated literal): key on the raw text; the
+    // parse pass will report the error.
+    return query;
+  }
+  std::string out;
+  out.reserve(query.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    if (t.kind == TokKind::kString) {
+      // Re-quote canonically (token text is the unescaped value).
+      out.push_back('\'');
+      for (char c : t.text) {
+        if (c == '\\' || c == '\'') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('\'');
+    } else {
+      out += t.text;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+size_t HashString(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+size_t HashDouble(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return static_cast<size_t>(bits);
+}
+
+size_t HashBackendSpec(const BackendSpec& b) {
+  size_t h = HashString(b.name);
+  h = HashCombine(h, static_cast<size_t>(b.distributed));
+  h = HashCombine(h, static_cast<size_t>(b.num_workers));
+  h = HashCombine(h, HashDouble(b.comm_factor));
+  for (const auto& e : b.expands) h = HashCombine(h, HashString(e->Name()));
+  for (const auto& j : b.joins) h = HashCombine(h, HashString(j->Name()));
+  return h;
+}
+
+}  // namespace
+
+uint64_t OptionsFingerprint(const EngineOptions& opts) {
+  size_t h = static_cast<size_t>(opts.mode);
+  h = HashCombine(h, static_cast<size_t>(opts.enable_rbo));
+  h = HashCombine(h, static_cast<size_t>(opts.enable_type_inference));
+  h = HashCombine(h, static_cast<size_t>(opts.enable_cbo));
+  h = HashCombine(h, static_cast<size_t>(opts.high_order_stats));
+  h = HashCombine(h, static_cast<size_t>(opts.enable_agg_pushdown));
+  h = HashCombine(h, static_cast<size_t>(opts.greedy_only));
+  h = HashCombine(h, static_cast<size_t>(opts.semantics));
+  h = HashCombine(h, static_cast<size_t>(opts.glogue_k));
+  h = HashCombine(h, HashDouble(opts.glogue_sample_rate));
+  h = HashCombine(h, static_cast<size_t>(opts.random_plan_seed + 1));
+  h = HashCombine(h, opts.planning_backend
+                         ? HashBackendSpec(*opts.planning_backend)
+                         : static_cast<size_t>(0));
+  for (const auto& r : opts.rbo_rule_filter) {
+    h = HashCombine(h, HashString(r));
+  }
+  h = HashCombine(h, opts.rbo_rule_filter.size());
+  return static_cast<uint64_t>(h);
+}
+
+std::string PlanCacheKey(const std::string& query, Language lang,
+                         const EngineOptions& opts) {
+  std::string key = NormalizeQueryText(query);
+  key.push_back('\x1f');
+  key.push_back(lang == Language::kCypher ? 'c' : 'g');
+  key.push_back('\x1f');
+  key += std::to_string(OptionsFingerprint(opts));
+  return key;
+}
+
+}  // namespace gopt

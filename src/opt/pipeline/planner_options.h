@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/opt/physical_spec.h"
+
+namespace gopt {
+
+enum class Language { kCypher, kGremlin };
+
+/// Planner behavior presets used throughout the experiments:
+///  - kGOpt:       the full pipeline (RBO -> type inference -> CBO).
+///  - kNoOpt:      no rewriting, user-specified pattern order.
+///  - kRboOnly:    heuristic rules only, user order ("GS-plan": GraphScope's
+///                 native rule-based planner per the paper Section 8.2).
+///  - kNeo4jStyle: emulated CypherPlanner — CBO restricted to ExpandInto +
+///                 HashJoin with low-order statistics, no type inference, no
+///                 aggregate pushdown ("Neo4j-plan", Section 8.3).
+enum class PlannerMode { kGOpt, kNoOpt, kRboOnly, kNeo4jStyle };
+
+/// Matching semantics of MATCH_PATTERN results (paper Remark 3.1): the
+/// framework plans under homomorphism semantics; Cypher's no-repeated-edge
+/// semantics is realized by an all-distinct filter over the matched edges
+/// appended after the pattern.
+enum class MatchSemantics { kHomomorphism, kNoRepeatedEdge };
+
+struct EngineOptions {
+  PlannerMode mode = PlannerMode::kGOpt;
+
+  // Fine-grained toggles for the micro benchmarks (applied on top of mode).
+  bool enable_rbo = true;
+  bool enable_type_inference = true;
+  bool enable_cbo = true;
+  bool high_order_stats = true;
+  bool enable_agg_pushdown = true;
+  /// Plan patterns with the greedy initial solution only, skipping the
+  /// exhaustive top-down search (set by kNeo4jStyle: CypherPlanner-style
+  /// greedy expansion planning).
+  bool greedy_only = false;
+
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+
+  /// GLogue construction parameters (ignored if a shared GLogue is set).
+  int glogue_k = 3;
+  double glogue_sample_rate = 1.0;
+
+  /// >= 0: replace CBO pattern plans by the seeded random order (the
+  /// randomized baselines of Fig. 8(c)).
+  int64_t random_plan_seed = -1;
+
+  /// When set, the CBO prices plans with this spec instead of the execution
+  /// backend's (the GOpt-Neo-plan mismatch ablation of Fig. 8(c)).
+  std::optional<BackendSpec> planning_backend;
+
+  /// When non-empty, RBO runs only the named rules (e.g. {"JoinToPattern"}
+  /// emulates GraphScope's native TraversalStrategy rule set, the "GS-plan"
+  /// baseline of Fig. 8(e)).
+  std::vector<std::string> rbo_rule_filter;
+
+  /// Prepared-plan cache (LRU over normalized query text): repeated Run /
+  /// Prepare calls on the same query skip planning entirely. Capacity is
+  /// read once at engine construction.
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 64;
+};
+
+/// Canonicalizes the query to the lexer's token stream rejoined with single
+/// spaces (comments stripped, string literals re-quoted canonically), so any
+/// two spellings that tokenize identically share a plan-cache entry.
+/// Untokenizable text is returned as-is (the parse pass reports the error).
+std::string NormalizeQueryText(const std::string& query);
+
+/// Fingerprint of every plan-affecting EngineOptions field (cache knobs are
+/// deliberately excluded — they never change the produced plan). Two option
+/// sets with equal fingerprints plan any query identically.
+uint64_t OptionsFingerprint(const EngineOptions& opts);
+
+/// The full prepared-plan cache key.
+std::string PlanCacheKey(const std::string& query, Language lang,
+                         const EngineOptions& opts);
+
+}  // namespace gopt

@@ -4,15 +4,10 @@
 #include <set>
 
 #include "src/opt/cbo.h"
+#include "src/opt/pipeline/planner_options.h"
 #include "src/physical/physical_op.h"
 
 namespace gopt {
-
-/// Matching semantics of MATCH_PATTERN results (paper Remark 3.1): the
-/// framework plans under homomorphism semantics; Cypher's no-repeated-edge
-/// semantics is realized by an all-distinct filter over the matched edges
-/// appended after the pattern.
-enum class MatchSemantics { kHomomorphism, kNoRepeatedEdge };
 
 struct ConvertOptions {
   MatchSemantics semantics = MatchSemantics::kHomomorphism;

@@ -4,6 +4,7 @@
 
 #include "src/engine/engine.h"
 #include "src/exec/naive_matcher.h"
+#include "src/lang/cypher_parser.h"
 #include "src/ldbc/ldbc.h"
 
 namespace gopt {

@@ -4,6 +4,8 @@
 
 #include "src/engine/engine.h"
 #include "src/exec/eval.h"
+#include "src/gir/ir_builder.h"
+#include "src/lang/cypher_parser.h"
 #include "src/ldbc/ldbc.h"
 
 namespace gopt {

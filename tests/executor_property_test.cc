@@ -6,7 +6,9 @@
 
 #include "src/engine/engine.h"
 #include "src/exec/naive_matcher.h"
+#include "src/lang/cypher_parser.h"
 #include "src/ldbc/ldbc.h"
+#include "src/opt/rbo.h"
 
 namespace gopt {
 namespace {

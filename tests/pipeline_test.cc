@@ -1,0 +1,354 @@
+// Tests for the opt/pipeline subsystem: declarative pass pipelines per
+// PlannerMode, PlanTrace diagnostics, and the prepared-plan LRU cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/engine/engine.h"
+#include "src/ldbc/ldbc.h"
+#include "src/opt/pipeline/pipelines.h"
+#include "src/opt/pipeline/plan_cache.h"
+
+namespace gopt {
+namespace {
+
+/// The same tiny paper-schema graph the engine smoke tests use.
+std::shared_ptr<PropertyGraph> PaperGraph() {
+  GraphSchema s = MakePaperSchema();
+  auto g = std::make_shared<PropertyGraph>(s);
+  TypeId person = *s.FindVertexType("Person");
+  TypeId product = *s.FindVertexType("Product");
+  TypeId place = *s.FindVertexType("Place");
+  TypeId knows = *s.FindEdgeType("Knows");
+  TypeId purchases = *s.FindEdgeType("Purchases");
+  TypeId located = *s.FindEdgeType("LocatedIn");
+
+  std::vector<VertexId> p, pr, pl;
+  for (int i = 0; i < 4; ++i) {
+    VertexId v = g->AddVertex(person);
+    g->SetVertexProp(v, "id", Value(i));
+    p.push_back(v);
+  }
+  for (int i = 0; i < 3; ++i) pr.push_back(g->AddVertex(product));
+  for (int i = 0; i < 2; ++i) pl.push_back(g->AddVertex(place));
+  g->AddEdge(p[0], p[1], knows);
+  g->AddEdge(p[1], p[2], knows);
+  g->AddEdge(p[0], p[2], knows);
+  g->AddEdge(p[2], p[3], knows);
+  g->AddEdge(p[0], pr[0], purchases);
+  g->AddEdge(p[1], pr[1], purchases);
+  g->AddEdge(p[0], pl[0], located);
+  g->AddEdge(p[1], pl[0], located);
+  g->AddEdge(p[2], pl[1], located);
+  g->Finalize();
+  return g;
+}
+
+const char* kQuery = "MATCH (a:Person)-[:Knows]->(b:Person) RETURN a, b";
+
+std::vector<std::string> NamesFor(PlannerMode mode) {
+  EngineOptions opts;
+  opts.mode = mode;
+  return BuildPipeline(opts).PassNames();
+}
+
+TEST(Pipeline, PassOrderingPerMode) {
+  EXPECT_EQ(NamesFor(PlannerMode::kGOpt),
+            (std::vector<std::string>{"parse", "rbo", "field_trim",
+                                      "type_inference", "cbo",
+                                      "physical_conversion"}));
+  EXPECT_EQ(NamesFor(PlannerMode::kNoOpt),
+            (std::vector<std::string>{"parse", "cbo", "physical_conversion"}));
+  EXPECT_EQ(NamesFor(PlannerMode::kRboOnly),
+            (std::vector<std::string>{"parse", "rbo", "field_trim", "cbo",
+                                      "physical_conversion"}));
+  EXPECT_EQ(NamesFor(PlannerMode::kNeo4jStyle),
+            (std::vector<std::string>{"parse", "rbo", "field_trim", "cbo",
+                                      "physical_conversion"}));
+}
+
+TEST(Pipeline, TogglesArePassSelectionDecisions) {
+  EngineOptions opts;
+  opts.enable_rbo = false;
+  EXPECT_EQ(BuildPipeline(opts).PassNames(),
+            (std::vector<std::string>{"parse", "type_inference", "cbo",
+                                      "physical_conversion"}));
+  opts = EngineOptions{};
+  opts.enable_type_inference = false;
+  EXPECT_EQ(BuildPipeline(opts).PassNames(),
+            (std::vector<std::string>{"parse", "rbo", "field_trim", "cbo",
+                                      "physical_conversion"}));
+  // A filtered rule set (foreign-planner emulation) drops FieldTrim.
+  opts = EngineOptions{};
+  opts.rbo_rule_filter = {"JoinToPattern"};
+  EXPECT_EQ(BuildPipeline(opts).PassNames(),
+            (std::vector<std::string>{"parse", "rbo", "type_inference", "cbo",
+                                      "physical_conversion"}));
+}
+
+TEST(Pipeline, TraceRecordsEveryPassExactlyOnce) {
+  auto g = PaperGraph();
+  for (PlannerMode mode :
+       {PlannerMode::kGOpt, PlannerMode::kNoOpt, PlannerMode::kRboOnly,
+        PlannerMode::kNeo4jStyle}) {
+    EngineOptions opts;
+    opts.mode = mode;
+    GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
+    auto prep = engine.Prepare(kQuery);
+    ASSERT_TRUE(prep.trace != nullptr);
+    std::vector<std::string> expected = NamesFor(mode);
+    ASSERT_EQ(prep.trace->passes.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(prep.trace->passes[i].pass, expected[i]);
+      EXPECT_FALSE(prep.trace->passes[i].skipped);
+      EXPECT_GE(prep.trace->passes[i].ms, 0.0);
+    }
+    EXPECT_GT(prep.trace->total_ms, 0.0);
+  }
+}
+
+TEST(Pipeline, InvalidPlanSkipsRemainingPasses) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  // Place has no outgoing edges in the schema; inference proves this empty.
+  auto prep = engine.Prepare("MATCH (a:Place)-[:Knows]->(b) RETURN a, b");
+  EXPECT_TRUE(prep.invalid);
+  ASSERT_TRUE(prep.trace != nullptr);
+  const PassTraceEntry* cbo = prep.trace->Find("cbo");
+  const PassTraceEntry* phys = prep.trace->Find("physical_conversion");
+  ASSERT_TRUE(cbo != nullptr);
+  ASSERT_TRUE(phys != nullptr);
+  EXPECT_TRUE(cbo->skipped);
+  EXPECT_TRUE(phys->skipped);
+  EXPECT_EQ(engine.Execute(prep).NumRows(), 0u);
+}
+
+TEST(Pipeline, ExplainContainsTraceAndTimings) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto prep = engine.Prepare(kQuery);
+  std::string explain = engine.Explain(prep);
+  EXPECT_NE(explain.find("Planner trace"), std::string::npos);
+  EXPECT_NE(explain.find("rbo"), std::string::npos);
+  EXPECT_NE(explain.find("ms"), std::string::npos);
+  EXPECT_NE(explain.find("rules fired"), std::string::npos);
+
+  auto hit = engine.Prepare(kQuery);
+  EXPECT_NE(engine.Explain(hit).find("plan cache hit"), std::string::npos);
+}
+
+TEST(PlanCacheTest, SecondPrepareSkipsPlanning) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto cold = engine.Prepare(kQuery);
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+
+  auto hit = engine.Prepare(kQuery);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+
+  // Planning was skipped: the cached Prepared shares the cold run's plan
+  // trees and trace outright.
+  EXPECT_EQ(hit.physical.get(), cold.physical.get());
+  EXPECT_EQ(hit.logical.get(), cold.logical.get());
+  EXPECT_EQ(hit.trace.get(), cold.trace.get());
+}
+
+TEST(PlanCacheTest, HitIsBitIdenticalToColdPrepare) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto cold = engine.Prepare(kQuery);
+  auto hit = engine.Prepare(kQuery);
+  ASSERT_FALSE(cold.invalid);
+  EXPECT_EQ(hit.physical->ToString(g->schema()),
+            cold.physical->ToString(g->schema()));
+  EXPECT_EQ(hit.output_columns, cold.output_columns);
+  EXPECT_EQ(hit.fired_rules, cold.fired_rules);
+  EXPECT_TRUE(engine.Execute(hit).SameRows(engine.Execute(cold)));
+}
+
+TEST(PlanCacheTest, RepeatedRunHitsCache) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto r1 = engine.Run(kQuery);
+  auto r2 = engine.Run(kQuery);
+  EXPECT_TRUE(r1.SameRows(r2));
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+}
+
+TEST(PlanCacheTest, NormalizedQueryTextSharesEntry) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  engine.Run(kQuery);
+  engine.Run("  MATCH (a:Person)-[:Knows]->(b:Person)\n\t RETURN a,  b ");
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+}
+
+TEST(PlanCacheTest, OptionsChangeInvalidatesEntry) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  engine.Run(kQuery);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+
+  engine.mutable_options()->enable_cbo = false;
+  engine.Run(kQuery);
+  // Different options fingerprint -> miss, not a stale-plan hit.
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
+
+  // Flipping back rehits the original entry.
+  engine.mutable_options()->enable_cbo = true;
+  engine.Run(kQuery);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+}
+
+TEST(PlanCacheTest, DifferentLanguagesGetDistinctEntries) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  engine.Run(kQuery, Language::kCypher);
+  engine.Run(
+      "g.V().hasLabel('Person').as('a').out('Knows').as('b')."
+      "hasLabel('Person').select('a')",
+      Language::kGremlin);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestEntry) {
+  PlanCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_TRUE(cache.Get("a") != nullptr);  // refresh a; b is now LRU
+  cache.Put("c", 3);                       // evicts b
+  EXPECT_TRUE(cache.Get("b") == nullptr);
+  EXPECT_TRUE(cache.Get("a") != nullptr);
+  EXPECT_TRUE(cache.Get("c") != nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverCaches) {
+  auto g = PaperGraph();
+  EngineOptions opts;
+  opts.enable_plan_cache = false;
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
+  auto p1 = engine.Prepare(kQuery);
+  auto p2 = engine.Prepare(kQuery);
+  EXPECT_FALSE(p2.from_cache);
+  EXPECT_NE(p1.physical.get(), p2.physical.get());
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+}
+
+TEST(PlanCacheTest, SetGlogueClearsCache) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  engine.Run(kQuery);
+  auto fresh = std::make_shared<Glogue>(Glogue::Build(*g));
+  engine.SetGlogue(fresh);
+  engine.Run(kQuery);
+  // The plan was re-planned against the new statistics, not served stale.
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
+}
+
+TEST(PlannerOptionsTest, FingerprintCoversPlanAffectingFields) {
+  EngineOptions a;
+  EngineOptions b;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+
+  b.enable_cbo = false;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+
+  b = EngineOptions{};
+  b.rbo_rule_filter = {"JoinToPattern"};
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+
+  b = EngineOptions{};
+  b.planning_backend = BackendSpec::Neo4jLike();
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+
+  // Cache knobs never affect the produced plan, so they are excluded.
+  b = EngineOptions{};
+  b.plan_cache_capacity = 7;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+}
+
+TEST(PlannerOptionsTest, NormalizeQueryText) {
+  // Normalization is the lexer's token stream rejoined: insignificant
+  // whitespace (and even spacing around punctuation) never splits entries.
+  EXPECT_EQ(NormalizeQueryText("  MATCH\t(a)\n RETURN  a "),
+            "MATCH ( a ) RETURN a");
+  EXPECT_EQ(NormalizeQueryText("MATCH (a) RETURN a,b"),
+            NormalizeQueryText("MATCH ( a )  RETURN a , b"));
+  EXPECT_EQ(NormalizeQueryText("x"), "x");
+  EXPECT_EQ(NormalizeQueryText("   "), "");
+  // Untokenizable text keys on the raw string (parse reports the error).
+  EXPECT_EQ(NormalizeQueryText("'unterminated"), "'unterminated");
+}
+
+TEST(PlannerOptionsTest, NormalizePreservesWhitespaceInStringLiterals) {
+  // Whitespace inside quoted literals is semantically significant: queries
+  // differing only there must NOT share a plan-cache entry.
+  EXPECT_NE(NormalizeQueryText("WHERE x = 'a  b'"),
+            NormalizeQueryText("WHERE x = 'a b'"));
+  // Escaped quote does not end the literal.
+  EXPECT_EQ(NormalizeQueryText("'a\\'  b'   c"), "'a\\'  b' c");
+  // Double-quoted literals canonicalize to the same key as single-quoted.
+  EXPECT_EQ(NormalizeQueryText("\"a  b\"  x"), NormalizeQueryText("'a  b' x"));
+}
+
+TEST(PlannerOptionsTest, NormalizeStripsLineCommentsLikeTheLexer) {
+  // A newline ends a // comment; normalization must not merge the query
+  // with one whose comment swallows the trailing clause.
+  const std::string real_return = "MATCH (n:Person) //f\nRETURN n";
+  const std::string commented_return = "MATCH (n:Person) //f RETURN n";
+  EXPECT_EQ(NormalizeQueryText(real_return),
+            "MATCH ( n : Person ) RETURN n");
+  EXPECT_EQ(NormalizeQueryText(commented_return), "MATCH ( n : Person )");
+  // '//' inside a string literal is not a comment.
+  EXPECT_EQ(NormalizeQueryText("WHERE x = 'a//b'  RETURN x"),
+            "WHERE x = 'a//b' RETURN x");
+}
+
+TEST(PlanCacheTest, CacheCanBeReEnabledAfterConstruction) {
+  auto g = PaperGraph();
+  EngineOptions opts;
+  opts.enable_plan_cache = false;
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
+  engine.Prepare(kQuery);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 0u);
+
+  engine.mutable_options()->enable_plan_cache = true;
+  engine.Prepare(kQuery);  // miss, populates
+  auto hit = engine.Prepare(kQuery);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+}
+
+TEST(Pipeline, AllModesExecuteTheSameQuery) {
+  auto g = PaperGraph();
+  ResultTable reference;
+  bool first = true;
+  for (PlannerMode mode :
+       {PlannerMode::kGOpt, PlannerMode::kNoOpt, PlannerMode::kRboOnly,
+        PlannerMode::kNeo4jStyle}) {
+    EngineOptions opts;
+    opts.mode = mode;
+    GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
+    auto result = engine.Run(kQuery);
+    if (first) {
+      reference = result;
+      first = false;
+    } else {
+      EXPECT_TRUE(result.SameRows(reference))
+          << "mode " << static_cast<int>(mode) << " diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gopt
