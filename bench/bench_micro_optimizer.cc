@@ -123,6 +123,68 @@ void BM_EndToEndPrepare(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPrepare)->Unit(benchmark::kMicrosecond);
 
+/// The parameterized-workload template the auto-parameterization targets:
+/// one LDBC-style query shape, a distinct anchor literal per call. Without
+/// parameter extraction every call would plan from scratch.
+std::string ParamWorkloadQuery(int person_id) {
+  return "MATCH (p:Person)-[:KNOWS]->(f:Person) WHERE p.id = " +
+         std::to_string(person_id) +
+         " RETURN f.id AS fid ORDER BY fid ASC LIMIT 20";
+}
+
+void BM_ParamWorkloadColdPrepare(benchmark::State& state) {
+  // Baseline: the cache disabled, so every distinct literal pays the full
+  // planning pipeline (what PR 1's literal-keyed cache degenerated to).
+  const auto& g = *SharedGraph().graph;
+  static auto glogue = std::make_shared<Glogue>(Glogue::Build(g));
+  EngineOptions opts;
+  opts.enable_plan_cache = false;
+  GOptEngine engine(&g, BackendSpec::GraphScopeLike(4), opts);
+  engine.SetGlogue(glogue);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Prepare(ParamWorkloadQuery(i++ % 100)));
+  }
+}
+BENCHMARK(BM_ParamWorkloadColdPrepare)->Unit(benchmark::kMicrosecond);
+
+void BM_ParamWorkloadWarmRun(benchmark::State& state) {
+  // Auto-parameterized: 100 distinct literal values share one cached plan;
+  // warm Run pays parameter extraction + execution only. Counters report
+  // the cache hit rate over the whole run.
+  const auto& g = *SharedGraph().graph;
+  static auto glogue = std::make_shared<Glogue>(Glogue::Build(g));
+  GOptEngine engine(&g, BackendSpec::GraphScopeLike(4));
+  engine.SetGlogue(glogue);
+  engine.Run(ParamWorkloadQuery(0));  // one cold plan warms the template
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(ParamWorkloadQuery(i++ % 100)));
+  }
+  const PlanCacheStats& stats = engine.plan_cache_stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.misses);
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) /
+      static_cast<double>(std::max<uint64_t>(stats.hits + stats.misses, 1));
+}
+BENCHMARK(BM_ParamWorkloadWarmRun)->Unit(benchmark::kMicrosecond);
+
+void BM_ParamWorkloadWarmPrepare(benchmark::State& state) {
+  // Planning-side only: the warm counterpart of ColdPrepare — extraction +
+  // cache lookup, no execution (the direct cold-vs-warm latency pair).
+  const auto& g = *SharedGraph().graph;
+  static auto glogue = std::make_shared<Glogue>(Glogue::Build(g));
+  GOptEngine engine(&g, BackendSpec::GraphScopeLike(4));
+  engine.SetGlogue(glogue);
+  engine.Prepare(ParamWorkloadQuery(0));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Prepare(ParamWorkloadQuery(i++ % 100)));
+  }
+}
+BENCHMARK(BM_ParamWorkloadWarmPrepare)->Unit(benchmark::kMicrosecond);
+
 void BM_CachedPrepare(benchmark::State& state) {
   const auto& g = *SharedGraph().graph;
   static auto glogue = std::make_shared<Glogue>(Glogue::Build(g));

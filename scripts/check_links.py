@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fails when a markdown file under docs/ (or README.md) contains a
+relative link to a file that does not exist.
+
+Usage: scripts/check_links.py [repo_root]
+External links (scheme://) and pure anchors (#...) are ignored; a
+"path#anchor" link is checked for the path part only.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def md_files(root):
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        yield readme
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, names in os.walk(docs):
+            for name in sorted(names):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    for path in md_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for m in LINK_RE.finditer(text):
+            target = m.group(1).split("#", 1)[0]
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, m.start()) + 1
+                broken.append("%s:%d: broken link -> %s" %
+                              (os.path.relpath(path, root), line, target))
+    for b in broken:
+        print(b)
+    if broken:
+        print("%d broken link(s)" % len(broken))
+        return 1
+    print("docs link check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

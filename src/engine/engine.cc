@@ -1,8 +1,10 @@
 #include "src/engine/engine.h"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "src/common/str_format.h"
+#include "src/lang/parameterize.h"
 
 namespace gopt {
 
@@ -71,19 +73,60 @@ GOptEngine::Prepared GOptEngine::PlanQuery(const std::string& query,
 GOptEngine::Prepared GOptEngine::Prepare(const std::string& query,
                                          Language lang) {
   EnsureStats();
-  if (!opts_.enable_plan_cache) return PlanQuery(query, lang);
-  const std::string key = PlanCacheKey(query, lang, opts_);
+  // Split the query into a canonical parameterized stream (the plan shape)
+  // and this call's literal bindings; planning and the cache only ever see
+  // the stream. With the cache disabled there is no sharing to gain, so
+  // literal extraction is skipped and only user-written $params remain.
+  ParameterizedQuery pq = ParameterizeQuery(
+      query, lang, opts_.auto_parameterize && opts_.enable_plan_cache);
+  auto plan_parameterized = [&]() {
+    try {
+      return PlanQuery(pq.text, lang);
+    } catch (const std::exception& e) {
+      if (pq.text == query) throw;
+      // Parse errors carry token positions into the canonical stream, not
+      // the user's original spelling — include the stream so they are
+      // interpretable.
+      throw std::runtime_error(std::string(e.what()) +
+                               " [in canonical query: " + pq.text + "]");
+    }
+  };
+  if (!opts_.enable_plan_cache) {
+    Prepared prep = plan_parameterized();
+    prep.parameterized_query = std::move(pq.text);
+    prep.required_params = std::move(pq.required_params);
+    prep.params = std::move(pq.bindings);
+    return prep;
+  }
+  const std::string key = PlanCacheKeyFromCanonical(pq.text, lang, opts_);
   if (const Prepared* hit = plan_cache_.Get(key)) {
     Prepared prep = *hit;
     prep.from_cache = true;
+    // The plan is shared; the bindings are this call's own.
+    prep.params = std::move(pq.bindings);
     return prep;
   }
-  Prepared prep = PlanQuery(query, lang);
+  Prepared prep = plan_parameterized();
+  prep.parameterized_query = std::move(pq.text);
+  prep.required_params = std::move(pq.required_params);
+  // Cache the binding-independent plan; this call's extracted literals are
+  // attached only to the returned copy.
   plan_cache_.Put(key, prep);
+  prep.params = std::move(pq.bindings);
   return prep;
 }
 
-ResultTable GOptEngine::Execute(const Prepared& prep) {
+ResultTable GOptEngine::Execute(const Prepared& prep, const ParamMap& params) {
+  // Resolve the effective bindings (user-supplied over auto-extracted) and
+  // reject unbound slots before any operator runs.
+  ParamMap bound = prep.params;
+  for (const auto& [name, value] : params) bound[name] = value;
+  for (const auto& name : prep.required_params) {
+    if (!bound.count(name)) {
+      throw std::runtime_error("Execute: unbound parameter $" + name +
+                               " (bind it via the params argument)");
+    }
+  }
   if (prep.invalid || !prep.physical) {
     ResultTable empty;
     empty.columns = prep.output_columns;
@@ -95,10 +138,12 @@ ResultTable GOptEngine::Execute(const Prepared& prep) {
   ResultTable result;
   if (backend_.distributed) {
     DistributedExecutor ex(g_, backend_.num_workers);
+    ex.set_params(&bound);
     result = ex.Execute(prep.physical);
     last_stats_ = ex.stats();
   } else {
     SingleMachineExecutor ex(g_);
+    ex.set_params(&bound);
     result = ex.Execute(prep.physical);
     last_stats_ = ex.stats();
   }
@@ -113,8 +158,23 @@ ResultTable GOptEngine::Run(const std::string& query, Language lang) {
   return Execute(Prepare(query, lang));
 }
 
+ResultTable GOptEngine::Run(const std::string& query, const ParamMap& params,
+                            Language lang) {
+  return Execute(Prepare(query, lang), params);
+}
+
 std::string GOptEngine::Explain(const Prepared& prep) const {
-  std::string s = "=== Logical plan (GIR) ===\n";
+  std::string s;
+  if (!prep.required_params.empty()) {
+    s += "=== Parameters ===\n";
+    for (const auto& name : prep.required_params) {
+      auto it = prep.params.find(name);
+      s += StrFormat("  $%s = %s\n", name.c_str(),
+                     it != prep.params.end() ? it->second.ToString().c_str()
+                                             : "<unbound>");
+    }
+  }
+  s += "=== Logical plan (GIR) ===\n";
   s += prep.logical->ToString(g_->schema());
   if (prep.trace) {
     s += StrFormat("=== Planner trace%s ===\n",

@@ -17,15 +17,23 @@ namespace gopt {
 /// pipeline (opt/pipeline) selected by PlannerMode — parse -> RBO -> type
 /// inference -> CBO -> physical conversion — followed by execution on the
 /// configured backend (Neo4j-like sequential or GraphScope-like
-/// distributed). Prepared plans are memoized in an LRU PlanCache keyed by
-/// (normalized query text, language, options fingerprint), so repeated
-/// queries skip planning entirely.
+/// distributed).
+///
+/// Prepared plans are a prepared-statement subsystem, not just a memoizer:
+/// Prepare first auto-parameterizes the query (constant tokens become $__pN
+/// slots; see ParameterizeQuery for the guards), then looks the
+/// parameterized stream up in an LRU PlanCache keyed by (parameterized
+/// text, language, options fingerprint). Queries differing only in literal
+/// values therefore share one plan; the extracted values travel with the
+/// returned Prepared and are bound at Execute time, optionally overridden
+/// by user-supplied $name parameters.
 class GOptEngine {
  public:
   GOptEngine(const PropertyGraph* g, BackendSpec backend,
              EngineOptions opts = {});
 
-  /// A fully planned query ready for (repeated) execution.
+  /// A fully planned query ready for (repeated) execution under any
+  /// parameter binding.
   struct Prepared {
     LogicalOpPtr logical;
     PhysOpPtr physical;
@@ -38,12 +46,38 @@ class GOptEngine {
     std::shared_ptr<const PlanTrace> trace;
     /// True when this Prepared was served from the plan cache.
     bool from_cache = false;
+
+    /// The canonical parameterized query text this plan was built from
+    /// (also the cache-key text).
+    std::string parameterized_query;
+    /// Every parameter slot the plan references: auto-extracted $__pN slots
+    /// plus user-written $name parameters, in first-occurrence order.
+    /// Execute throws if any of them is unbound.
+    std::vector<std::string> required_params;
+    /// Literal values auto-extracted from THIS call's query text (per-call
+    /// state: a cache hit re-extracts them from the new text). Execute
+    /// merges user-supplied bindings over these.
+    ParamMap params;
   };
 
+  /// Plans `query` (or serves the plan from the cache after
+  /// auto-parameterization). The returned Prepared carries the literal
+  /// bindings extracted from this exact query text, so Execute(prep) runs
+  /// it as written; re-Execute with explicit params rebinds without
+  /// replanning.
   Prepared Prepare(const std::string& query, Language lang = Language::kCypher);
-  ResultTable Execute(const Prepared& prep);
+
+  /// Executes a prepared plan. `params` (user-supplied $name bindings) are
+  /// merged over the auto-extracted literals of `prep`; a $param required
+  /// by the plan but bound by neither throws std::runtime_error before any
+  /// operator runs.
+  ResultTable Execute(const Prepared& prep, const ParamMap& params = {});
+
   /// Prepare + Execute (Prepare hits the plan cache on repeated queries).
   ResultTable Run(const std::string& query, Language lang = Language::kCypher);
+  /// Prepare + Execute with explicit $name parameter bindings.
+  ResultTable Run(const std::string& query, const ParamMap& params,
+                  Language lang = Language::kCypher);
 
   /// Human-readable plan description (logical + pattern plans + physical +
   /// the per-pass PlanTrace with millisecond timings and fired-rule counts).

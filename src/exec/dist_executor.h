@@ -31,6 +31,11 @@ class DistributedExecutor {
   const ExecStats& stats() const { return stats_; }
   int workers() const { return workers_; }
 
+  /// Parameter bindings for $name slots in the plan's expressions; must
+  /// outlive Execute (the map is read concurrently by worker threads, which
+  /// is safe because execution only ever reads it).
+  void set_params(const ParamMap* params) { k_.set_params(params); }
+
  private:
   /// A distributed table: one row vector per worker.
   using Parts = std::vector<std::vector<Row>>;

@@ -36,6 +36,13 @@ Value ExprEval::Eval(const Expr& e, const Row& row, const ColMap& cols) const {
       if (it == cols.end()) return Value();
       return Property(row[static_cast<size_t>(it->second)], e.prop);
     }
+    case Expr::Kind::kParam: {
+      if (params_) {
+        auto it = params_->find(e.tag);
+        if (it != params_->end()) return it->second;
+      }
+      throw std::runtime_error("unbound parameter $" + e.tag);
+    }
     case Expr::Kind::kBinary:
       return EvalBinary(e, row, cols);
     case Expr::Kind::kUnary: {

@@ -17,10 +17,20 @@ ColMap MakeColMap(const std::vector<std::string>& cols);
 /// Expression evaluator over runtime rows. Property access resolves through
 /// the graph store; comparisons follow Value semantics with SQL-ish null
 /// handling (any comparison with null is null, treated as false by
-/// EvalBool).
+/// EvalBool). Parameter slots ($name, Expr::Kind::kParam) resolve through
+/// the ParamMap installed via set_params — the execution-time binding step
+/// that lets a cached plan run under fresh literal values without
+/// replanning.
 class ExprEval {
  public:
   explicit ExprEval(const PropertyGraph* g) : g_(g) {}
+
+  /// Installs the parameter bindings used by subsequent Eval calls. The map
+  /// must outlive the evaluation; pass nullptr to clear. Evaluating a
+  /// kParam slot absent from the map throws std::runtime_error (the engine
+  /// validates bindings before execution, so this only fires for direct
+  /// kernel users).
+  void set_params(const ParamMap* params) { params_ = params; }
 
   Value Eval(const Expr& e, const Row& row, const ColMap& cols) const;
 
@@ -39,6 +49,7 @@ class ExprEval {
   Value EvalFunc(const Expr& e, const Row& row, const ColMap& cols) const;
 
   const PropertyGraph* g_;
+  const ParamMap* params_ = nullptr;
 };
 
 }  // namespace gopt

@@ -28,6 +28,11 @@ class SingleMachineExecutor {
 
   const ExecStats& stats() const { return stats_; }
 
+  /// Parameter bindings for $name slots in the plan's expressions; must
+  /// outlive Execute. The engine installs the merged (auto-extracted +
+  /// user-supplied) bindings here before every Execute.
+  void set_params(const ParamMap* params) { k_.set_params(params); }
+
   /// When false (default), kExpandIntersect plans throw — the backend does
   /// not implement the operator. Tests may enable it to compare kernels.
   void set_allow_intersect(bool allow) { allow_intersect_ = allow; }

@@ -47,6 +47,10 @@ class Kernels {
   const ExprEval& eval() const { return eval_; }
   const PropertyGraph& graph() const { return *g_; }
 
+  /// Installs execution-time parameter bindings on the evaluator (see
+  /// ExprEval::set_params). The map must outlive kernel execution.
+  void set_params(const ParamMap* params) { eval_.set_params(params); }
+
  private:
   /// Iterates adjacency entries of `u` in direction `dir` filtered by the
   /// edge type constraint; `reversed` in the callback is true when the data

@@ -24,6 +24,13 @@ ExprPtr Expr::MakeProperty(std::string tag, std::string prop) {
   return e;
 }
 
+ExprPtr Expr::MakeParam(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kParam;
+  e->tag = std::move(name);
+  return e;
+}
+
 ExprPtr Expr::MakeBinary(BinOp op, ExprPtr l, ExprPtr r) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kBinary;
@@ -60,6 +67,11 @@ ExprPtr Expr::And(const std::vector<ExprPtr>& preds) {
 void Expr::CollectTags(std::set<std::string>* tags) const {
   if (kind == Kind::kVar || kind == Kind::kProperty) tags->insert(tag);
   for (const auto& a : args) a->CollectTags(tags);
+}
+
+void Expr::CollectParams(std::set<std::string>* names) const {
+  if (kind == Kind::kParam) names->insert(tag);
+  for (const auto& a : args) a->CollectParams(names);
 }
 
 void Expr::CollectProperties(
@@ -121,6 +133,8 @@ std::string Expr::ToString() const {
       return tag;
     case Kind::kProperty:
       return tag + "." + prop;
+    case Kind::kParam:
+      return "$" + tag;
     case Kind::kBinary:
       return "(" + args[0]->ToString() + " " + BinOpName(bin) + " " +
              args[1]->ToString() + ")";

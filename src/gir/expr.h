@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -8,6 +9,10 @@
 #include "src/common/value.h"
 
 namespace gopt {
+
+/// Runtime bindings of named query parameters ($name -> value), supplied at
+/// Execute time and resolved by ExprEval without replanning.
+using ParamMap = std::map<std::string, Value>;
 
 enum class BinOp {
   kEq,
@@ -41,12 +46,17 @@ using ExprPtr = std::shared_ptr<const Expr>;
 /// Scalar expression tree used by SELECT predicates, PROJECT items, ORDER
 /// keys and pattern-level predicates. Immutable once built (shared freely
 /// between plan alternatives).
+///
+/// kParam is an unresolved named-parameter slot ($name): the plan keeps the
+/// slot through optimization and physical lowering, and ExprEval resolves
+/// it against the ParamMap supplied at execution time — the mechanism that
+/// lets one cached plan serve any literal binding.
 struct Expr {
-  enum class Kind { kLiteral, kVar, kProperty, kBinary, kUnary, kFunc };
+  enum class Kind { kLiteral, kVar, kProperty, kParam, kBinary, kUnary, kFunc };
 
   Kind kind = Kind::kLiteral;
   Value literal;        // kLiteral
-  std::string tag;      // kVar, kProperty: the alias referenced
+  std::string tag;      // kVar, kProperty: the alias referenced; kParam: name
   std::string prop;     // kProperty: property name
   BinOp bin = BinOp::kEq;
   UnOp un = UnOp::kNot;
@@ -56,6 +66,8 @@ struct Expr {
   static ExprPtr MakeLiteral(Value v);
   static ExprPtr MakeVar(std::string tag);
   static ExprPtr MakeProperty(std::string tag, std::string prop);
+  /// Unresolved parameter slot $name (bound at execution time).
+  static ExprPtr MakeParam(std::string name);
   static ExprPtr MakeBinary(BinOp op, ExprPtr l, ExprPtr r);
   static ExprPtr MakeUnary(UnOp op, ExprPtr x);
   static ExprPtr MakeFunc(std::string name, std::vector<ExprPtr> args);
@@ -65,6 +77,9 @@ struct Expr {
 
   /// Collects every alias (tag) the expression references.
   void CollectTags(std::set<std::string>* tags) const;
+
+  /// Collects every parameter name ($name slots) the expression references.
+  void CollectParams(std::set<std::string>* names) const;
 
   /// Collects referenced properties per tag, for FieldTrim COLUMNS pruning.
   void CollectProperties(

@@ -384,6 +384,8 @@ ExprPtr CypherParser::ParsePrimary(TokenCursor* c) {
       std::string v = c->Next().text;
       return Expr::MakeLiteral(Value(std::move(v)));
     }
+    case TokKind::kParam:
+      return Expr::MakeParam(c->Next().text);
     case TokKind::kIdent: {
       if (t.IsKw("true")) {
         c->Next();

@@ -34,6 +34,15 @@ Value TokenLiteral(TokenCursor* c) {
   c->Fail("expected literal");
 }
 
+/// A scalar value position (has() values, predicate arguments): a literal
+/// or a $name parameter slot resolved at execution time.
+ExprPtr LiteralOrParam(TokenCursor* c) {
+  if (c->Peek().kind == TokKind::kParam) {
+    return Expr::MakeParam(c->Next().text);
+  }
+  return Expr::MakeLiteral(TokenLiteral(c));
+}
+
 }  // namespace
 
 /// Parser state for one traversal: the pattern under construction plus the
@@ -251,7 +260,7 @@ void GremlinParser::ParseSteps(TokenCursor* c, TraversalState* st) {
           pred = Expr::MakeBinary(BinOp::kIn, lhs,
                                   Expr::MakeLiteral(Value::List(vals)));
         } else {
-          Value v = TokenLiteral(c);
+          ExprPtr v = LiteralOrParam(c);
           BinOp op = BinOp::kEq;
           if (p == "gt") op = BinOp::kGt;
           else if (p == "gte") op = BinOp::kGe;
@@ -259,12 +268,11 @@ void GremlinParser::ParseSteps(TokenCursor* c, TraversalState* st) {
           else if (p == "lte") op = BinOp::kLe;
           else if (p == "neq") op = BinOp::kNe;
           else if (p != "eq") c->Fail("unsupported predicate " + p);
-          pred = Expr::MakeBinary(op, lhs, Expr::MakeLiteral(v));
+          pred = Expr::MakeBinary(op, lhs, std::move(v));
         }
         c->Expect(")");
       } else {
-        pred = Expr::MakeBinary(BinOp::kEq, lhs,
-                                Expr::MakeLiteral(TokenLiteral(c)));
+        pred = Expr::MakeBinary(BinOp::kEq, lhs, LiteralOrParam(c));
       }
       c->Expect(")");
       st->filters.push_back(pred);

@@ -37,10 +37,21 @@ void Lexer::Tokenize() {
     }
     Token t;
     t.pos = i;
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+    if (c == '$' &&
+        (std::isalnum(static_cast<unsigned char>(peek(1))) || peek(1) == '_')) {
+      // Named query parameter: $name.
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                       text_[j] == '_')) {
+        ++j;
+      }
+      t.kind = TokKind::kParam;
+      t.text = text_.substr(i + 1, j - i - 1);
+      i = j;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t j = i;
       while (j < n && (std::isalnum(static_cast<unsigned char>(text_[j])) ||
-                       text_[j] == '_' || text_[j] == '$')) {
+                       text_[j] == '_')) {
         ++j;
       }
       t.kind = TokKind::kIdent;
@@ -102,6 +113,33 @@ void Lexer::Tokenize() {
   end.kind = TokKind::kEnd;
   end.pos = n;
   tokens_.push_back(end);
+}
+
+std::string RenderTokenStream(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    switch (t.kind) {
+      case TokKind::kString:
+        // Re-quote canonically (token text is the unescaped value).
+        out.push_back('\'');
+        for (char c : t.text) {
+          if (c == '\\' || c == '\'') out.push_back('\\');
+          out.push_back(c);
+        }
+        out.push_back('\'');
+        break;
+      case TokKind::kParam:
+        out.push_back('$');
+        out += t.text;
+        break;
+      default:
+        out += t.text;
+        break;
+    }
+  }
+  return out;
 }
 
 const Token& TokenCursor::Peek(size_t ahead) const {

@@ -11,6 +11,7 @@ enum class TokKind {
   kInt,
   kFloat,
   kString,
+  kParam,  // named query parameter: $name (text holds the name without '$')
   kPunct,  // single/multi char punctuation: ( ) [ ] { } , . : ; | - > < = etc.
   kEnd,
 };
@@ -41,6 +42,13 @@ class Lexer {
   std::string text_;
   std::vector<Token> tokens_;
 };
+
+/// Renders a token stream back to canonical query text: tokens joined by
+/// single spaces, string literals single-quoted with minimal escaping,
+/// parameters as $name. Lexing the result reproduces the same stream, so
+/// rendered text is a stable canonical form (used for plan-cache keys and
+/// the parameterized query rewrite).
+std::string RenderTokenStream(const std::vector<Token>& tokens);
 
 /// Cursor over a token stream with error reporting.
 class TokenCursor {

@@ -1,0 +1,175 @@
+#include "src/lang/parameterize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "src/lang/lexer.h"
+
+namespace gopt {
+
+namespace {
+
+bool IsLiteral(const Token& t) {
+  return t.kind == TokKind::kInt || t.kind == TokKind::kFloat ||
+         t.kind == TokKind::kString;
+}
+
+Value LiteralValue(const Token& t) {
+  switch (t.kind) {
+    case TokKind::kInt:
+      return Value(t.int_val);
+    case TokKind::kFloat:
+      return Value(t.float_val);
+    default:
+      return Value(t.text);
+  }
+}
+
+std::string Lower(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c))));
+  return out;
+}
+
+/// Decides, per literal token position, whether the Cypher rewriter may
+/// extract it. See the guard list in the header.
+class CypherGuard {
+ public:
+  bool Parameterizable(const std::vector<Token>& toks, size_t i) {
+    const Token& t = toks[i];
+    // Track [...] nesting: edge-pattern bodies (hop bounds, edge prop maps)
+    // and IN-list literals are never parameterized — hop bounds select the
+    // PathExpand shape and the list size feeds the IN selectivity estimate.
+    for (; scanned_ < i; ++scanned_) {
+      if (toks[scanned_].Is("[")) ++bracket_depth_;
+      if (toks[scanned_].Is("]") && bracket_depth_ > 0) --bracket_depth_;
+    }
+    if (bracket_depth_ > 0) return false;
+    if (t.kind == TokKind::kInt || t.kind == TokKind::kFloat) {
+      // Hop bounds outside brackets cannot occur, but `LIMIT n` can: the
+      // count is embedded in the plan's Limit/Order operator.
+      if (i > 0 && (toks[i - 1].Is("*") || toks[i - 1].Is("..") ||
+                    toks[i - 1].IsKw("LIMIT"))) {
+        return false;
+      }
+      if (i + 1 < toks.size() && toks[i + 1].Is("..")) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t scanned_ = 0;
+  int bracket_depth_ = 0;
+};
+
+/// Gremlin guard: tracks the innermost step call a token sits in. Only the
+/// value argument of has(prop, v) (past the first comma) and the arguments
+/// of the scalar comparison predicates are extracted; every other literal
+/// is structural (labels, tags, property names, limit counts, within-lists).
+class GremlinGuard {
+ public:
+  bool Parameterizable(const std::vector<Token>& toks, size_t i) {
+    for (; scanned_ < i; ++scanned_) {
+      const Token& s = toks[scanned_];
+      if (s.Is("(")) {
+        std::string call;
+        if (scanned_ > 0 && toks[scanned_ - 1].kind == TokKind::kIdent) {
+          call = Lower(toks[scanned_ - 1].text);
+        }
+        calls_.push_back({std::move(call), 0});
+      } else if (s.Is(")")) {
+        if (!calls_.empty()) calls_.pop_back();
+      } else if (s.Is(",")) {
+        if (!calls_.empty()) ++calls_.back().commas;
+      }
+    }
+    if (calls_.empty()) return false;
+    const Frame& f = calls_.back();
+    if (f.name == "has") return f.commas >= 1;
+    static const char* kValuePreds[] = {"eq", "neq", "gt", "gte", "lt", "lte"};
+    for (const char* p : kValuePreds) {
+      if (f.name == p) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Frame {
+    std::string name;
+    int commas = 0;
+  };
+  size_t scanned_ = 0;
+  std::vector<Frame> calls_;
+};
+
+}  // namespace
+
+ParameterizedQuery ParameterizeQuery(const std::string& query, Language lang,
+                                     bool extract_literals) {
+  ParameterizedQuery out;
+  std::vector<Token> tokens;
+  try {
+    tokens = Lexer(query).tokens();
+  } catch (const std::exception&) {
+    // Untokenizable (e.g. unterminated literal): pass through unchanged;
+    // the parse pass reports the error.
+    out.text = query;
+    return out;
+  }
+
+  CypherGuard cypher_guard;
+  GremlinGuard gremlin_guard;
+  auto parameterizable = [&](size_t i) {
+    return lang == Language::kCypher ? cypher_guard.Parameterizable(tokens, i)
+                                     : gremlin_guard.Parameterizable(tokens, i);
+  };
+
+  std::vector<std::string> seen;  // required params, first-occurrence order
+  auto require = [&](const std::string& name) {
+    if (std::find(seen.begin(), seen.end(), name) == seen.end()) {
+      seen.push_back(name);
+    }
+  };
+
+  // Generated slot names must never alias a user-written parameter (the
+  // __p prefix is reserved, but a user writing $__p0 anyway must not have
+  // an extracted literal silently merged into their slot).
+  std::set<std::string> user_names;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kParam) user_names.insert(t.text);
+  }
+
+  size_t next_slot = 0;
+  auto fresh_slot = [&]() {
+    std::string s;
+    do {
+      s = "__p" + std::to_string(next_slot++);
+    } while (user_names.count(s));
+    return s;
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    Token& t = tokens[i];
+    if (t.kind == TokKind::kParam) {
+      require(t.text);
+      continue;
+    }
+    if (!extract_literals || !IsLiteral(t) || !parameterizable(i)) continue;
+    std::string slot = fresh_slot();
+    out.bindings[slot] = LiteralValue(t);
+    require(slot);
+    Token repl;
+    repl.kind = TokKind::kParam;
+    repl.text = std::move(slot);
+    repl.pos = t.pos;
+    t = std::move(repl);
+  }
+  out.text = RenderTokenStream(tokens);
+  out.required_params = std::move(seen);
+  return out;
+}
+
+}  // namespace gopt

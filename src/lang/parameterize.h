@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gir/expr.h"
+#include "src/opt/pipeline/planner_options.h"
+
+namespace gopt {
+
+/// The result of rewriting a query's constant tokens into parameter slots:
+/// a canonical parameterized token stream (the plan-cache key text) plus
+/// the literal values that were extracted, keyed by their generated slot
+/// names. Two queries that differ only in (parameterizable) literal values
+/// produce identical `text` and therefore share one prepared plan.
+struct ParameterizedQuery {
+  /// Canonical parameterized query text: the token stream rejoined with
+  /// single spaces, extracted literals replaced by $__pN slots. This is
+  /// what the planner parses and what the plan cache keys on.
+  std::string text;
+
+  /// Literal values extracted from this query text, by slot name (__p0,
+  /// __p1, ... in occurrence order). Execution merges user-supplied
+  /// bindings over these.
+  ParamMap bindings;
+
+  /// Every parameter the parameterized text references, in first-occurrence
+  /// order: the auto-generated __pN slots plus user-written $name
+  /// parameters. Execute fails if any of these is unbound.
+  std::vector<std::string> required_params;
+};
+
+/// Rewrites constant tokens of `query` into $__pN parameter slots and
+/// returns the canonical parameterized stream plus the extracted binding
+/// vector (auto-parameterization, the prepared-statement rewrite industrial
+/// optimizers apply before plan-cache lookup).
+///
+/// Literals the optimizer folds into the plan shape or its cost estimates
+/// are deliberately kept out of parameterization so CBO quality and plan
+/// correctness are unchanged:
+///  - Cypher: hop bounds (`*2`, `*1..3`), LIMIT counts, and everything
+///    inside `[...]` (edge-pattern bodies and IN-list literals — the list
+///    size feeds the IN selectivity estimate).
+///  - Gremlin: only value arguments of `has(prop, v)` and of the comparison
+///    predicates (eq/neq/gt/gte/lt/lte) are extracted; step arguments that
+///    name labels, tags or properties (hasLabel/out/as/select/by/...),
+///    `within(...)` lists and `limit(n)` counts stay literal.
+///
+/// With `extract_literals` false the rewrite is disabled: the text is only
+/// canonicalized and user-written $name parameters are collected (the
+/// engine's auto_parameterize=false path).
+///
+/// Untokenizable text is returned as-is with no parameters; the parse pass
+/// reports the error.
+ParameterizedQuery ParameterizeQuery(const std::string& query, Language lang,
+                                     bool extract_literals = true);
+
+}  // namespace gopt

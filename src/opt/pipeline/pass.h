@@ -44,6 +44,9 @@ struct PlanTrace {
 /// GIR -> pattern plans -> physical plan).
 struct PlanContext {
   // ---- inputs (fixed for the whole pipeline run) ----
+  /// The text the parse pass lowers. When the engine auto-parameterizes,
+  /// this is the canonical parameterized stream ($__pN slots in place of
+  /// extracted literals), so the produced plan is binding-independent.
   std::string query;
   Language lang = Language::kCypher;
   const PropertyGraph* graph = nullptr;
@@ -70,11 +73,17 @@ struct PlanContext {
 /// One planning stage (parse, a rewrite phase, statistics-based planning,
 /// lowering, ...). Passes are the unit of composition: PlannerMode presets
 /// and EngineOptions toggles select and configure passes instead of
-/// branching inside the engine.
+/// branching inside the engine (the pipeline builders live in
+/// pipelines.h; the concrete passes in passes.h).
 class PlannerPass {
  public:
   virtual ~PlannerPass() = default;
+  /// Stable identifier used in PlanTrace entries and tests ("parse",
+  /// "rbo", "cbo", ...).
   virtual std::string Name() const = 0;
+  /// Advances ctx one stage. May throw (e.g. parse errors) — the
+  /// PassManager lets exceptions propagate to the Prepare caller. A pass
+  /// can leave a one-line diagnostic in ctx.pass_note.
   virtual void Run(PlanContext& ctx) = 0;
 };
 

@@ -8,29 +8,39 @@
 
 namespace gopt {
 
-/// Hit/miss/eviction counters of a PlanCache (monotonic over the engine's
-/// lifetime; entries is the current size).
+/// Hit/miss/eviction counters of a PlanCache. hits/misses/evictions are
+/// monotonic over the engine's lifetime (Clear preserves them); entries is
+/// the current size. Surfaced by GOptEngine::plan_cache_stats().
 struct PlanCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  size_t entries = 0;
+  uint64_t hits = 0;       ///< Get calls that found an entry
+  uint64_t misses = 0;     ///< Get calls that found nothing
+  uint64_t evictions = 0;  ///< entries dropped by LRU capacity pressure
+  size_t entries = 0;      ///< current number of cached plans
 };
 
-/// LRU cache of prepared plans keyed by (normalized query text, language,
-/// options fingerprint) — see PlanCacheKey(). A hit on Prepare/Run skips
-/// the whole planning pipeline: for the repeated-query traffic the ROADMAP
-/// targets, planning cost is paid once per distinct query.
+/// LRU cache of prepared plans keyed by (parameterized query stream,
+/// language, options fingerprint) — see PlanCacheKey() and
+/// docs/plan-cache.md. Because the engine auto-parameterizes queries
+/// before lookup, queries differing only in literal values map to the same
+/// key: a hit on Prepare/Run skips the whole planning pipeline and planning
+/// cost is paid once per distinct query *shape*, not per literal binding.
 ///
 /// PlanT is the engine's Prepared struct; values are shared (the cached
-/// plan and the returned copy alias the same immutable plan trees).
+/// plan and the returned copy alias the same immutable plan trees —
+/// execution-time parameter binding never mutates the plan).
+///
+/// Not thread-safe: one PlanCache belongs to one engine (concurrency is an
+/// open ROADMAP item).
 template <typename PlanT>
 class PlanCache {
  public:
+  /// `capacity` is the maximum number of entries; 0 disables insertion
+  /// (Get always misses, Put is a no-op).
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached plan and refreshes its recency, or nullptr.
-  /// Counts a hit or a miss.
+  /// Counts a hit or a miss. The pointer is invalidated by the next
+  /// Put/Clear (copy the value out, as GOptEngine::Prepare does).
   const PlanT* Get(const std::string& key) {
     auto it = index_.find(key);
     if (it == index_.end()) {
@@ -62,6 +72,8 @@ class PlanCache {
     stats_.entries = entries_.size();
   }
 
+  /// Drops every entry. Counters other than `entries` are preserved, so
+  /// hit-rate measurements survive invalidation (e.g. SetGlogue).
   void Clear() {
     entries_.clear();
     index_.clear();

@@ -11,32 +11,13 @@ std::string NormalizeQueryText(const std::string& query) {
   // Rebuild the query from the real lexer's token stream, so the cache key
   // follows exactly the rules the frontends tokenize by (whitespace,
   // '//' comments, string escapes) and can never drift from them.
-  std::vector<Token> tokens;
   try {
-    tokens = Lexer(query).tokens();
+    return RenderTokenStream(Lexer(query).tokens());
   } catch (const std::exception&) {
     // Untokenizable (e.g. unterminated literal): key on the raw text; the
     // parse pass will report the error.
     return query;
   }
-  std::string out;
-  out.reserve(query.size());
-  for (const Token& t : tokens) {
-    if (t.kind == TokKind::kEnd) break;
-    if (!out.empty()) out.push_back(' ');
-    if (t.kind == TokKind::kString) {
-      // Re-quote canonically (token text is the unescaped value).
-      out.push_back('\'');
-      for (char c : t.text) {
-        if (c == '\\' || c == '\'') out.push_back('\\');
-        out.push_back(c);
-      }
-      out.push_back('\'');
-    } else {
-      out += t.text;
-    }
-  }
-  return out;
 }
 
 namespace {
@@ -86,14 +67,20 @@ uint64_t OptionsFingerprint(const EngineOptions& opts) {
   return static_cast<uint64_t>(h);
 }
 
-std::string PlanCacheKey(const std::string& query, Language lang,
-                         const EngineOptions& opts) {
-  std::string key = NormalizeQueryText(query);
+std::string PlanCacheKeyFromCanonical(const std::string& canonical_text,
+                                      Language lang,
+                                      const EngineOptions& opts) {
+  std::string key = canonical_text;
   key.push_back('\x1f');
   key.push_back(lang == Language::kCypher ? 'c' : 'g');
   key.push_back('\x1f');
   key += std::to_string(OptionsFingerprint(opts));
   return key;
+}
+
+std::string PlanCacheKey(const std::string& query, Language lang,
+                         const EngineOptions& opts) {
+  return PlanCacheKeyFromCanonical(NormalizeQueryText(query), lang, opts);
 }
 
 }  // namespace gopt

@@ -60,11 +60,22 @@ struct EngineOptions {
   /// baseline of Fig. 8(e)).
   std::vector<std::string> rbo_rule_filter;
 
-  /// Prepared-plan cache (LRU over normalized query text): repeated Run /
-  /// Prepare calls on the same query skip planning entirely. Capacity is
-  /// read once at engine construction.
+  /// Prepared-plan cache (LRU over the parameterized query stream):
+  /// repeated Run / Prepare calls on the same query shape skip planning
+  /// entirely. Capacity is read once at engine construction.
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 64;
+
+  /// Auto-parameterization: rewrite constant tokens of incoming queries
+  /// into $__pN parameter slots before planning, so queries differing only
+  /// in literal values share one cached plan (see ParameterizeQuery for the
+  /// guards that keep plan-shaping literals — hop bounds, LIMIT counts,
+  /// IN-lists, Gremlin structural arguments — out of the rewrite). Only
+  /// effective while the plan cache is enabled: with no plan to share, the
+  /// extraction would be pure overhead. Like the cache knobs this never
+  /// changes the plan produced for a given key text, so it is excluded
+  /// from OptionsFingerprint: toggling it changes the key text itself.
+  bool auto_parameterize = true;
 };
 
 /// Canonicalizes the query to the lexer's token stream rejoined with single
@@ -78,8 +89,14 @@ std::string NormalizeQueryText(const std::string& query);
 /// sets with equal fingerprints plan any query identically.
 uint64_t OptionsFingerprint(const EngineOptions& opts);
 
-/// The full prepared-plan cache key.
+/// The full prepared-plan cache key (normalizes `query` first).
 std::string PlanCacheKey(const std::string& query, Language lang,
                          const EngineOptions& opts);
+
+/// The cache key over text already in canonical rendered-token form (e.g.
+/// ParameterizeQuery output) — skips the redundant re-normalization.
+std::string PlanCacheKeyFromCanonical(const std::string& canonical_text,
+                                      Language lang,
+                                      const EngineOptions& opts);
 
 }  // namespace gopt

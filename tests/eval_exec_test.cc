@@ -42,6 +42,33 @@ TEST(ExprEval, NullPropagation) {
   EXPECT_TRUE(eval.EvalBool(isnull, row, cols));
 }
 
+TEST(ExprEval, ParamBindingResolvesThroughParamMap) {
+  auto g = TinyGraph();
+  ExprEval eval(g.get());
+  Row row = {Value(VertexRef{2})};
+  ColMap cols{{"v", 0}};
+  auto pred = Expr::MakeBinary(BinOp::kEq, Expr::MakeProperty("v", "id"),
+                               Expr::MakeParam("pid"));
+
+  // Unbound (no map installed, or name missing from the map): error.
+  EXPECT_THROW(eval.Eval(*pred, row, cols), std::runtime_error);
+  ParamMap empty;
+  eval.set_params(&empty);
+  EXPECT_THROW(eval.Eval(*pred, row, cols), std::runtime_error);
+
+  // Bound: the slot evaluates to the bound value; rebinding changes the
+  // predicate outcome with the identical expression tree (no replan).
+  ParamMap params{{"pid", Value(2)}};
+  eval.set_params(&params);
+  EXPECT_TRUE(eval.EvalBool(pred, row, cols));
+  params["pid"] = Value(7);
+  EXPECT_FALSE(eval.EvalBool(pred, row, cols));
+  // Params participate in arithmetic like any value.
+  auto sum = Expr::MakeBinary(BinOp::kAdd, Expr::MakeParam("pid"),
+                              Expr::MakeLiteral(Value(1)));
+  EXPECT_EQ(eval.Eval(*sum, row, cols).AsInt(), 8);
+}
+
 TEST(ExprEval, ArithmeticAndStrings) {
   auto g = TinyGraph();
   ExprEval eval(g.get());

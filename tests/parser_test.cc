@@ -124,6 +124,37 @@ TEST_F(CypherTest, InListLiteral) {
   EXPECT_EQ(pred->args[1]->literal.AsList().size(), 3u);
 }
 
+TEST_F(CypherTest, NamedParameterBecomesParamRef) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person) WHERE a.id = $personId RETURN a");
+  const auto& pred = plan->inputs[0]->predicate;
+  ASSERT_EQ(pred->bin, BinOp::kEq);
+  ASSERT_EQ(pred->args[1]->kind, Expr::Kind::kParam);
+  EXPECT_EQ(pred->args[1]->tag, "personId");
+  EXPECT_EQ(pred->args[1]->ToString(), "$personId");
+}
+
+TEST_F(CypherTest, NamedParameterInPropertyMap) {
+  auto plan = parser_.Parse("MATCH (a:Person {id: $pid}) RETURN a");
+  const auto& v = plan->inputs[0]->pattern.vertices()[0];
+  ASSERT_EQ(v.predicates.size(), 1u);
+  ASSERT_EQ(v.predicates[0]->args[1]->kind, Expr::Kind::kParam);
+  EXPECT_EQ(v.predicates[0]->args[1]->tag, "pid");
+  // Parameterized and literal forms estimate the same selectivity, so the
+  // CBO plans them identically.
+  auto lit = parser_.Parse("MATCH (a:Person {id: 5}) RETURN a");
+  EXPECT_DOUBLE_EQ(v.selectivity,
+                   lit->inputs[0]->pattern.vertices()[0].selectivity);
+}
+
+TEST_F(CypherTest, ParamsCollectableFromExpressions) {
+  auto plan = parser_.Parse(
+      "MATCH (a:Person) WHERE a.id = $pid AND a.firstName = $name RETURN a");
+  std::set<std::string> names;
+  plan->inputs[0]->predicate->CollectParams(&names);
+  EXPECT_EQ(names, (std::set<std::string>{"pid", "name"}));
+}
+
 TEST_F(CypherTest, SyntaxErrors) {
   EXPECT_THROW(parser_.Parse("MATCH (a:Nope) RETURN a"), std::runtime_error);
   EXPECT_THROW(parser_.Parse("MATCH (a:Person RETURN a"), std::runtime_error);
@@ -198,6 +229,21 @@ TEST_F(GremlinTest, PredicateArguments) {
     cur = cur->inputs[0];
   }
   EXPECT_TRUE(found);
+}
+
+TEST_F(GremlinTest, NamedParameterInHasValue) {
+  auto plan = parser_.Parse(
+      "g.V().hasLabel('Person').as('a').has('id', $pid)"
+      ".has('creationDate', lt($maxDate)).count()");
+  std::set<std::string> names;
+  LogicalOpPtr cur = plan;
+  while (!cur->inputs.empty()) {
+    if (cur->kind == LogicalOpKind::kSelect) {
+      cur->predicate->CollectParams(&names);
+    }
+    cur = cur->inputs[0];
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"pid", "maxDate"}));
 }
 
 TEST_F(GremlinTest, UnsupportedStepThrows) {

@@ -329,6 +329,202 @@ TEST(PlanCacheTest, CacheCanBeReEnabledAfterConstruction) {
   EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
 }
 
+// ---- auto-parameterization & named parameters --------------------------
+
+TEST(AutoParamTest, DifferentLiteralValuesShareOnePlan) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  for (int i = 0; i < 4; ++i) {
+    auto r = engine.Run("MATCH (a:Person {id: " + std::to_string(i) +
+                        "}) RETURN a.id AS x");
+    // The shared plan still executes under THIS query's literal binding.
+    ASSERT_EQ(r.NumRows(), 1u) << i;
+    EXPECT_EQ(r.rows[0][0].AsInt(), i);
+  }
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 3u);
+}
+
+TEST(AutoParamTest, HundredDistinctLiteralsYieldOneMiss) {
+  // The acceptance workload: one query template, 100 distinct literal
+  // values -> 99 hits, 1 miss.
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  for (int i = 0; i < 100; ++i) {
+    engine.Run("MATCH (a:Person)-[:Knows]->(b:Person) WHERE a.id = " +
+               std::to_string(i) + " AND b.firstName = 'n" +
+               std::to_string(i) + "' RETURN b");
+  }
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 99u);
+}
+
+TEST(AutoParamTest, StructurallyDifferentQueriesMiss) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  engine.Run("MATCH (a:Person {id: 1}) RETURN a");
+  engine.Run("MATCH (a:Person {id: 2})-[:Knows]->(b:Person) RETURN a");
+  engine.Run("MATCH (a:Product) RETURN a");
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 3u);
+}
+
+TEST(AutoParamTest, PlanShapingLiteralsStayOutOfParameterization) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  // Hop bounds select the PathExpand shape: distinct entries.
+  engine.Run("MATCH (a:Person)-[:Knows*1..2]->(b) RETURN a");
+  engine.Run("MATCH (a:Person)-[:Knows*1..3]->(b) RETURN a");
+  // LIMIT counts are embedded in the plan: distinct entries.
+  engine.Run("MATCH (a:Person) RETURN a LIMIT 1");
+  engine.Run("MATCH (a:Person) RETURN a LIMIT 2");
+  // IN-list literals feed the selectivity estimate (list size): distinct.
+  engine.Run("MATCH (a:Person) WHERE a.id IN [1, 2] RETURN a");
+  engine.Run("MATCH (a:Person) WHERE a.id IN [1, 2, 3] RETURN a");
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 6u);
+}
+
+TEST(AutoParamTest, GremlinStructuralStringsAreNotParameterized) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  const char* q1 = "g.V().hasLabel('Person').as('a').has('id', 1).count()";
+  const char* q2 = "g.V().hasLabel('Person').as('a').has('id', 2).count()";
+  // Labels / tags / property names stay literal; only the has() value is a
+  // slot, so the two queries share a plan...
+  auto r1 = engine.Run(q1, Language::kGremlin);
+  auto r2 = engine.Run(q2, Language::kGremlin);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
+  // ...and each still counts its own person.
+  EXPECT_EQ(r1.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r2.rows[0][0].AsInt(), 1);
+  // A different label is a different plan shape.
+  engine.Run("g.V().hasLabel('Product').count()", Language::kGremlin);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
+}
+
+TEST(NamedParamTest, ExecuteBindsWithoutReplanning) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto prep =
+      engine.Prepare("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x");
+  EXPECT_EQ(prep.required_params, std::vector<std::string>{"pid"});
+  for (int i = 0; i < 3; ++i) {
+    auto r = engine.Execute(prep, {{"pid", Value(i)}});
+    ASSERT_EQ(r.NumRows(), 1u);
+    EXPECT_EQ(r.rows[0][0].AsInt(), i);
+  }
+  // One plan served all three bindings.
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+}
+
+TEST(NamedParamTest, RunWithParamsAndUserOverridesAutoBinding) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto r = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
+                      {{"pid", Value(2)}});
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+
+  // User-supplied bindings override the auto-extracted literal.
+  auto prep = engine.Prepare("MATCH (a:Person {id: 0}) RETURN a.id AS x");
+  ASSERT_EQ(prep.required_params.size(), 1u);
+  auto r2 = engine.Execute(prep, {{prep.required_params[0], Value(3)}});
+  ASSERT_EQ(r2.NumRows(), 1u);
+  EXPECT_EQ(r2.rows[0][0].AsInt(), 3);
+}
+
+TEST(NamedParamTest, UnboundParameterFailsAtExecute) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto prep = engine.Prepare("MATCH (a:Person) WHERE a.id = $pid RETURN a");
+  EXPECT_THROW(engine.Execute(prep), std::runtime_error);
+  // Binding an unrelated name does not satisfy $pid.
+  EXPECT_THROW(engine.Execute(prep, {{"other", Value(1)}}),
+               std::runtime_error);
+  // Prepare itself succeeds and is cached: binding errors are execution
+  // errors, not planning errors.
+  EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
+}
+
+TEST(NamedParamTest, ExplainShowsParameterSlots) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto prep = engine.Prepare("MATCH (a:Person {id: 7}) RETURN a");
+  std::string explain = engine.Explain(prep);
+  EXPECT_NE(explain.find("=== Parameters ==="), std::string::npos);
+  EXPECT_NE(explain.find("$__p0 = 7"), std::string::npos);
+
+  auto named = engine.Prepare("MATCH (a:Person) WHERE a.id = $pid RETURN a");
+  std::string e2 = engine.Explain(named);
+  EXPECT_NE(e2.find("$pid"), std::string::npos);
+  EXPECT_NE(e2.find("<unbound>"), std::string::npos);
+}
+
+TEST(AutoParamTest, DisablingAutoParameterizeRestoresLiteralKeys) {
+  auto g = PaperGraph();
+  EngineOptions opts;
+  opts.auto_parameterize = false;
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
+  engine.Run("MATCH (a:Person {id: 1}) RETURN a");
+  engine.Run("MATCH (a:Person {id: 2}) RETURN a");
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
+  // Named parameters still work without the auto rewrite.
+  auto r = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
+                      {{"pid", Value(1)}});
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST(AutoParamTest, NoExtractionWhenCacheDisabled) {
+  // With nothing to share, literal extraction is pure overhead: the
+  // no-cache path plans literals inline. Named parameters still work.
+  auto g = PaperGraph();
+  EngineOptions opts;
+  opts.enable_plan_cache = false;
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
+  auto prep = engine.Prepare("MATCH (a:Person {id: 1}) RETURN a.id AS x");
+  EXPECT_TRUE(prep.params.empty());
+  EXPECT_TRUE(prep.required_params.empty());
+  EXPECT_EQ(prep.parameterized_query.find("$__p"), std::string::npos);
+  auto r = engine.Execute(prep);
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+
+  auto named = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
+                          {{"pid", Value(2)}});
+  ASSERT_EQ(named.NumRows(), 1u);
+  EXPECT_EQ(named.rows[0][0].AsInt(), 2);
+}
+
+TEST(AutoParamTest, GeneratedSlotsNeverAliasUserParams) {
+  // A user writing $__p0 (the reserved prefix) must not have an extracted
+  // literal silently merged into their slot.
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto prep = engine.Prepare(
+      "MATCH (a:Person) WHERE a.id = $__p0 AND a.id < 3 RETURN a.id AS x");
+  ASSERT_EQ(prep.required_params.size(), 2u);
+  EXPECT_EQ(prep.required_params[0], "__p0");  // the user's slot
+  EXPECT_EQ(prep.required_params[1], "__p1");  // the extracted literal's
+  EXPECT_EQ(prep.params.count("__p0"), 0u);
+  EXPECT_EQ(prep.params.at("__p1").AsInt(), 3);
+  auto r = engine.Execute(prep, {{"__p0", Value(2)}});
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST(AutoParamTest, ParameterizedStreamIsExposedOnPrepared) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  auto prep = engine.Prepare("MATCH (a:Person {id: 42}) RETURN a");
+  EXPECT_NE(prep.parameterized_query.find("$__p0"), std::string::npos);
+  EXPECT_EQ(prep.parameterized_query.find("42"), std::string::npos);
+  ASSERT_EQ(prep.params.count("__p0"), 1u);
+  EXPECT_EQ(prep.params.at("__p0").AsInt(), 42);
+}
+
 TEST(Pipeline, AllModesExecuteTheSameQuery) {
   auto g = PaperGraph();
   ResultTable reference;
