@@ -34,22 +34,23 @@ inline int EnvRepeats(int def = 3) {
   return s ? std::atoi(s) : def;
 }
 
-/// Median wall-clock ms over `repeats` executions of a prepared query.
-inline double TimeExecution(gopt::GOptEngine& engine,
+/// Median wall-clock ms over `repeats` executions of a prepared query
+/// (each Execute returns its own ExecOutcome metrics).
+inline double TimeExecution(const gopt::GOptEngine& engine,
                             const gopt::GOptEngine::Prepared& prep,
                             int repeats) {
   std::vector<double> ms;
   for (int i = 0; i < repeats; ++i) {
-    engine.Execute(prep);
-    ms.push_back(engine.last_exec_ms());
+    ms.push_back(engine.Execute(prep).ms);
   }
   std::sort(ms.begin(), ms.end());
   return ms[ms.size() / 2];
 }
 
 /// Prepare+time a query; returns median ms (negative on planning error).
-inline double TimeQuery(gopt::GOptEngine& engine, const std::string& query,
-                        gopt::Language lang, int repeats) {
+inline double TimeQuery(const gopt::GOptEngine& engine,
+                        const std::string& query, gopt::Language lang,
+                        int repeats) {
   try {
     auto prep = engine.Prepare(query, lang);
     return TimeExecution(engine, prep, repeats);

@@ -28,7 +28,10 @@ int main() {
                           gopt_opts);
       gopt_eng.SetGlogue(glogue);
       double t_gopt = TimeQuery(gopt_eng, q, Language::kCypher, repeats);
-      uint64_t comm = gopt_eng.last_stats().comm_rows;
+      // One extra (plan-cache-warm) run to read the communication volume
+      // from its ExecOutcome.
+      uint64_t comm =
+          t_gopt >= 0 ? gopt_eng.Run(q).stats.comm_rows : 0;
 
       EngineOptions neo_opts;
       neo_opts.mode = PlannerMode::kNeo4jStyle;

@@ -30,18 +30,18 @@ int main() {
   auto prep = engine.Prepare(query);
   std::printf("%s\n", engine.Explain(prep).c_str());
 
-  ResultTable r = engine.Execute(prep);
+  ExecOutcome r = engine.Execute(prep);
   std::printf("paths found: %s (%.2f ms, %llu rows exchanged)\n",
-              r.rows.empty() ? "0" : r.rows[0][0].ToString().c_str(),
-              engine.last_exec_ms(),
-              static_cast<unsigned long long>(engine.last_stats().comm_rows));
+              r.table.rows.empty() ? "0" : r.table.rows[0][0].ToString().c_str(),
+              r.ms,
+              static_cast<unsigned long long>(r.stats.comm_rows));
 
   // Compare with the single-direction plan Neo4j's planner would pick.
   EngineOptions user_order;
   user_order.mode = PlannerMode::kNoOpt;
   GOptEngine baseline(&g, BackendSpec::GraphScopeLike(4), user_order);
-  ResultTable rb = baseline.Run(query);
+  ExecOutcome rb = baseline.Run(query);
   std::printf("single-direction baseline: same %zu row(s), %.2f ms\n",
-              rb.NumRows(), baseline.last_exec_ms());
+              rb.NumRows(), rb.ms);
   return 0;
 }

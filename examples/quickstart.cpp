@@ -56,9 +56,9 @@ int main() {
   auto prep = engine.Prepare(query);
   std::printf("=== Optimized plan ===\n%s\n", engine.Explain(prep).c_str());
 
-  ResultTable result = engine.Execute(prep);
+  ExecOutcome result = engine.Execute(prep);
   std::printf("=== Results (%zu rows, %.2f ms) ===\n%s", result.NumRows(),
-              engine.last_exec_ms(), result.ToString().c_str());
+              result.ms, result.table.ToString().c_str());
 
   // 4. The same query in Gremlin lowers into the same GIR.
   const char* gremlin =
@@ -66,7 +66,7 @@ int main() {
       "__.as('v1').out().as('v3'))"
       ".select('v3').hasLabel('Place').has('name', 'China')"
       ".groupCount().by('v2').order().by(values).limit(10)";
-  ResultTable r2 = engine.Run(gremlin, Language::kGremlin);
+  ExecOutcome r2 = engine.Run(gremlin, Language::kGremlin);
   std::printf("\nGremlin frontend produced %zu rows (same CGP, same GIR).\n",
               r2.NumRows());
   return 0;

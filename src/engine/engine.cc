@@ -13,23 +13,50 @@ GOptEngine::GOptEngine(const PropertyGraph* g, BackendSpec backend,
     : g_(g),
       backend_(std::move(backend)),
       opts_(opts),
-      // Sized unconditionally so enable_plan_cache can be toggled through
-      // mutable_options() after construction.
-      plan_cache_(opts.plan_cache_capacity) {}
+      // An injected cache is shared with its other engines; otherwise the
+      // engine gets a private one. Sized unconditionally so
+      // enable_plan_cache can be toggled through mutable_options() after
+      // construction.
+      plan_cache_(opts.plan_cache
+                      ? opts.plan_cache
+                      : std::make_shared<SharedPreparedPlanCache>(
+                            opts.plan_cache_capacity)) {}
 
 void GOptEngine::SetGlogue(std::shared_ptr<const Glogue> gl) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   glogue_ = std::move(gl);
   gq_high_.reset();
   gq_low_.reset();
-  plan_cache_.Clear();
+  // Re-key this engine's cache lookups instead of clearing the (possibly
+  // shared) cache: plans cached under the old epoch embed cost decisions
+  // made against the previous statistics and become unreachable for this
+  // engine, while peers sharing the cache keep theirs. The epoch is the
+  // Glogue's process-unique instance id (never address-reused), so engines
+  // given the same Glogue share an epoch (and therefore plans).
+  glogue_epoch_ = glogue_ ? glogue_->instance_id() : 0;
 }
 
-const Glogue& GOptEngine::glogue() {
-  EnsureStats();
-  return *glogue_;
+std::shared_ptr<const Glogue> GOptEngine::glogue() const {
+  return SnapshotStats().glogue;
 }
 
-void GOptEngine::EnsureStats() {
+void GOptEngine::ClearPlanCache() {
+  // Keys end with "\x1f<graph>\x1f<epoch>" (PlanCacheKeyFromCanonical);
+  // match the graph segment exactly — parsed from the key's tail, so a
+  // \x1f byte inside the query text can't fake a scope boundary.
+  const std::string graph_tag = std::to_string(g_->instance_id());
+  plan_cache_->EraseIf([&graph_tag](const std::string& key) {
+    const size_t epoch_sep = key.rfind('\x1f');
+    if (epoch_sep == std::string::npos || epoch_sep == 0) return false;
+    const size_t graph_sep = key.rfind('\x1f', epoch_sep - 1);
+    if (graph_sep == std::string::npos) return false;
+    return key.compare(graph_sep + 1, epoch_sep - graph_sep - 1,
+                       graph_tag) == 0;
+  });
+}
+
+GOptEngine::StatsSnapshot GOptEngine::SnapshotStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   if (!glogue_) {
     GlogueOptions gopts;
     gopts.max_pattern_vertices = opts_.glogue_k;
@@ -37,15 +64,21 @@ void GOptEngine::EnsureStats() {
     glogue_ = std::make_shared<Glogue>(Glogue::Build(*g_, gopts));
   }
   if (!gq_high_) {
-    gq_high_ = std::make_unique<GlogueQuery>(glogue_.get(), &g_->schema(),
+    gq_high_ = std::make_shared<GlogueQuery>(glogue_.get(), &g_->schema(),
                                              /*high_order=*/true);
-    gq_low_ = std::make_unique<GlogueQuery>(glogue_.get(), &g_->schema(),
+    gq_low_ = std::make_shared<GlogueQuery>(glogue_.get(), &g_->schema(),
                                             /*high_order=*/false);
   }
+  StatsSnapshot s;
+  s.glogue = glogue_;
+  s.gq_high = gq_high_;
+  s.gq_low = gq_low_;
+  s.epoch = glogue_epoch_;
+  return s;
 }
 
-GOptEngine::Prepared GOptEngine::PlanQuery(const std::string& query,
-                                           Language lang) {
+Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
+                               const StatsSnapshot& stats) const {
   PassManager pipeline = BuildPipeline(opts_);
 
   PlanContext ctx;
@@ -53,9 +86,9 @@ GOptEngine::Prepared GOptEngine::PlanQuery(const std::string& query,
   ctx.lang = lang;
   ctx.graph = g_;
   ctx.exec_backend = &backend_;
-  ctx.glogue = glogue_.get();
-  ctx.gq_high = gq_high_.get();
-  ctx.gq_low = gq_low_.get();
+  ctx.glogue = stats.glogue.get();
+  ctx.gq_high = stats.gq_high.get();
+  ctx.gq_low = stats.gq_low.get();
 
   pipeline.Run(ctx);
 
@@ -70,9 +103,10 @@ GOptEngine::Prepared GOptEngine::PlanQuery(const std::string& query,
   return prep;
 }
 
-GOptEngine::Prepared GOptEngine::Prepare(const std::string& query,
-                                         Language lang) {
-  EnsureStats();
+Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
+  // Snapshot the statistics handles up front: the whole Prepare plans
+  // against one consistent Glogue even if SetGlogue lands concurrently.
+  StatsSnapshot stats = SnapshotStats();
   // Split the query into a canonical parameterized stream (the plan shape)
   // and this call's literal bindings; planning and the cache only ever see
   // the stream. With the cache disabled there is no sharing to gain, so
@@ -81,7 +115,7 @@ GOptEngine::Prepared GOptEngine::Prepare(const std::string& query,
       query, lang, opts_.auto_parameterize && opts_.enable_plan_cache);
   auto plan_parameterized = [&]() {
     try {
-      return PlanQuery(pq.text, lang);
+      return PlanQuery(pq.text, lang, stats);
     } catch (const std::exception& e) {
       if (pq.text == query) throw;
       // Parse errors carry token positions into the canonical stream, not
@@ -98,8 +132,12 @@ GOptEngine::Prepared GOptEngine::Prepare(const std::string& query,
     prep.params = std::move(pq.bindings);
     return prep;
   }
-  const std::string key = PlanCacheKeyFromCanonical(pq.text, lang, opts_);
-  if (const Prepared* hit = plan_cache_.Get(key)) {
+  PlanCacheScope scope;
+  scope.graph = g_->instance_id();
+  scope.glogue_epoch = stats.epoch;
+  const std::string key =
+      PlanCacheKeyFromCanonical(pq.text, lang, opts_, scope);
+  if (std::shared_ptr<const Prepared> hit = plan_cache_->Get(key)) {
     Prepared prep = *hit;
     prep.from_cache = true;
     // The plan is shared; the bindings are this call's own.
@@ -110,13 +148,15 @@ GOptEngine::Prepared GOptEngine::Prepare(const std::string& query,
   prep.parameterized_query = std::move(pq.text);
   prep.required_params = std::move(pq.required_params);
   // Cache the binding-independent plan; this call's extracted literals are
-  // attached only to the returned copy.
-  plan_cache_.Put(key, prep);
+  // attached only to the returned copy. A concurrent Prepare of the same
+  // shape may race to Put — both plans are equivalent, last write wins.
+  plan_cache_->Put(key, prep);
   prep.params = std::move(pq.bindings);
   return prep;
 }
 
-ResultTable GOptEngine::Execute(const Prepared& prep, const ParamMap& params) {
+ExecOutcome GOptEngine::Execute(const Prepared& prep,
+                                const ParamMap& params) const {
   // Resolve the effective bindings (user-supplied over auto-extracted) and
   // reject unbound slots before any operator runs.
   ParamMap bound = prep.params;
@@ -127,39 +167,47 @@ ResultTable GOptEngine::Execute(const Prepared& prep, const ParamMap& params) {
                                " (bind it via the params argument)");
     }
   }
+  ExecOutcome out;
   if (prep.invalid || !prep.physical) {
-    ResultTable empty;
-    empty.columns = prep.output_columns;
-    last_exec_ms_ = 0;
-    last_stats_ = ExecStats{};
-    return empty;
-  }
-  auto t0 = std::chrono::steady_clock::now();
-  ResultTable result;
-  if (backend_.distributed) {
-    DistributedExecutor ex(g_, backend_.num_workers);
-    ex.set_params(&bound);
-    result = ex.Execute(prep.physical);
-    last_stats_ = ex.stats();
+    out.table.columns = prep.output_columns;
   } else {
-    SingleMachineExecutor ex(g_);
-    ex.set_params(&bound);
-    result = ex.Execute(prep.physical);
-    last_stats_ = ex.stats();
+    auto t0 = std::chrono::steady_clock::now();
+    // A fresh executor per call: all execution state (operator memo,
+    // stats) is call-local, so any number of Execute calls may run
+    // concurrently on one engine.
+    if (backend_.distributed) {
+      DistributedExecutor ex(g_, backend_.num_workers);
+      ex.set_params(&bound);
+      out.table = ex.Execute(prep.physical);
+      out.stats = ex.stats();
+    } else {
+      SingleMachineExecutor ex(g_);
+      ex.set_params(&bound);
+      out.table = ex.Execute(prep.physical);
+      out.stats = ex.stats();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    out.ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count() /
+        1000.0;
   }
-  auto t1 = std::chrono::steady_clock::now();
-  last_exec_ms_ =
-      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
-      1000.0;
-  return result;
+  // Keep the deprecated last_* shims alive for one release (shared,
+  // last-writer-wins under concurrency).
+  {
+    std::lock_guard<std::mutex> lock(last_mu_);
+    last_exec_ms_ = out.ms;
+    last_stats_ = out.stats;
+  }
+  return out;
 }
 
-ResultTable GOptEngine::Run(const std::string& query, Language lang) {
+ExecOutcome GOptEngine::Run(const std::string& query, Language lang) const {
   return Execute(Prepare(query, lang));
 }
 
-ResultTable GOptEngine::Run(const std::string& query, const ParamMap& params,
-                            Language lang) {
+ExecOutcome GOptEngine::Run(const std::string& query, const ParamMap& params,
+                            Language lang) const {
   return Execute(Prepare(query, lang), params);
 }
 
@@ -173,6 +221,26 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
                      it != prep.params.end() ? it->second.ToString().c_str()
                                              : "<unbound>");
     }
+  }
+  {
+    const PlanCacheStats stats = plan_cache_stats();
+    const uint64_t lookups = stats.hits + stats.misses;
+    s += "=== Cache ===\n";
+    s += StrFormat("  this plan: %s\n",
+                   prep.from_cache ? "plan cache hit" : "cold planning");
+    s += StrFormat(
+        "  plan cache (%s): %zu entries, %llu hits / %llu misses / %llu "
+        "evictions (hit rate %.1f%%)\n",
+        // "shared" whenever the handle is reachable outside this engine —
+        // injected at construction or handed out via plan_cache() — since
+        // then the counters may aggregate other engines' traffic.
+        plan_cache_.use_count() > 1 ? "shared" : "private", stats.entries,
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions),
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(stats.hits) /
+                           static_cast<double>(lookups));
   }
   s += "=== Logical plan (GIR) ===\n";
   s += prep.logical->ToString(g_->schema());

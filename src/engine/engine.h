@@ -1,17 +1,70 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "src/exec/dist_executor.h"
 #include "src/exec/executor.h"
 #include "src/opt/pipeline/pipelines.h"
-#include "src/opt/pipeline/plan_cache.h"
 #include "src/opt/pipeline/planner_options.h"
+#include "src/opt/pipeline/shared_plan_cache.h"
 #include "src/physical/converter.h"
 
 namespace gopt {
+
+/// A fully planned query ready for (repeated) execution under any
+/// parameter binding. Defined at namespace scope (not nested in the
+/// engine) so SharedPreparedPlanCache can be named by EngineOptions
+/// without depending on the engine layer; `GOptEngine::Prepared` remains
+/// an alias. The plan trees are immutable once planned — a Prepared can be
+/// executed from any number of threads concurrently.
+struct Prepared {
+  LogicalOpPtr logical;
+  PhysOpPtr physical;
+  bool invalid = false;  ///< type inference proved the pattern unmatchable
+  std::vector<std::string> fired_rules;
+  std::map<const LogicalOp*, PatternPlanPtr> pattern_plans;
+  std::vector<std::string> output_columns;
+  /// Per-pass planning diagnostics (shared with the cache: a cache hit
+  /// returns the trace of the original planning run).
+  std::shared_ptr<const PlanTrace> trace;
+  /// True when this Prepared was served from the plan cache.
+  bool from_cache = false;
+
+  /// The canonical parameterized query text this plan was built from
+  /// (also the cache-key text).
+  std::string parameterized_query;
+  /// Every parameter slot the plan references: auto-extracted $__pN slots
+  /// plus user-written $name parameters, in first-occurrence order.
+  /// Execute throws if any of them is unbound.
+  std::vector<std::string> required_params;
+  /// Literal values auto-extracted from THIS call's query text (per-call
+  /// state: a cache hit re-extracts them from the new text). Execute
+  /// merges user-supplied bindings over these.
+  ParamMap params;
+};
+
+/// The result object of Execute/Run: the rows plus this call's execution
+/// metrics. Returning metrics here (instead of parking them in engine
+/// members) is what makes Execute re-entrant — concurrent calls cannot
+/// clobber each other's numbers.
+struct ExecOutcome {
+  ResultTable table;
+  ExecStats stats;
+  double ms = 0;  ///< wall-clock milliseconds of this execution
+
+  // Table forwarders, so call sites that only care about rows read as
+  // before: `engine.Run(q).NumRows()`.
+  size_t NumRows() const { return table.NumRows(); }
+  bool SameRows(const ResultTable& other) const {
+    return table.SameRows(other);
+  }
+  bool SameRows(const ExecOutcome& other) const {
+    return table.SameRows(other.table);
+  }
+};
 
 /// GOptEngine: the end-to-end facade. Planning runs as a declarative pass
 /// pipeline (opt/pipeline) selected by PlannerMode — parse -> RBO -> type
@@ -22,102 +75,135 @@ namespace gopt {
 /// Prepared plans are a prepared-statement subsystem, not just a memoizer:
 /// Prepare first auto-parameterizes the query (constant tokens become $__pN
 /// slots; see ParameterizeQuery for the guards), then looks the
-/// parameterized stream up in an LRU PlanCache keyed by (parameterized
-/// text, language, options fingerprint). Queries differing only in literal
-/// values therefore share one plan; the extracted values travel with the
-/// returned Prepared and are bound at Execute time, optionally overridden
-/// by user-supplied $name parameters.
+/// parameterized stream up in a sharded thread-safe SharedPlanCache keyed
+/// by (parameterized text, language, options fingerprint, graph identity,
+/// statistics epoch). Queries differing only in literal values therefore
+/// share one plan; the extracted values travel with the returned Prepared
+/// and are bound at Execute time, optionally overridden by user-supplied
+/// $name parameters.
+///
+/// Thread-safety (see docs/concurrency.md): Prepare, Execute, Run and
+/// Explain are const and re-entrant — one engine may serve any number of
+/// threads, and several engines may share one plan cache (inject it via
+/// EngineOptions::plan_cache) and one Glogue (SetGlogue). Control-plane
+/// calls — SetGlogue, ClearPlanCache, mutable_options() — must not run
+/// concurrently with mutable_options() writes; SetGlogue is itself safe
+/// against in-flight Prepare/Execute calls (they finish against the
+/// statistics they snapshotted).
 class GOptEngine {
  public:
+  using Prepared = gopt::Prepared;
+
   GOptEngine(const PropertyGraph* g, BackendSpec backend,
              EngineOptions opts = {});
-
-  /// A fully planned query ready for (repeated) execution under any
-  /// parameter binding.
-  struct Prepared {
-    LogicalOpPtr logical;
-    PhysOpPtr physical;
-    bool invalid = false;  ///< type inference proved the pattern unmatchable
-    std::vector<std::string> fired_rules;
-    std::map<const LogicalOp*, PatternPlanPtr> pattern_plans;
-    std::vector<std::string> output_columns;
-    /// Per-pass planning diagnostics (shared with the cache: a cache hit
-    /// returns the trace of the original planning run).
-    std::shared_ptr<const PlanTrace> trace;
-    /// True when this Prepared was served from the plan cache.
-    bool from_cache = false;
-
-    /// The canonical parameterized query text this plan was built from
-    /// (also the cache-key text).
-    std::string parameterized_query;
-    /// Every parameter slot the plan references: auto-extracted $__pN slots
-    /// plus user-written $name parameters, in first-occurrence order.
-    /// Execute throws if any of them is unbound.
-    std::vector<std::string> required_params;
-    /// Literal values auto-extracted from THIS call's query text (per-call
-    /// state: a cache hit re-extracts them from the new text). Execute
-    /// merges user-supplied bindings over these.
-    ParamMap params;
-  };
 
   /// Plans `query` (or serves the plan from the cache after
   /// auto-parameterization). The returned Prepared carries the literal
   /// bindings extracted from this exact query text, so Execute(prep) runs
   /// it as written; re-Execute with explicit params rebinds without
-  /// replanning.
-  Prepared Prepare(const std::string& query, Language lang = Language::kCypher);
+  /// replanning. Const and re-entrant.
+  Prepared Prepare(const std::string& query,
+                   Language lang = Language::kCypher) const;
 
   /// Executes a prepared plan. `params` (user-supplied $name bindings) are
   /// merged over the auto-extracted literals of `prep`; a $param required
   /// by the plan but bound by neither throws std::runtime_error before any
-  /// operator runs.
-  ResultTable Execute(const Prepared& prep, const ParamMap& params = {});
+  /// operator runs. Const and re-entrant: a fresh executor is constructed
+  /// per call and all metrics are returned in the ExecOutcome.
+  ExecOutcome Execute(const Prepared& prep, const ParamMap& params = {}) const;
 
   /// Prepare + Execute (Prepare hits the plan cache on repeated queries).
-  ResultTable Run(const std::string& query, Language lang = Language::kCypher);
+  ExecOutcome Run(const std::string& query,
+                  Language lang = Language::kCypher) const;
   /// Prepare + Execute with explicit $name parameter bindings.
-  ResultTable Run(const std::string& query, const ParamMap& params,
-                  Language lang = Language::kCypher);
+  ExecOutcome Run(const std::string& query, const ParamMap& params,
+                  Language lang = Language::kCypher) const;
 
   /// Human-readable plan description (logical + pattern plans + physical +
-  /// the per-pass PlanTrace with millisecond timings and fired-rule counts).
+  /// the per-pass PlanTrace with millisecond timings, per-pattern CBO
+  /// timings, and the plan-cache counters).
   std::string Explain(const Prepared& prep) const;
 
-  /// Wall-clock milliseconds and executor statistics of the last Execute.
-  double last_exec_ms() const { return last_exec_ms_; }
-  const ExecStats& last_stats() const { return last_stats_; }
-
-  /// Prepared-plan cache counters (hits / misses / evictions / entries).
-  const PlanCacheStats& plan_cache_stats() const {
-    return plan_cache_.stats();
+  /// DEPRECATED shims for the pre-ExecOutcome API, kept for one release:
+  /// wall-clock ms / executor stats of the most recently *finished* Execute
+  /// on this engine (any thread). Under concurrency prefer the ExecOutcome
+  /// of your own call — these are shared, last-writer-wins values.
+  double last_exec_ms() const {
+    std::lock_guard<std::mutex> lock(last_mu_);
+    return last_exec_ms_;
   }
-  /// Drops all cached plans (counters are preserved).
-  void ClearPlanCache() { plan_cache_.Clear(); }
+  ExecStats last_stats() const {
+    std::lock_guard<std::mutex> lock(last_mu_);
+    return last_stats_;
+  }
+
+  /// Snapshot of the prepared-plan cache counters (hits / misses /
+  /// evictions / entries). By value: the live counters are concurrently
+  /// updated atomics. On a shared cache the counters aggregate over every
+  /// engine attached to it.
+  PlanCacheStats plan_cache_stats() const { return plan_cache_->stats(); }
+  /// Drops every cached plan whose scope is this engine's graph, across
+  /// all epochs and option fingerprints (counters are preserved). On a
+  /// shared cache, entries of engines over *other* graphs survive; peers
+  /// over the same graph share this engine's entries and lose them too.
+  /// To drop a shared cache wholesale, call Clear() on the handle itself.
+  void ClearPlanCache();
+  /// The engine's plan cache handle (inject it into another engine's
+  /// EngineOptions::plan_cache to share plans).
+  const std::shared_ptr<SharedPreparedPlanCache>& plan_cache() const {
+    return plan_cache_;
+  }
 
   /// Shares a prebuilt GLogue (e.g. across engines over the same graph).
-  /// Invalidates the plan cache: cached plans embed cost decisions made
-  /// against the previous statistics.
+  /// Advances this engine's statistics epoch, which re-keys its cache
+  /// lookups: cached plans embed cost decisions made against the previous
+  /// statistics, so they are never served to this engine again, while
+  /// other engines on a shared cache keep their entries (epoch is part of
+  /// the cache key). Engines given the same Glogue land on the same epoch
+  /// and share plans.
   void SetGlogue(std::shared_ptr<const Glogue> gl);
-  const Glogue& glogue();
+  /// The engine's statistics (built on first use). Returned as shared
+  /// ownership so the object survives a concurrent SetGlogue replacing the
+  /// engine's own reference.
+  std::shared_ptr<const Glogue> glogue() const;
 
   const BackendSpec& backend() const { return backend_; }
   const PropertyGraph& graph() const { return *g_; }
+  /// NOT thread-safe: option writes must be externally serialized against
+  /// every concurrent use of the engine.
   EngineOptions* mutable_options() { return &opts_; }
 
  private:
-  void EnsureStats();
-  /// Runs the full planning pipeline for the current options (no cache).
-  Prepared PlanQuery(const std::string& query, Language lang);
+  /// The statistics handles one Prepare call plans against, snapshotted
+  /// under stats_mu_ so a concurrent SetGlogue cannot free them mid-plan.
+  struct StatsSnapshot {
+    std::shared_ptr<const Glogue> glogue;
+    std::shared_ptr<const GlogueQuery> gq_high;
+    std::shared_ptr<const GlogueQuery> gq_low;
+    uint64_t epoch = 0;
+  };
+  StatsSnapshot SnapshotStats() const;
+  /// Runs the full planning pipeline (no cache).
+  Prepared PlanQuery(const std::string& query, Language lang,
+                     const StatsSnapshot& stats) const;
 
   const PropertyGraph* g_;
   BackendSpec backend_;
   EngineOptions opts_;
-  std::shared_ptr<const Glogue> glogue_;
-  std::unique_ptr<GlogueQuery> gq_high_;
-  std::unique_ptr<GlogueQuery> gq_low_;
-  PlanCache<Prepared> plan_cache_;
-  double last_exec_ms_ = 0;
-  ExecStats last_stats_;
+  std::shared_ptr<SharedPreparedPlanCache> plan_cache_;
+
+  /// Guards the lazily built statistics handles and the epoch; mutable so
+  /// const Prepare can build them on first use.
+  mutable std::mutex stats_mu_;
+  mutable std::shared_ptr<const Glogue> glogue_;
+  mutable std::shared_ptr<const GlogueQuery> gq_high_;
+  mutable std::shared_ptr<const GlogueQuery> gq_low_;
+  mutable uint64_t glogue_epoch_ = 0;
+
+  /// Backing for the deprecated last_* shims only.
+  mutable std::mutex last_mu_;
+  mutable double last_exec_ms_ = 0;
+  mutable ExecStats last_stats_;
 };
 
 }  // namespace gopt

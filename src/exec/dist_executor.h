@@ -21,6 +21,11 @@ namespace gopt {
 ///
 /// Implements ExpandIntersect (WCOJ-style vertex expansion) and two-phase
 /// aggregation (GroupLocal / GroupGlobal, Fig. 3(d) in the paper).
+///
+/// Thread-confinement: one executor instance belongs to one Execute call
+/// at a time (it carries per-run memo/stats state; the worker threads it
+/// spawns internally are its own). GOptEngine constructs a fresh executor
+/// per Execute, so engine-level Execute calls may run concurrently.
 class DistributedExecutor {
  public:
   DistributedExecutor(const PropertyGraph* g, int workers)

@@ -20,6 +20,12 @@ struct ExecStats {
 /// per-edge expansion (ExpandInto); plans containing ExpandIntersect are
 /// rejected, mirroring the operator repertoire the paper attributes to
 /// Neo4j (Section 6.3.2).
+///
+/// Thread-confinement: one executor instance belongs to one Execute call
+/// at a time (it carries per-run memo/stats state). GOptEngine constructs
+/// a fresh executor per Execute, which is what makes the engine's Execute
+/// re-entrant; different instances never share mutable state and may run
+/// concurrently over one graph.
 class SingleMachineExecutor {
  public:
   explicit SingleMachineExecutor(const PropertyGraph* g) : k_(g) {}

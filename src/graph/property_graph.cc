@@ -1,10 +1,17 @@
 #include "src/graph/property_graph.h"
 
+#include <atomic>
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace gopt {
+
+uint64_t PropertyGraph::NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 VertexId PropertyGraph::AddVertex(TypeId type) {
   VertexId id = vertex_types_of_.size();

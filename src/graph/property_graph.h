@@ -1,6 +1,7 @@
 #pragma once
 
 #include "src/common/span.h"
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,13 @@ class PropertyGraph {
  public:
   explicit PropertyGraph(GraphSchema schema) : schema_(std::move(schema)) {}
 
+  // Non-copyable/movable: instance_id() is this object's process-unique
+  // identity (the plan-cache graph scope); a copy sharing the id could be
+  // served the original's cached plans after diverging. Graphs are passed
+  // by pointer / shared_ptr throughout.
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+
   // ---- construction ----
 
   /// Adds a vertex of `type`; returns its dense id.
@@ -49,6 +57,12 @@ class PropertyGraph {
   size_t NumVertices() const { return vertex_types_of_.size(); }
   size_t NumEdges() const { return edge_src_.size(); }
   bool finalized() const { return finalized_; }
+
+  /// Process-unique identity of this graph, assigned from a monotonic
+  /// counter at construction. Used as the plan-cache graph scope — unlike
+  /// the object's address it is never reused after destruction, so a
+  /// recycled allocation can't be served another graph's cached plans.
+  uint64_t instance_id() const { return instance_id_; }
 
   TypeId VertexType(VertexId v) const { return vertex_types_of_[v]; }
   TypeId EdgeType(EdgeId e) const { return edge_types_of_[e]; }
@@ -88,8 +102,11 @@ class PropertyGraph {
   GraphSchema* mutable_schema() { return &schema_; }
 
  private:
+  static uint64_t NextInstanceId();
+
   GraphSchema schema_;
   bool finalized_ = false;
+  uint64_t instance_id_ = NextInstanceId();
 
   std::vector<TypeId> vertex_types_of_;
   std::vector<VertexId> edge_src_;

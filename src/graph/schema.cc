@@ -77,26 +77,32 @@ void GraphSchema::BuildCache() const {
     out_edge_types_[i].assign(oe[i].begin(), oe[i].end());
     in_edge_types_[i].assign(ie[i].begin(), ie[i].end());
   }
-  cache_valid_ = true;
+  cache_valid_.store(true, std::memory_order_release);
+}
+
+void GraphSchema::EnsureCache() const {
+  if (cache_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!cache_valid_.load(std::memory_order_relaxed)) BuildCache();
 }
 
 const std::vector<TypeId>& GraphSchema::OutVertexNeighbors(TypeId t) const {
-  if (!cache_valid_) BuildCache();
+  EnsureCache();
   return out_vertex_nbrs_[t];
 }
 
 const std::vector<TypeId>& GraphSchema::InVertexNeighbors(TypeId t) const {
-  if (!cache_valid_) BuildCache();
+  EnsureCache();
   return in_vertex_nbrs_[t];
 }
 
 const std::vector<TypeId>& GraphSchema::OutEdgeTypes(TypeId t) const {
-  if (!cache_valid_) BuildCache();
+  EnsureCache();
   return out_edge_types_[t];
 }
 
 const std::vector<TypeId>& GraphSchema::InEdgeTypes(TypeId t) const {
-  if (!cache_valid_) BuildCache();
+  EnsureCache();
   return in_edge_types_[t];
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -40,8 +42,28 @@ struct EdgeTypeDef {
 /// The reproduction assumes a schema-strict context (paper Section 4); for
 /// schema-loose stores the paper extracts an equivalent schema from data
 /// (Remark 6.1), which `ExtractSchemaFromData` in property_graph.h mirrors.
+///
+/// Thread-safety: the connectivity queries lazily build an internal
+/// neighbor cache behind a mutex, so a schema that is no longer being
+/// mutated (every engine-visible schema: PropertyGraph freezes its schema
+/// conceptually after load) may be read from any number of threads
+/// concurrently. Mutations (AddVertexType / AddEdgeType / AddEdgeEndpoint)
+/// are NOT safe concurrently with reads.
 class GraphSchema {
  public:
+  GraphSchema() = default;
+  // The lazy-cache mutex is not copyable; copies start with a cold cache.
+  GraphSchema(const GraphSchema& o)
+      : vertex_types_(o.vertex_types_), edge_types_(o.edge_types_) {}
+  GraphSchema& operator=(const GraphSchema& o) {
+    if (this != &o) {
+      vertex_types_ = o.vertex_types_;
+      edge_types_ = o.edge_types_;
+      cache_valid_.store(false, std::memory_order_release);
+    }
+    return *this;
+  }
+
   /// Registers a vertex type; returns its dense TypeId.
   TypeId AddVertexType(const std::string& name,
                        std::vector<PropertyDef> properties = {});
@@ -94,13 +116,20 @@ class GraphSchema {
   std::vector<TypeId> SrcTypesOf(TypeId e, TypeId d) const;
 
  private:
-  void InvalidateCache() const { cache_valid_ = false; }
+  void InvalidateCache() const {
+    cache_valid_.store(false, std::memory_order_release);
+  }
+  /// Double-checked build of the neighbor cache: safe to call from any
+  /// number of reader threads (mutations must still be externally
+  /// serialized against reads).
+  void EnsureCache() const;
   void BuildCache() const;
 
   std::vector<VertexTypeDef> vertex_types_;
   std::vector<EdgeTypeDef> edge_types_;
 
-  mutable bool cache_valid_ = false;
+  mutable std::mutex cache_mu_;
+  mutable std::atomic<bool> cache_valid_{false};
   mutable std::vector<std::vector<TypeId>> out_vertex_nbrs_;
   mutable std::vector<std::vector<TypeId>> in_vertex_nbrs_;
   mutable std::vector<std::vector<TypeId>> out_edge_types_;

@@ -1,6 +1,7 @@
 #include "src/meta/glogue.h"
 
 #include <algorithm>
+#include <atomic>
 #include <array>
 #include <tuple>
 
@@ -8,6 +9,12 @@
 #include "src/meta/pattern_code.h"
 
 namespace gopt {
+
+uint64_t Glogue::NextInstanceId() {
+  // Starts at 1: epoch 0 is reserved for "lazily self-built statistics".
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace {
 

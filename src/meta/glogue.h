@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -55,6 +56,14 @@ class Glogue {
   /// out of range; returns 0 for in-range patterns absent from the data.
   std::optional<double> Lookup(const Pattern& p) const;
 
+  /// Process-unique identity of this statistics object, assigned from a
+  /// monotonic counter at construction (copies keep the source's id: same
+  /// content, same identity). The engine uses it as the plan-cache
+  /// statistics epoch — unlike the object's address it is never reused
+  /// after destruction, so a recycled allocation can't resurrect stale
+  /// cached plans.
+  uint64_t instance_id() const { return instance_id_; }
+
   int max_pattern_vertices() const { return k_; }
   size_t NumMotifs() const { return motifs_.size(); }
   double total_vertices() const { return total_vertices_; }
@@ -68,6 +77,8 @@ class Glogue {
   }
 
  private:
+  static uint64_t NextInstanceId();
+
   int k_ = 3;
   double total_vertices_ = 0;
   double total_edges_ = 0;
@@ -75,6 +86,7 @@ class Glogue {
   std::vector<double> efreq_;
   std::map<std::tuple<TypeId, TypeId, TypeId>, double> etriple_;
   std::unordered_map<std::string, double> motifs_;
+  uint64_t instance_id_ = NextInstanceId();
 };
 
 }  // namespace gopt

@@ -104,8 +104,11 @@ double GlogueQuery::EstimateRec(const Pattern& p, int depth) const {
   if (p.NumVertices() == 0) return 1.0;
   if (depth > kMaxDepth) return 1.0;
   std::string code = CanonicalPatternCode(p, /*with_preds=*/false);
-  auto it = cache_.find(code);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(code);
+    if (it != cache_.end()) return it->second;
+  }
 
   double result;
   auto comps = Components(p);
@@ -120,7 +123,10 @@ double GlogueQuery::EstimateRec(const Pattern& p, int depth) const {
     result = EstimateConnected(p, depth);
   }
   result = std::max(result, kFreqFloor);
-  cache_[code] = result;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_[code] = result;
+  }
   return result;
 }
 

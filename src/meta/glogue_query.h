@@ -1,5 +1,6 @@
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 
 #include "src/meta/glogue.h"
@@ -22,6 +23,14 @@ namespace gopt {
 /// With `high_order = false` the motif store is bypassed and everything is
 /// estimated from vertex/edge frequencies alone — the low-order baseline of
 /// the Fig. 8(d) ablation.
+///
+/// Thread-safety: estimation is const and memoizes by canonical pattern
+/// code into an internal cache guarded by a mutex, so one GlogueQuery may
+/// be queried from many planning threads concurrently (the engine shares
+/// its two GlogueQuery instances across all Prepare calls, and the CBO
+/// pass fans per-pattern planning out over a pool). Concurrent estimates
+/// of the same uncached pattern may compute it twice; both writes store
+/// the same value.
 class GlogueQuery {
  public:
   /// `endpoint_filtered = false` degrades edge-frequency lookups to total
@@ -59,7 +68,10 @@ class GlogueQuery {
   const Glogue& glogue() const { return *gl_; }
   bool high_order() const { return high_order_; }
 
-  size_t CacheSize() const { return cache_.size(); }
+  size_t CacheSize() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+  }
 
  private:
   double EstimateRec(const Pattern& p, int depth) const;
@@ -79,6 +91,9 @@ class GlogueQuery {
   const GraphSchema* schema_;
   bool high_order_;
   bool endpoint_filtered_ = true;
+  /// Estimation memo, guarded by cache_mu_ (never held across the
+  /// recursive estimation itself — only around lookups and inserts).
+  mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, double> cache_;
 };
 

@@ -26,6 +26,17 @@ struct PassTraceEntry {
   std::string note;
 };
 
+/// One pattern's share of the CBO pass: multi-pattern queries fan
+/// per-pattern planning out over a thread pool, and each pattern records
+/// its own wall-clock planning time here (`ms` overlaps with the other
+/// patterns' when cbo_threads > 1).
+struct CboPatternTiming {
+  int index = 0;        ///< position in the GIR's leaf-first pattern order
+  size_t vertices = 0;  ///< pattern size
+  size_t edges = 0;
+  double ms = 0;  ///< this pattern's own planning wall-clock
+};
+
 /// Per-Prepare planning diagnostics: every pass exactly once, in pipeline
 /// order, with wall-clock timings — the planner-side counterpart of
 /// ExecStats. Surfaced through GOptEngine::Explain.
@@ -33,6 +44,11 @@ struct PlanTrace {
   std::vector<PassTraceEntry> passes;
   double total_ms = 0;
   size_t fired_rule_count = 0;
+
+  /// Per-pattern CBO records (empty when the cbo pass never ran).
+  std::vector<CboPatternTiming> cbo_patterns;
+  /// Thread-pool width the cbo pass planned cbo_patterns with.
+  int cbo_threads = 1;
 
   const PassTraceEntry* Find(const std::string& pass_name) const;
   std::string ToString() const;

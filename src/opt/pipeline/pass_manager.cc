@@ -25,6 +25,15 @@ std::string PlanTrace::ToString() const {
     if (!e.note.empty()) s += "  [" + e.note + "]";
     s += "\n";
   }
+  if (!cbo_patterns.empty()) {
+    s += StrFormat("  cbo per-pattern (%zu patterns over %d thread%s):\n",
+                   cbo_patterns.size(), cbo_threads,
+                   cbo_threads == 1 ? "" : "s");
+    for (const auto& p : cbo_patterns) {
+      s += StrFormat("    pattern#%d (%zuv/%zue) %9.3f ms\n", p.index,
+                     p.vertices, p.edges, p.ms);
+    }
+  }
   return s;
 }
 

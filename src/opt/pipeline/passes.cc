@@ -1,7 +1,12 @@
 #include "src/opt/pipeline/passes.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <functional>
 #include <set>
+#include <thread>
 
 #include "src/common/rng.h"
 #include "src/common/str_format.h"
@@ -113,40 +118,108 @@ void CboPass::Run(PlanContext& ctx) {
   if (cfg_.crude_stats) gq = &crude;
   const BackendSpec* backend =
       cfg_.planning_backend ? &*cfg_.planning_backend : ctx.exec_backend;
-  GraphOptimizer optimizer(gq, backend);
 
   std::vector<LogicalOpPtr> matches;
   CollectPatterns(ctx.logical, &matches);
-  size_t searched = 0, pruned = 0;
-  for (const auto& m : matches) {
-    PatternPlanPtr plan;
-    switch (cfg_.strategy) {
-      case Strategy::kRandom: {
-        Rng rng(static_cast<uint64_t>(cfg_.random_seed));
-        plan = optimizer.RandomPlan(m->pattern, &rng);
-        break;
+  const size_t n = matches.size();
+
+  // Per-pattern searches are independent (each task owns its optimizer and
+  // Rng; GlogueQuery memoization is internally synchronized), so
+  // multi-pattern queries fan out over a small pool. Results land in
+  // per-index slots — no cross-task mutation.
+  std::vector<PatternPlanPtr> plans(n);
+  std::vector<double> pattern_ms(n, 0.0);
+  std::vector<size_t> searched(n, 0), pruned(n, 0);
+  std::vector<std::exception_ptr> errors(n);
+  auto plan_one = [&](size_t i) {
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+      GraphOptimizer optimizer(gq, backend);
+      const Pattern& p = matches[i]->pattern;
+      switch (cfg_.strategy) {
+        case Strategy::kRandom: {
+          Rng rng(static_cast<uint64_t>(cfg_.random_seed));
+          plans[i] = optimizer.RandomPlan(p, &rng);
+          break;
+        }
+        case Strategy::kGreedy:
+          plans[i] = optimizer.GreedyPlan(p);
+          break;
+        case Strategy::kExhaustive:
+          plans[i] = optimizer.Optimize(p);
+          break;
+        case Strategy::kUserOrder:
+          plans[i] = optimizer.UserOrderPlan(p);
+          break;
       }
-      case Strategy::kGreedy:
-        plan = optimizer.GreedyPlan(m->pattern);
-        break;
-      case Strategy::kExhaustive:
-        plan = optimizer.Optimize(m->pattern);
-        break;
-      case Strategy::kUserOrder:
-        plan = optimizer.UserOrderPlan(m->pattern);
-        break;
+      searched[i] = optimizer.searched_subpatterns;
+      pruned[i] = optimizer.pruned_branches;
+    } catch (...) {
+      errors[i] = std::current_exception();
     }
-    searched += optimizer.searched_subpatterns;
-    pruned += optimizer.pruned_branches;
-    ctx.pattern_plans[m.get()] = plan;
+    auto t1 = std::chrono::steady_clock::now();
+    pattern_ms[i] =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+        1e6;
+  };
+
+  size_t pool;
+  if (cfg_.pattern_threads > 0) {
+    pool = static_cast<size_t>(cfg_.pattern_threads);
+  } else {
+    pool = std::min<size_t>(
+        std::max<size_t>(std::thread::hardware_concurrency(), 1), 4);
+    // Thread spawn costs tens of microseconds; tiny patterns plan in
+    // single-digit microseconds. In auto mode only fan out when at least
+    // two patterns carry enough search space to amortize the spawn.
+    constexpr size_t kParallelMinEdges = 3;
+    size_t heavy = 0;
+    for (const auto& m : matches) {
+      if (m->pattern.NumEdges() >= kParallelMinEdges) ++heavy;
+    }
+    if (heavy < 2) pool = 1;
+  }
+  pool = std::min(pool, n);
+  if (pool <= 1) {
+    for (size_t i = 0; i < n; ++i) plan_one(i);
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (size_t w = 0; w < pool; ++w) {
+      workers.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          plan_one(i);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  size_t total_searched = 0, total_pruned = 0;
+  ctx.trace.cbo_threads = static_cast<int>(std::max<size_t>(pool, 1));
+  for (size_t i = 0; i < n; ++i) {
+    ctx.pattern_plans[matches[i].get()] = plans[i];
+    total_searched += searched[i];
+    total_pruned += pruned[i];
+    CboPatternTiming t;
+    t.index = static_cast<int>(i);
+    t.vertices = matches[i]->pattern.NumVertices();
+    t.edges = matches[i]->pattern.NumEdges();
+    t.ms = pattern_ms[i];
+    ctx.trace.cbo_patterns.push_back(t);
   }
   const char* strat = cfg_.strategy == Strategy::kExhaustive ? "exhaustive"
                       : cfg_.strategy == Strategy::kGreedy   ? "greedy"
                       : cfg_.strategy == Strategy::kRandom   ? "random"
                                                              : "user-order";
-  ctx.pass_note =
-      StrFormat("%s over %zu patterns, %zu subpatterns searched, %zu pruned",
-                strat, matches.size(), searched, pruned);
+  ctx.pass_note = StrFormat(
+      "%s over %zu patterns (%zu thread%s), %zu subpatterns searched, "
+      "%zu pruned",
+      strat, n, pool, pool == 1 ? "" : "s", total_searched, total_pruned);
 }
 
 void PhysicalConversionPass::Run(PlanContext& ctx) {

@@ -69,18 +69,25 @@ uint64_t OptionsFingerprint(const EngineOptions& opts) {
 
 std::string PlanCacheKeyFromCanonical(const std::string& canonical_text,
                                       Language lang,
-                                      const EngineOptions& opts) {
+                                      const EngineOptions& opts,
+                                      const PlanCacheScope& scope) {
   std::string key = canonical_text;
   key.push_back('\x1f');
   key.push_back(lang == Language::kCypher ? 'c' : 'g');
   key.push_back('\x1f');
   key += std::to_string(OptionsFingerprint(opts));
+  key.push_back('\x1f');
+  key += std::to_string(scope.graph);
+  key.push_back('\x1f');
+  key += std::to_string(scope.glogue_epoch);
   return key;
 }
 
 std::string PlanCacheKey(const std::string& query, Language lang,
-                         const EngineOptions& opts) {
-  return PlanCacheKeyFromCanonical(NormalizeQueryText(query), lang, opts);
+                         const EngineOptions& opts,
+                         const PlanCacheScope& scope) {
+  return PlanCacheKeyFromCanonical(NormalizeQueryText(query), lang, opts,
+                                   scope);
 }
 
 }  // namespace gopt

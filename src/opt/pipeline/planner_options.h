@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,15 @@
 namespace gopt {
 
 enum class Language { kCypher, kGremlin };
+
+// The engine's prepared-plan type and the thread-safe cache templated over
+// it (declared in src/engine/engine.h and shared_plan_cache.h; only the
+// names are needed here so EngineOptions can carry an injected cache
+// handle without depending on the engine layer).
+struct Prepared;
+template <typename PlanT>
+class SharedPlanCache;
+using SharedPreparedPlanCache = SharedPlanCache<Prepared>;
 
 /// Planner behavior presets used throughout the experiments:
 ///  - kGOpt:       the full pipeline (RBO -> type inference -> CBO).
@@ -60,11 +70,26 @@ struct EngineOptions {
   /// baseline of Fig. 8(e)).
   std::vector<std::string> rbo_rule_filter;
 
-  /// Prepared-plan cache (LRU over the parameterized query stream):
-  /// repeated Run / Prepare calls on the same query shape skip planning
-  /// entirely. Capacity is read once at engine construction.
+  /// Width of the thread pool the CBO pass fans per-pattern planning of
+  /// multi-pattern queries out over. 0 = auto (min(#patterns, hardware
+  /// concurrency, 4)); 1 plans sequentially. Never changes the produced
+  /// plans (per-pattern search is independent and deterministic), so it is
+  /// excluded from OptionsFingerprint like the cache knobs.
+  int cbo_pattern_threads = 0;
+
+  /// Prepared-plan cache (sharded thread-safe LRU over the parameterized
+  /// query stream): repeated Run / Prepare calls on the same query shape
+  /// skip planning entirely. Capacity is read once at engine construction.
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 64;
+
+  /// Injected shared prepared-plan cache. Engines constructed with the
+  /// same SharedPlanCache handle share plans: cache keys carry the graph
+  /// identity, the options fingerprint and the engine's statistics epoch
+  /// (see PlanCacheScope), so engines over different graphs, options or
+  /// GLogue statistics never cross-serve entries. When null the engine
+  /// creates a private cache of plan_cache_capacity entries.
+  std::shared_ptr<SharedPreparedPlanCache> plan_cache;
 
   /// Auto-parameterization: rewrite constant tokens of incoming queries
   /// into $__pN parameter slots before planning, so queries differing only
@@ -84,19 +109,40 @@ struct EngineOptions {
 /// Untokenizable text is returned as-is (the parse pass reports the error).
 std::string NormalizeQueryText(const std::string& query);
 
-/// Fingerprint of every plan-affecting EngineOptions field (cache knobs are
-/// deliberately excluded — they never change the produced plan). Two option
-/// sets with equal fingerprints plan any query identically.
+/// Fingerprint of every plan-affecting EngineOptions field (cache knobs and
+/// cbo_pattern_threads are deliberately excluded — they never change the
+/// produced plan). Two option sets with equal fingerprints plan any query
+/// identically.
 uint64_t OptionsFingerprint(const EngineOptions& opts);
+
+/// Identifies which engine-side state a cached plan was planned against,
+/// beyond the options fingerprint. Appended to every cache key so one
+/// SharedPlanCache can serve many engines without cross-contamination.
+/// Both components are process-unique instance ids, not addresses — a
+/// recycled allocation can never collide with a dead scope:
+///  - `graph`: PropertyGraph::instance_id() (plans embed the graph's
+///    TypeIds);
+///  - `glogue_epoch`: the engine's statistics epoch. 0 until SetGlogue is
+///    called ("lazily self-built statistics"); afterwards the injected
+///    Glogue's instance_id(), so engines sharing one Glogue share plans
+///    while SetGlogue on one engine re-keys only that engine's lookups
+///    (peers keep hitting their epoch's entries; the stale ones age out
+///    of the LRU).
+struct PlanCacheScope {
+  uint64_t graph = 0;
+  uint64_t glogue_epoch = 0;
+};
 
 /// The full prepared-plan cache key (normalizes `query` first).
 std::string PlanCacheKey(const std::string& query, Language lang,
-                         const EngineOptions& opts);
+                         const EngineOptions& opts,
+                         const PlanCacheScope& scope = {});
 
 /// The cache key over text already in canonical rendered-token form (e.g.
 /// ParameterizeQuery output) — skips the redundant re-normalization.
 std::string PlanCacheKeyFromCanonical(const std::string& canonical_text,
                                       Language lang,
-                                      const EngineOptions& opts);
+                                      const EngineOptions& opts,
+                                      const PlanCacheScope& scope = {});
 
 }  // namespace gopt

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gopt {
+
+/// Counters of a SharedPlanCache, always returned as a by-value snapshot
+/// (the live counters are atomics updated concurrently; handing out a
+/// reference would expose torn reads). hits/misses/evictions are monotonic
+/// over the cache's lifetime (Clear preserves them); entries is the current
+/// size at snapshot time. Surfaced by GOptEngine::plan_cache_stats().
+struct PlanCacheStats {
+  uint64_t hits = 0;       ///< Get calls that found an entry
+  uint64_t misses = 0;     ///< Get calls that found nothing
+  uint64_t evictions = 0;  ///< entries dropped by LRU capacity pressure
+  size_t entries = 0;      ///< number of cached plans at snapshot time
+};
+
+/// Thread-safe sharded LRU cache of prepared plans, shareable across
+/// engines and threads (the concurrency tentpole; the single-threaded
+/// predecessor was PlanCache in plan_cache.h).
+///
+/// Keys are produced by PlanCacheKey()/PlanCacheKeyFromCanonical()
+/// (parameterized query stream + language + options fingerprint + cache
+/// scope — see docs/plan-cache.md); values are `shared_ptr<const PlanT>`,
+/// so a returned plan stays valid regardless of concurrent Put/Clear/
+/// eviction — there is no invalidated-pointer window to copy out of.
+///
+/// Sharding: keys hash onto `num_shards` independent LRU shards, each
+/// behind its own mutex, so concurrent lookups of different query shapes
+/// rarely contend. LRU recency is therefore per shard (approximate global
+/// LRU); a cache with one shard degenerates to the exact LRU semantics of
+/// the old PlanCache. Counters are lock-free atomics.
+template <typename PlanT>
+class SharedPlanCache {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  /// `capacity` is the total entry budget, distributed over the shards;
+  /// a capacity smaller than `num_shards` reduces the shard count so the
+  /// budget is never exceeded. 0 disables insertion (Get always misses,
+  /// Put is a no-op).
+  explicit SharedPlanCache(size_t capacity, size_t num_shards = kDefaultShards)
+      : capacity_(capacity),
+        num_shards_(ClampShards(capacity, num_shards)),
+        shards_(new Shard[ClampShards(capacity, num_shards)]) {
+    for (size_t i = 0; i < num_shards_; ++i) {
+      shards_[i].capacity = capacity / num_shards_ +
+                            (i < capacity % num_shards_ ? 1 : 0);
+    }
+  }
+
+  /// Returns the cached plan (refreshing its recency) or nullptr. The
+  /// returned pointer shares ownership: it remains valid after any
+  /// concurrent Put/Clear/eviction.
+  std::shared_ptr<const PlanT> Get(const std::string& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return s.lru.front().second;
+  }
+
+  /// Inserts (or refreshes) a plan, evicting the least recently used entry
+  /// of the key's shard when that shard is over capacity. Returns the
+  /// stored shared plan (what a concurrent Get would now observe).
+  std::shared_ptr<const PlanT> Put(const std::string& key, PlanT plan) {
+    auto value = std::make_shared<const PlanT>(std::move(plan));
+    Put(key, value);
+    return value;
+  }
+
+  /// Put of an already-shared plan (e.g. re-inserting a Get result).
+  void Put(const std::string& key, std::shared_ptr<const PlanT> plan) {
+    if (capacity_ == 0) return;
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(plan);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.emplace_front(key, std::move(plan));
+    s.index[key] = s.lru.begin();
+    if (s.lru.size() > s.capacity) {
+      s.index.erase(s.lru.back().first);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drops every entry in every shard. Monotonic counters are preserved,
+  /// so hit-rate measurements survive invalidation. Note that on a cache
+  /// shared across engines this drops the other engines' entries too —
+  /// per-engine invalidation is what the epoch component of the cache key
+  /// is for (GOptEngine::SetGlogue).
+  void Clear() {
+    for (size_t i = 0; i < num_shards_; ++i) {
+      Shard& s = shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.lru.clear();
+      s.index.clear();
+    }
+  }
+
+  /// Drops every entry whose key satisfies `pred`; returns how many were
+  /// dropped. Not counted as evictions (this is invalidation, not capacity
+  /// pressure).
+  size_t EraseIf(const std::function<bool(const std::string&)>& pred) {
+    size_t erased = 0;
+    for (size_t i = 0; i < num_shards_; ++i) {
+      Shard& s = shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto it = s.lru.begin(); it != s.lru.end();) {
+        if (pred(it->first)) {
+          s.index.erase(it->first);
+          it = s.lru.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (size_t i = 0; i < num_shards_; ++i) {
+      Shard& s = shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.lru.size();
+    }
+    return n;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// By-value snapshot of the counters (see PlanCacheStats). The three
+  /// monotonic counters are read individually relaxed: the snapshot is
+  /// internally consistent only up to in-flight operations, but never torn.
+  PlanCacheStats stats() const {
+    PlanCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.entries = size();
+    return s;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<std::string, std::shared_ptr<const PlanT>>> lru;
+    std::unordered_map<
+        std::string,
+        typename std::list<
+            std::pair<std::string, std::shared_ptr<const PlanT>>>::iterator>
+        index;
+    size_t capacity = 0;
+  };
+
+  static size_t ClampShards(size_t capacity, size_t num_shards) {
+    if (num_shards < 1) num_shards = 1;
+    if (capacity > 0 && num_shards > capacity) num_shards = capacity;
+    return num_shards;
+  }
+
+  Shard& ShardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % num_shards_];
+  }
+
+  size_t capacity_;
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace gopt

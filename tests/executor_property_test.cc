@@ -112,7 +112,7 @@ TEST_P(ExecutorPropertyTest, AllPlannersMatchOracle) {
                         distributed ? BackendSpec::GraphScopeLike(3)
                                     : BackendSpec::Neo4jLike(),
                         opts);
-      ResultTable r = engine.Run(tc.query);
+      ExecOutcome r = engine.Run(tc.query);
       EXPECT_TRUE(r.SameRows(oracle))
           << tc.name << " seed=" << seed << " mode=" << mode
           << " dist=" << distributed << " got=" << r.NumRows()
@@ -139,7 +139,7 @@ TEST_P(PathSemanticsTest, MatchesOracle) {
                       "]->(y) RETURN x, y";
   ResultTable oracle = NaiveMatch(*g, ParsedPattern(*g, query), {"x", "y"});
   GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
-  ResultTable r = engine.Run(query);
+  ExecOutcome r = engine.Run(query);
   EXPECT_TRUE(r.SameRows(oracle))
       << "sem=" << sems[sem_idx] << " got=" << r.NumRows() << " want="
       << oracle.NumRows();

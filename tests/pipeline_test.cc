@@ -7,7 +7,7 @@
 #include "src/engine/engine.h"
 #include "src/ldbc/ldbc.h"
 #include "src/opt/pipeline/pipelines.h"
-#include "src/opt/pipeline/plan_cache.h"
+#include "src/opt/pipeline/shared_plan_cache.h"
 
 namespace gopt {
 namespace {
@@ -219,7 +219,8 @@ TEST(PlanCacheTest, DifferentLanguagesGetDistinctEntries) {
 }
 
 TEST(PlanCacheTest, LruEvictsOldestEntry) {
-  PlanCache<int> cache(2);
+  // One shard gives the exact LRU semantics of the old per-engine cache.
+  SharedPlanCache<int> cache(2, /*num_shards=*/1);
   cache.Put("a", 1);
   cache.Put("b", 2);
   ASSERT_TRUE(cache.Get("a") != nullptr);  // refresh a; b is now LRU
@@ -229,6 +230,47 @@ TEST(PlanCacheTest, LruEvictsOldestEntry) {
   EXPECT_TRUE(cache.Get("c") != nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, GetResultSurvivesEvictionAndClear) {
+  // The old PlanCache::Get returned a raw pointer invalidated by the next
+  // Put/Clear; SharedPlanCache returns shared ownership instead.
+  SharedPlanCache<int> cache(1, /*num_shards=*/1);
+  cache.Put("a", 41);
+  std::shared_ptr<const int> a = cache.Get("a");
+  ASSERT_TRUE(a != nullptr);
+  cache.Put("b", 42);  // evicts "a"
+  cache.Clear();
+  EXPECT_EQ(*a, 41);
+  EXPECT_EQ(cache.size(), 0u);
+  // Monotonic counters survive Clear.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PlanCacheTest, TinyCapacityIsRespectedAcrossShards) {
+  // A capacity below the default shard count shrinks the shard count
+  // instead of silently inflating the entry budget.
+  SharedPlanCache<int> cache(1);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  EXPECT_LE(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, EraseIfDropsMatchingKeysOnly) {
+  SharedPlanCache<int> cache(16);
+  cache.Put("keep/1", 1);
+  cache.Put("drop/1", 2);
+  cache.Put("drop/2", 3);
+  size_t erased = cache.EraseIf(
+      [](const std::string& k) { return k.rfind("drop/", 0) == 0; });
+  EXPECT_EQ(erased, 2u);
+  EXPECT_TRUE(cache.Get("drop/1") == nullptr);
+  EXPECT_TRUE(cache.Get("keep/1") != nullptr);
+  // Invalidation is not eviction.
+  EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
 TEST(PlanCacheTest, DisabledCacheNeverCaches) {
@@ -243,16 +285,21 @@ TEST(PlanCacheTest, DisabledCacheNeverCaches) {
   EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
 }
 
-TEST(PlanCacheTest, SetGlogueClearsCache) {
+TEST(PlanCacheTest, SetGlogueInvalidatesThisEnginesEntries) {
   auto g = PaperGraph();
   GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
   engine.Run(kQuery);
   auto fresh = std::make_shared<Glogue>(Glogue::Build(*g));
   engine.SetGlogue(fresh);
   engine.Run(kQuery);
-  // The plan was re-planned against the new statistics, not served stale.
+  // The plan was re-planned against the new statistics, not served stale:
+  // SetGlogue advanced the engine's epoch, so the old entry's key no
+  // longer matches (it stays in the cache for any peer engine still on
+  // the old epoch — see concurrency_test.cc).
   EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
   EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
+  // The new epoch's entry serves subsequent lookups.
+  EXPECT_TRUE(engine.Prepare(kQuery).from_cache);
 }
 
 TEST(PlannerOptionsTest, FingerprintCoversPlanAffectingFields) {
@@ -339,7 +386,7 @@ TEST(AutoParamTest, DifferentLiteralValuesShareOnePlan) {
                         "}) RETURN a.id AS x");
     // The shared plan still executes under THIS query's literal binding.
     ASSERT_EQ(r.NumRows(), 1u) << i;
-    EXPECT_EQ(r.rows[0][0].AsInt(), i);
+    EXPECT_EQ(r.table.rows[0][0].AsInt(), i);
   }
   EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
   EXPECT_EQ(engine.plan_cache_stats().hits, 3u);
@@ -396,8 +443,8 @@ TEST(AutoParamTest, GremlinStructuralStringsAreNotParameterized) {
   auto r2 = engine.Run(q2, Language::kGremlin);
   EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
   // ...and each still counts its own person.
-  EXPECT_EQ(r1.rows[0][0].AsInt(), 1);
-  EXPECT_EQ(r2.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r1.table.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r2.table.rows[0][0].AsInt(), 1);
   // A different label is a different plan shape.
   engine.Run("g.V().hasLabel('Product').count()", Language::kGremlin);
   EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
@@ -412,7 +459,7 @@ TEST(NamedParamTest, ExecuteBindsWithoutReplanning) {
   for (int i = 0; i < 3; ++i) {
     auto r = engine.Execute(prep, {{"pid", Value(i)}});
     ASSERT_EQ(r.NumRows(), 1u);
-    EXPECT_EQ(r.rows[0][0].AsInt(), i);
+    EXPECT_EQ(r.table.rows[0][0].AsInt(), i);
   }
   // One plan served all three bindings.
   EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
@@ -424,14 +471,14 @@ TEST(NamedParamTest, RunWithParamsAndUserOverridesAutoBinding) {
   auto r = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
                       {{"pid", Value(2)}});
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.table.rows[0][0].AsInt(), 2);
 
   // User-supplied bindings override the auto-extracted literal.
   auto prep = engine.Prepare("MATCH (a:Person {id: 0}) RETURN a.id AS x");
   ASSERT_EQ(prep.required_params.size(), 1u);
   auto r2 = engine.Execute(prep, {{prep.required_params[0], Value(3)}});
   ASSERT_EQ(r2.NumRows(), 1u);
-  EXPECT_EQ(r2.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r2.table.rows[0][0].AsInt(), 3);
 }
 
 TEST(NamedParamTest, UnboundParameterFailsAtExecute) {
@@ -474,7 +521,7 @@ TEST(AutoParamTest, DisablingAutoParameterizeRestoresLiteralKeys) {
   auto r = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
                       {{"pid", Value(1)}});
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.table.rows[0][0].AsInt(), 1);
 }
 
 TEST(AutoParamTest, NoExtractionWhenCacheDisabled) {
@@ -490,12 +537,12 @@ TEST(AutoParamTest, NoExtractionWhenCacheDisabled) {
   EXPECT_EQ(prep.parameterized_query.find("$__p"), std::string::npos);
   auto r = engine.Execute(prep);
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.table.rows[0][0].AsInt(), 1);
 
   auto named = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
                           {{"pid", Value(2)}});
   ASSERT_EQ(named.NumRows(), 1u);
-  EXPECT_EQ(named.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(named.table.rows[0][0].AsInt(), 2);
 }
 
 TEST(AutoParamTest, GeneratedSlotsNeverAliasUserParams) {
@@ -512,7 +559,7 @@ TEST(AutoParamTest, GeneratedSlotsNeverAliasUserParams) {
   EXPECT_EQ(prep.params.at("__p1").AsInt(), 3);
   auto r = engine.Execute(prep, {{"__p0", Value(2)}});
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.table.rows[0][0].AsInt(), 2);
 }
 
 TEST(AutoParamTest, ParameterizedStreamIsExposedOnPrepared) {
@@ -537,7 +584,7 @@ TEST(Pipeline, AllModesExecuteTheSameQuery) {
     GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
     auto result = engine.Run(kQuery);
     if (first) {
-      reference = result;
+      reference = result.table;
       first = false;
     } else {
       EXPECT_TRUE(result.SameRows(reference))

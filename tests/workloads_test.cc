@@ -42,7 +42,7 @@ void ExpectBackendsAgree(const PropertyGraph* g,
   neo.SetGlogue(gl);
   GOptEngine gs(g, BackendSpec::GraphScopeLike(4));
   gs.SetGlogue(gl);
-  ResultTable r1, r2;
+  ExecOutcome r1, r2;
   ASSERT_NO_THROW(r1 = neo.Run(query)) << name << ": " << query;
   ASSERT_NO_THROW(r2 = gs.Run(query)) << name << ": " << query;
   // Top-k queries may break ties differently; compare row counts for
@@ -65,8 +65,8 @@ void ExpectOptMatchesNoOpt(const PropertyGraph* g,
   noopt.mode = PlannerMode::kNoOpt;
   GOptEngine without(g, BackendSpec::Neo4jLike(), noopt);
   without.SetGlogue(gl);
-  ResultTable r1 = with_opt.Run(query);
-  ResultTable r2 = without.Run(query);
+  ExecOutcome r1 = with_opt.Run(query);
+  ExecOutcome r2 = without.Run(query);
   if (query.find("LIMIT") != std::string::npos) {
     EXPECT_EQ(r1.NumRows(), r2.NumRows()) << name;
   } else {
@@ -103,8 +103,8 @@ TEST_F(WorkloadTest, QtQueriesTypeInferencePreservesResults) {
     GOptEngine b(ldbc_->graph.get(), BackendSpec::Neo4jLike(), without);
     b.SetGlogue(*glogue_);
     auto q = Q(wq.cypher);
-    ResultTable r1 = a.Run(q);
-    ResultTable r2 = b.Run(q);
+    ExecOutcome r1 = a.Run(q);
+    ExecOutcome r2 = b.Run(q);
     EXPECT_TRUE(r1.SameRows(r2)) << wq.name << " infer=" << r1.NumRows()
                                  << " noinfer=" << r2.NumRows();
   }
@@ -121,11 +121,11 @@ TEST_F(WorkloadTest, QcGremlinMatchesCypher) {
   for (const auto& wq : QcQueries()) {
     GOptEngine engine(ldbc_->graph.get(), BackendSpec::GraphScopeLike(2));
     engine.SetGlogue(*glogue_);
-    ResultTable cy = engine.Run(Q(wq.cypher), Language::kCypher);
-    ResultTable gr = engine.Run(Q(wq.gremlin), Language::kGremlin);
+    ExecOutcome cy = engine.Run(Q(wq.cypher), Language::kCypher);
+    ExecOutcome gr = engine.Run(Q(wq.gremlin), Language::kGremlin);
     ASSERT_EQ(cy.NumRows(), 1u) << wq.name;
     ASSERT_EQ(gr.NumRows(), 1u) << wq.name;
-    EXPECT_EQ(cy.rows[0][0].AsInt(), gr.rows[0][0].AsInt()) << wq.name;
+    EXPECT_EQ(cy.table.rows[0][0].AsInt(), gr.table.rows[0][0].AsInt()) << wq.name;
   }
 }
 
@@ -134,7 +134,7 @@ TEST_F(WorkloadTest, QrGremlinRuns) {
     if (wq.gremlin.empty()) continue;
     GOptEngine engine(ldbc_->graph.get(), BackendSpec::GraphScopeLike(2));
     engine.SetGlogue(*glogue_);
-    ResultTable r;
+    ExecOutcome r;
     ASSERT_NO_THROW(r = engine.Run(Q(wq.gremlin), Language::kGremlin))
         << wq.name << ": " << Q(wq.gremlin);
   }
@@ -144,9 +144,9 @@ TEST_F(WorkloadTest, StQueryFindsPaths) {
   auto fraud = GenerateFraud(2000, 4.0, 9);
   GOptEngine engine(fraud.graph.get(), BackendSpec::GraphScopeLike(4));
   std::string q = StQuery(4, {1, 2, 3}, {10, 11});
-  ResultTable r = engine.Run(q);
+  ExecOutcome r = engine.Run(q);
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_GE(r.rows[0][0].AsInt(), 0);
+  EXPECT_GE(r.table.rows[0][0].AsInt(), 0);
 }
 
 }  // namespace
