@@ -100,6 +100,10 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
   prep.pattern_plans = std::move(ctx.pattern_plans);
   prep.output_columns = std::move(ctx.output_columns);
   prep.trace = std::make_shared<const PlanTrace>(std::move(ctx.trace));
+  if (prep.physical) {
+    prep.exec_pipelines =
+        std::make_shared<const PipelinePlan>(BuildPipelinePlan(prep.physical));
+  }
   return prep;
 }
 
@@ -180,6 +184,15 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
       ex.set_params(&bound);
       out.table = ex.Execute(prep.physical);
       out.stats = ex.stats();
+    } else if (opts_.exec_threads != 1) {
+      // The morsel-driven batch runtime (see docs/executor.md). Results
+      // are differential-tested equal to the sequential executor below.
+      MorselOptions mopts;
+      mopts.threads = opts_.exec_threads;
+      MorselExecutor ex(g_, mopts);
+      ex.set_params(&bound);
+      out.table = ex.Execute(prep.physical, prep.exec_pipelines.get());
+      out.stats = ex.stats();
     } else {
       SingleMachineExecutor ex(g_);
       ex.set_params(&bound);
@@ -191,13 +204,6 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
             .count() /
         1000.0;
-  }
-  // Keep the deprecated last_* shims alive for one release (shared,
-  // last-writer-wins under concurrency).
-  {
-    std::lock_guard<std::mutex> lock(last_mu_);
-    last_exec_ms_ = out.ms;
-    last_stats_ = out.stats;
   }
   return out;
 }
@@ -259,6 +265,34 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
   }
   s += "=== Physical plan (" + backend_.name + ") ===\n";
   s += prep.physical->ToString(g_->schema());
+  if (!backend_.distributed && opts_.exec_threads != 1) {
+    s += "=== Pipelines (morsel runtime) ===\n";
+    s += prep.exec_pipelines
+             ? prep.exec_pipelines->ToString()
+             : BuildPipelinePlan(prep.physical).ToString();
+  }
+  return s;
+}
+
+std::string GOptEngine::Explain(const Prepared& prep,
+                                const ExecOutcome& outcome) const {
+  std::string s = Explain(prep);
+  s += "=== Execution ===\n";
+  s += StrFormat("  %zu rows returned, %.3f ms, %llu rows produced\n",
+                 outcome.table.NumRows(), outcome.ms,
+                 static_cast<unsigned long long>(outcome.stats.rows_produced));
+  if (outcome.stats.exchanges > 0 || outcome.stats.comm_rows > 0) {
+    s += StrFormat("  %llu exchanges, %llu rows exchanged\n",
+                   static_cast<unsigned long long>(outcome.stats.exchanges),
+                   static_cast<unsigned long long>(outcome.stats.comm_rows));
+  }
+  for (const PipelineStat& p : outcome.stats.pipelines) {
+    s += StrFormat(
+        "  P%d: %s — %llu morsels, %llu rows, %d thread%s, %.3f ms\n", p.id,
+        p.desc.c_str(), static_cast<unsigned long long>(p.morsels),
+        static_cast<unsigned long long>(p.rows_out), p.threads,
+        p.threads == 1 ? "" : "s", p.ms);
+  }
   return s;
 }
 

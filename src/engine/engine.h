@@ -7,6 +7,7 @@
 
 #include "src/exec/dist_executor.h"
 #include "src/exec/executor.h"
+#include "src/exec/morsel.h"
 #include "src/opt/pipeline/pipelines.h"
 #include "src/opt/pipeline/planner_options.h"
 #include "src/opt/pipeline/shared_plan_cache.h"
@@ -30,6 +31,12 @@ struct Prepared {
   /// Per-pass planning diagnostics (shared with the cache: a cache hit
   /// returns the trace of the original planning run).
   std::shared_ptr<const PlanTrace> trace;
+  /// The physical plan's pipeline decomposition for the morsel runtime,
+  /// built once at planning time (it only depends on the immutable plan
+  /// tree) so warm-cache executions and Explain never rebuild it. Shared
+  /// with the cache like `trace`; its raw PhysOp pointers refer into
+  /// `physical`, which every Prepared copy co-owns.
+  std::shared_ptr<const PipelinePlan> exec_pipelines;
   /// True when this Prepared was served from the plan cache.
   bool from_cache = false;
 
@@ -69,8 +76,10 @@ struct ExecOutcome {
 /// GOptEngine: the end-to-end facade. Planning runs as a declarative pass
 /// pipeline (opt/pipeline) selected by PlannerMode — parse -> RBO -> type
 /// inference -> CBO -> physical conversion — followed by execution on the
-/// configured backend (Neo4j-like sequential or GraphScope-like
-/// distributed).
+/// configured backend: GraphScope-like distributed, or single-machine via
+/// either the sequential row-at-a-time executor (exec_threads == 1, the
+/// default) or the morsel-driven parallel batch runtime (exec_threads !=
+/// 1; see docs/executor.md).
 ///
 /// Prepared plans are a prepared-statement subsystem, not just a memoizer:
 /// Prepare first auto-parameterizes the query (constant tokens become $__pN
@@ -121,21 +130,15 @@ class GOptEngine {
 
   /// Human-readable plan description (logical + pattern plans + physical +
   /// the per-pass PlanTrace with millisecond timings, per-pattern CBO
-  /// timings, and the plan-cache counters).
+  /// timings, and the plan-cache counters). When the morsel runtime is
+  /// configured (exec_threads != 1 on the single-machine backend), also
+  /// shows the pipeline decomposition the plan executes as.
   std::string Explain(const Prepared& prep) const;
 
-  /// DEPRECATED shims for the pre-ExecOutcome API, kept for one release:
-  /// wall-clock ms / executor stats of the most recently *finished* Execute
-  /// on this engine (any thread). Under concurrency prefer the ExecOutcome
-  /// of your own call — these are shared, last-writer-wins values.
-  double last_exec_ms() const {
-    std::lock_guard<std::mutex> lock(last_mu_);
-    return last_exec_ms_;
-  }
-  ExecStats last_stats() const {
-    std::lock_guard<std::mutex> lock(last_mu_);
-    return last_stats_;
-  }
+  /// Explain plus an "Execution" section for one finished run of the plan:
+  /// per-pipeline wall-clock timings, morsel counts, worker counts and row
+  /// counts (morsel runtime), or the executor totals otherwise.
+  std::string Explain(const Prepared& prep, const ExecOutcome& outcome) const;
 
   /// Snapshot of the prepared-plan cache counters (hits / misses /
   /// evictions / entries). By value: the live counters are concurrently
@@ -199,11 +202,6 @@ class GOptEngine {
   mutable std::shared_ptr<const GlogueQuery> gq_high_;
   mutable std::shared_ptr<const GlogueQuery> gq_low_;
   mutable uint64_t glogue_epoch_ = 0;
-
-  /// Backing for the deprecated last_* shims only.
-  mutable std::mutex last_mu_;
-  mutable double last_exec_ms_ = 0;
-  mutable ExecStats last_stats_;
 };
 
 }  // namespace gopt

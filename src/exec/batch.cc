@@ -1,0 +1,92 @@
+#include "src/exec/batch.h"
+
+#include <cassert>
+
+namespace gopt {
+
+void Batch::AppendRow(const Row& r) {
+  assert(!sel_active_);
+  assert(r.size() == cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(r[c]);
+}
+
+void Batch::GatherRow(size_t i, Row* out) const {
+  const uint32_t p = PhysIndex(i);
+  out->resize(cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) (*out)[c] = cols_[c][p];
+}
+
+void Batch::Flatten() {
+  if (!sel_active_) return;
+  std::vector<std::vector<Value>> dense(cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    dense[c].reserve(sel_.size());
+    for (uint32_t p : sel_) dense[c].push_back(std::move(cols_[c][p]));
+  }
+  cols_ = std::move(dense);
+  sel_.clear();
+  sel_active_ = false;
+}
+
+Batch Batch::GatherPhys(const std::vector<uint32_t>& phys) const {
+  Batch out(cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    out.cols_[c].reserve(phys.size());
+    for (uint32_t p : phys) out.cols_[c].push_back(cols_[c][p]);
+  }
+  return out;
+}
+
+Batch Batch::FromRows(const std::vector<Row>& rows, size_t num_cols) {
+  Batch b(num_cols);
+  for (auto& c : b.cols_) c.reserve(rows.size());
+  for (const Row& r : rows) b.AppendRow(r);
+  return b;
+}
+
+void Batch::AppendRowsTo(std::vector<Row>* out) const {
+  // No reserve here: an exact per-call reserve would pin capacity and
+  // force a reallocation per batch when concatenating many (callers that
+  // know the total, like RowsFromBatches, reserve it up front; everyone
+  // else gets geometric growth).
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    Row r;
+    GatherRow(i, &r);
+    out->push_back(std::move(r));
+  }
+}
+
+std::vector<Row> Batch::ToRows() const {
+  std::vector<Row> out;
+  AppendRowsTo(&out);
+  return out;
+}
+
+std::vector<Batch> BatchesFromRows(const std::vector<Row>& rows,
+                                   size_t num_cols, size_t batch_rows) {
+  std::vector<Batch> out;
+  if (batch_rows == 0) batch_rows = kDefaultBatchRows;
+  for (size_t begin = 0; begin < rows.size(); begin += batch_rows) {
+    const size_t end = std::min(rows.size(), begin + batch_rows);
+    Batch b(num_cols);
+    for (size_t i = begin; i < end; ++i) b.AppendRow(rows[i]);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<Row> RowsFromBatches(const std::vector<Batch>& batches) {
+  std::vector<Row> out;
+  out.reserve(TotalBatchRows(batches));
+  for (const Batch& b : batches) b.AppendRowsTo(&out);
+  return out;
+}
+
+size_t TotalBatchRows(const std::vector<Batch>& batches) {
+  size_t n = 0;
+  for (const Batch& b : batches) n += b.size();
+  return n;
+}
+
+}  // namespace gopt

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/result.h"
+
+namespace gopt {
+
+/// Number of rows a batch-producing kernel targets per output chunk.
+inline constexpr size_t kDefaultBatchRows = 1024;
+
+/// A columnar chunk of rows: the unit of data flow in the morsel-driven
+/// batch runtime (src/exec/morsel.{h,cc}). Stores one Value vector per
+/// column plus an optional *selection vector* — the list of physical row
+/// positions that are still live. Filters refine the selection instead of
+/// moving data; all other kernels iterate the active rows in selection
+/// order, so batch execution visits rows in exactly the order the
+/// row-at-a-time kernels do.
+///
+/// Conversion to and from the row representation is lossless: for any
+/// row vector R, Batch::FromRows(R).ToRows() == R, and for any batch B,
+/// Batch::FromRows(B.ToRows()) holds the same active rows in the same
+/// order (with the selection compacted away).
+class Batch {
+ public:
+  Batch() = default;
+  explicit Batch(size_t num_cols) : cols_(num_cols) {}
+
+  size_t num_cols() const { return cols_.size(); }
+  /// Number of *active* rows (the selection's length when one is set).
+  size_t size() const { return sel_active_ ? sel_.size() : num_phys_rows(); }
+  bool empty() const { return size() == 0; }
+  /// Number of physical rows stored, including filtered-out ones.
+  size_t num_phys_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
+
+  std::vector<Value>& col(size_t c) { return cols_[c]; }
+  const std::vector<Value>& col(size_t c) const { return cols_[c]; }
+
+  /// Physical row position of active row `i`.
+  uint32_t PhysIndex(size_t i) const {
+    return sel_active_ ? sel_[i] : static_cast<uint32_t>(i);
+  }
+
+  /// Value at (active row i, column c).
+  const Value& At(size_t i, size_t c) const {
+    return cols_[c][PhysIndex(i)];
+  }
+
+  /// True once a selection vector has been installed (even an empty one:
+  /// an all-filtered batch has an *active* empty selection, which is
+  /// different from a batch with no selection at all).
+  bool has_selection() const { return sel_active_; }
+  const std::vector<uint32_t>& selection() const { return sel_; }
+
+  /// Installs `sel` as the active selection (physical row positions in
+  /// visit order). Replaces any previous selection; the positions must
+  /// already refer to physical rows.
+  void SetSelection(std::vector<uint32_t> sel) {
+    sel_ = std::move(sel);
+    sel_active_ = true;
+  }
+
+  /// Appends one row (values in column order) as an active physical row.
+  /// Only valid while no selection is installed.
+  void AppendRow(const Row& r);
+
+  /// Copies active row `i` into `*out` (resized to the column count).
+  /// Kernels reuse one scratch row across calls to avoid reallocation.
+  void GatherRow(size_t i, Row* out) const;
+
+  /// Compacts the selection away: after Flatten the batch stores only the
+  /// previously active rows, densely, in the same order. No-op without a
+  /// selection.
+  void Flatten();
+
+  /// Dense copy of the given physical row positions, in visit order —
+  /// how a filter's surviving rows are lifted out of a batch that must
+  /// not be mutated (e.g. a materialized source shared between parents).
+  Batch GatherPhys(const std::vector<uint32_t>& phys) const;
+
+  /// Columnar form of `rows`; every row must have `num_cols` values.
+  static Batch FromRows(const std::vector<Row>& rows, size_t num_cols);
+
+  /// Appends the active rows, in order, to `*out`.
+  void AppendRowsTo(std::vector<Row>* out) const;
+  std::vector<Row> ToRows() const;
+
+ private:
+  std::vector<std::vector<Value>> cols_;
+  std::vector<uint32_t> sel_;
+  bool sel_active_ = false;
+};
+
+/// Splits `rows` into dense batches of at most `batch_rows` rows each.
+std::vector<Batch> BatchesFromRows(const std::vector<Row>& rows,
+                                   size_t num_cols, size_t batch_rows);
+
+/// Concatenates the active rows of `batches` into one row vector.
+std::vector<Row> RowsFromBatches(const std::vector<Batch>& batches);
+
+/// Total active rows across `batches`.
+size_t TotalBatchRows(const std::vector<Batch>& batches);
+
+}  // namespace gopt

@@ -153,14 +153,6 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
         Parts partial = ParallelApply(*in, [&](const std::vector<Row>& rows) {
           return k_.Aggregate(*op, rows, /*combine=*/false);
         });
-        // Keyless local aggregation over an empty partition yields a
-        // default row; drop those to avoid overcounting before combine.
-        if (op->group_keys.empty()) {
-          for (int w = 1; w < workers_; ++w) {
-            auto& p = partial[static_cast<size_t>(w)];
-            (void)p;
-          }
-        }
         std::vector<int> key_idx;
         for (size_t i = 0; i < op->group_keys.size(); ++i) {
           key_idx.push_back(static_cast<int>(i));
@@ -290,6 +282,9 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
       break;
     }
   }
+  // rows_produced counts the rows emitted per operator node, once per node
+  // (intermediate partials, exchanged copies and two-phase local results
+  // are not emissions) — the definition all runtimes share; see ExecStats.
   for (const auto& p : *result) stats_.rows_produced += p.size();
   memo_[op.get()] = result;
   return result;

@@ -66,20 +66,16 @@ SingleMachineExecutor::TablePtr SingleMachineExecutor::Run(
     case PhysOpKind::kUnion: {
       auto l = Run(op->children[0]);
       auto r = Run(op->children[1]);
-      *result = *l;
-      auto mapped = k_.MapColumns(*r, op->children[1]->out_cols, op->out_cols);
-      for (auto& row : mapped) result->push_back(std::move(row));
-      if (op->union_distinct) {
-        PhysOp dd(PhysOpKind::kDedup);
-        dd.children = {op};  // reuse layout
-        *result = k_.Dedup(dd, *result);
-      }
+      *result = k_.Union(*op, *l, *r);
       break;
     }
     case PhysOpKind::kUnfold:
       *result = k_.Unfold(*op, *Run(op->children[0]));
       break;
   }
+  // Rows emitted by this operator node, counted exactly once: a memo hit
+  // above returns without re-counting, so DAG-shared subtrees never
+  // double-count (the parity contract of ExecStats::rows_produced).
   stats_.rows_produced += result->size();
   memo_[op.get()] = result;
   return result;

@@ -8,11 +8,28 @@
 
 namespace gopt {
 
-/// Execution statistics shared by both executors.
+/// Execution metrics of one pipeline of the morsel runtime.
+struct PipelineStat {
+  int id = 0;
+  std::string desc;          ///< Pipeline::ToString of the executed pipeline
+  uint64_t morsels = 0;      ///< morsels the source was split into
+  uint64_t rows_out = 0;     ///< rows materialized by the sink
+  int threads = 1;           ///< workers that ran this pipeline
+  double ms = 0;             ///< wall-clock milliseconds
+};
+
+/// Execution statistics shared by every runtime.
+///
+/// `rows_produced` counts the rows *emitted by each operator* of the plan,
+/// summed over operators — each operator node exactly once, even when its
+/// output is shared by several parents (DAG plans after ComSubPattern) or
+/// processed morsel-at-a-time. All three runtimes (sequential, morsel,
+/// distributed) count it identically; tests assert parity.
 struct ExecStats {
-  uint64_t rows_produced = 0;   ///< total intermediate rows across operators
+  uint64_t rows_produced = 0;   ///< rows emitted per operator, summed
   uint64_t comm_rows = 0;       ///< rows exchanged between workers (dist only)
   uint64_t exchanges = 0;       ///< number of exchange steps (dist only)
+  std::vector<PipelineStat> pipelines;  ///< per-pipeline metrics (morsel only)
 };
 
 /// The Neo4j-like backend runtime: a sequential, materialize-per-operator

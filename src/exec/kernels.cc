@@ -18,6 +18,14 @@ int IndexOf(const std::vector<std::string>& cols, const std::string& c) {
   return -1;
 }
 
+/// Appends `scratch[proj[j]]` for each output column j to `out`'s columns.
+void EmitProjected(const Row& scratch, const std::vector<int>& proj,
+                   Batch* out) {
+  for (size_t j = 0; j < proj.size(); ++j) {
+    out->col(j).push_back(scratch[static_cast<size_t>(proj[j])]);
+  }
+}
+
 }  // namespace
 
 template <typename F>
@@ -38,31 +46,75 @@ void Kernels::ForEachAdj(VertexId u, Direction dir, const TypeConstraint& etc_,
   if (dir == Direction::kIn || dir == Direction::kBoth) iter_dir(false);
 }
 
-std::vector<Row> Kernels::Scan(const PhysOp& op, int worker, int W) const {
-  std::vector<Row> out;
-  ColMap self{{op.alias, 0}};
-  auto try_vertex = [&](VertexId v) {
-    if (W > 1 && static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
-      return;
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+std::vector<ScanMorsel> Kernels::ScanMorsels(const PhysOp& op,
+                                             size_t morsel_rows) const {
+  if (morsel_rows == 0) morsel_rows = kDefaultBatchRows;
+  std::vector<ScanMorsel> out;
+  auto slice = [&](bool all, TypeId t, size_t n) {
+    for (size_t b = 0; b < n; b += morsel_rows) {
+      ScanMorsel m;
+      m.all = all;
+      m.type = t;
+      m.begin = b;
+      m.end = std::min(n, b + morsel_rows);
+      out.push_back(m);
     }
-    Row row = {Value(VertexRef{v})};
-    for (const auto& p : op.vertex_preds) {
-      if (!eval_.EvalBool(p, row, self)) return;
-    }
-    out.push_back(std::move(row));
   };
   if (op.vtc.IsAll()) {
-    for (VertexId v = 0; v < g_->NumVertices(); ++v) try_vertex(v);
+    slice(true, kInvalidTypeId, g_->NumVertices());
   } else {
     for (TypeId t : op.vtc.types()) {
-      for (VertexId v : g_->VerticesOfType(t)) try_vertex(v);
+      slice(false, t, g_->VerticesOfType(t).size());
     }
   }
   return out;
 }
 
-std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
-                                     const std::vector<Row>& in) const {
+Batch Kernels::ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker,
+                         int W) const {
+  Batch out(1);
+  ColMap self{{op.alias, 0}};
+  Row row(1);
+  auto try_vertex = [&](VertexId v) {
+    if (W > 1 && static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
+      return;
+    }
+    row[0] = Value(VertexRef{v});
+    for (const auto& p : op.vertex_preds) {
+      if (!eval_.EvalBool(p, row, self)) return;
+    }
+    out.col(0).push_back(row[0]);
+  };
+  if (m.all) {
+    for (size_t i = m.begin; i < m.end; ++i) {
+      try_vertex(static_cast<VertexId>(i));
+    }
+  } else {
+    auto span = g_->VerticesOfType(m.type);
+    for (size_t i = m.begin; i < m.end; ++i) try_vertex(span[i]);
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::Scan(const PhysOp& op, int worker, int W) const {
+  // One whole-domain morsel per type keeps the visit order of the
+  // pre-batch scan (types in constraint order, ids ascending within).
+  std::vector<Row> out;
+  for (const ScanMorsel& m : ScanMorsels(op, ~static_cast<size_t>(0))) {
+    ScanBatch(op, m, worker, W).AppendRowsTo(&out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExpandEdge (flattened expansion / ExpandInto edge check)
+// ---------------------------------------------------------------------------
+
+Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
   const auto& child_cols = op.children[0]->out_cols;
   ColMap cmap = MakeColMap(child_cols);
   int from_idx = cmap.at(op.from_tag);
@@ -86,22 +138,18 @@ std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
     }
   }
 
-  std::vector<Row> out;
+  Batch out(op.out_cols.size());
   Row scratch;
-  auto emit = [&](const Row& row, const AdjEntry& a, VertexId v) {
-    scratch.assign(row.begin(), row.end());
-    scratch.push_back(Value(g_->MakeEdgeRef(a.eid)));
-    scratch.push_back(Value(VertexRef{v}));
+  auto emit = [&](const AdjEntry& a, VertexId v) {
+    scratch[static_cast<size_t>(epos)] = Value(g_->MakeEdgeRef(a.eid));
+    scratch[static_cast<size_t>(vpos)] = Value(VertexRef{v});
     for (const auto& p : op.edge_preds) {
       if (!eval_.EvalBool(p, scratch, smap)) return;
     }
     for (const auto& p : op.vertex_preds) {
       if (!eval_.EvalBool(p, scratch, smap)) return;
     }
-    Row r;
-    r.reserve(proj.size());
-    for (int i : proj) r.push_back(scratch[static_cast<size_t>(i)]);
-    out.push_back(std::move(r));
+    EmitProjected(scratch, proj, &out);
   };
 
   if (op.target_bound) {
@@ -115,9 +163,11 @@ std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
           }
           return all;
         }());
-    for (const Row& row : in) {
-      VertexId u = row[static_cast<size_t>(from_idx)].AsVertex().id;
-      VertexId t = row[static_cast<size_t>(tgt_idx)].AsVertex().id;
+    for (size_t i = 0; i < in.size(); ++i) {
+      in.GatherRow(i, &scratch);
+      scratch.resize(child_cols.size() + 2);
+      VertexId u = scratch[static_cast<size_t>(from_idx)].AsVertex().id;
+      VertexId t = scratch[static_cast<size_t>(tgt_idx)].AsVertex().id;
       auto probe = [&](bool out_dir) {
         for (TypeId et : etypes) {
           auto span = out_dir ? g_->OutEdges(u, et) : g_->InEdges(u, et);
@@ -125,7 +175,7 @@ std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
               span.begin(), span.end(), t,
               [](const AdjEntry& a, VertexId x) { return a.nbr < x; });
           for (auto it = lo; it != span.end() && it->nbr == t; ++it) {
-            emit(row, *it, t);
+            emit(*it, t);
           }
         }
       };
@@ -135,19 +185,30 @@ std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
     return out;
   }
 
-  for (const Row& row : in) {
-    VertexId u = row[static_cast<size_t>(from_idx)].AsVertex().id;
+  for (size_t i = 0; i < in.size(); ++i) {
+    in.GatherRow(i, &scratch);
+    scratch.resize(child_cols.size() + 2);
+    VertexId u = scratch[static_cast<size_t>(from_idx)].AsVertex().id;
     ForEachAdj(u, op.dir, op.etc_, [&](const AdjEntry& a, bool) {
       VertexId v = a.nbr;
       if (!op.vtc.Matches(g_->VertexType(v))) return;
-      emit(row, a, v);
+      emit(a, v);
     });
   }
   return out;
 }
 
-std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
-                                          const std::vector<Row>& in) const {
+std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
+                                     const std::vector<Row>& in) const {
+  return ExpandEdgeBatch(op, Batch::FromRows(in, op.children[0]->out_cols.size()))
+      .ToRows();
+}
+
+// ---------------------------------------------------------------------------
+// ExpandIntersect (WCOJ-style multi-arm intersection)
+// ---------------------------------------------------------------------------
+
+Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in) const {
   const auto& child_cols = op.children[0]->out_cols;
   ColMap cmap = MakeColMap(child_cols);
   std::vector<int> from_idx;
@@ -182,17 +243,19 @@ std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
     outv->resize(w);
   };
 
-  std::vector<Row> out;
+  Batch out(op.out_cols.size());
   Row scratch;
-  for (const Row& row : in) {
+  for (size_t ri = 0; ri < in.size(); ++ri) {
     // WCOJ-style sorted intersection, multiplicity-preserving: the result
     // multiplicity is the product of parallel-edge counts per arm
     // (flatten-equivalent, so both backends agree exactly).
+    in.GatherRow(ri, &scratch);
+    scratch.resize(child_cols.size() + 1);
     collect_arm(op.arms[0],
-                row[static_cast<size_t>(from_idx[0])].AsVertex().id, &cur);
+                scratch[static_cast<size_t>(from_idx[0])].AsVertex().id, &cur);
     for (size_t i = 1; i < op.arms.size() && !cur.empty(); ++i) {
       collect_arm(op.arms[i],
-                  row[static_cast<size_t>(from_idx[i])].AsVertex().id,
+                  scratch[static_cast<size_t>(from_idx[i])].AsVertex().id,
                   &arm_list);
       next.clear();
       size_t a = 0, b = 0;
@@ -210,8 +273,7 @@ std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
       std::swap(cur, next);
     }
     for (auto [v, mult] : cur) {
-      scratch.assign(row.begin(), row.end());
-      scratch.push_back(Value(VertexRef{v}));
+      scratch[static_cast<size_t>(vpos)] = Value(VertexRef{v});
       bool ok = true;
       for (const auto& p : op.vertex_preds) {
         if (!eval_.EvalBool(p, scratch, smap)) {
@@ -220,14 +282,29 @@ std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
         }
       }
       if (!ok) continue;
-      for (uint64_t k = 0; k < mult; ++k) out.push_back(scratch);
+      // Output layout = child columns + the intersected vertex.
+      for (uint64_t k = 0; k < mult; ++k) {
+        for (size_t c = 0; c < scratch.size(); ++c) {
+          out.col(c).push_back(scratch[c]);
+        }
+      }
     }
   }
   return out;
 }
 
-std::vector<Row> Kernels::PathExpand(const PhysOp& op,
-                                     const std::vector<Row>& in) const {
+std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
+                                          const std::vector<Row>& in) const {
+  return ExpandIntersectBatch(
+             op, Batch::FromRows(in, op.children[0]->out_cols.size()))
+      .ToRows();
+}
+
+// ---------------------------------------------------------------------------
+// PathExpand
+// ---------------------------------------------------------------------------
+
+Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in) const {
   const auto& child_cols = op.children[0]->out_cols;
   ColMap cmap = MakeColMap(child_cols);
   int from_idx = cmap.at(op.from_tag);
@@ -249,31 +326,30 @@ std::vector<Row> Kernels::PathExpand(const PhysOp& op,
     }
   }
 
-  std::vector<Row> out;
+  Batch out(op.out_cols.size());
+  Row scratch;
   std::vector<VertexId> path_v;
   std::vector<EdgeId> path_e;
 
-  for (const Row& row : in) {
-    VertexId start = row[static_cast<size_t>(from_idx)].AsVertex().id;
+  for (size_t ri = 0; ri < in.size(); ++ri) {
+    in.GatherRow(ri, &scratch);
+    scratch.resize(child_cols.size() + 2);
+    VertexId start = scratch[static_cast<size_t>(from_idx)].AsVertex().id;
     path_v = {start};
     path_e.clear();
 
     auto emit = [&](VertexId end) {
       if (op.target_bound) {
-        if (row[static_cast<size_t>(tgt_idx)].AsVertex().id != end) return;
+        if (scratch[static_cast<size_t>(tgt_idx)].AsVertex().id != end) return;
       } else if (!op.vtc.Matches(g_->VertexType(end))) {
         return;
       }
-      Row scratch(row);
-      scratch.push_back(Value(VertexRef{end}));
-      scratch.push_back(Value(PathRef{path_v, path_e}));
+      scratch[static_cast<size_t>(vpos)] = Value(VertexRef{end});
+      scratch[static_cast<size_t>(ppos)] = Value(PathRef{path_v, path_e});
       for (const auto& p : op.vertex_preds) {
         if (!eval_.EvalBool(p, scratch, smap)) return;
       }
-      Row r;
-      r.reserve(proj.size());
-      for (int i : proj) r.push_back(scratch[static_cast<size_t>(i)]);
-      out.push_back(std::move(r));
+      EmitProjected(scratch, proj, &out);
     };
 
     std::function<void(VertexId, int)> dfs = [&](VertexId v, int depth) {
@@ -300,8 +376,41 @@ std::vector<Row> Kernels::PathExpand(const PhysOp& op,
   return out;
 }
 
+std::vector<Row> Kernels::PathExpand(const PhysOp& op,
+                                     const std::vector<Row>& in) const {
+  return PathExpandBatch(op,
+                         Batch::FromRows(in, op.children[0]->out_cols.size()))
+      .ToRows();
+}
+
+// ---------------------------------------------------------------------------
+// Filter / Project / Unfold
+// ---------------------------------------------------------------------------
+
+std::vector<uint32_t> Kernels::FilterSelection(const PhysOp& op,
+                                               const Batch& in) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  std::vector<uint32_t> sel;
+  sel.reserve(in.size());
+  Row scratch;
+  for (size_t i = 0; i < in.size(); ++i) {
+    in.GatherRow(i, &scratch);
+    if (eval_.EvalBool(op.predicate, scratch, cmap)) {
+      sel.push_back(in.PhysIndex(i));
+    }
+  }
+  return sel;
+}
+
+void Kernels::FilterBatch(const PhysOp& op, Batch* in) const {
+  in->SetSelection(FilterSelection(op, *in));
+}
+
 std::vector<Row> Kernels::Filter(const PhysOp& op,
                                  const std::vector<Row>& in) const {
+  // Row-native fast path (not a batch adapter): a filter over rows needs
+  // no materialization at all, while the batch boundary would copy every
+  // input row just to drop most of them.
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   std::vector<Row> out;
   for (const Row& r : in) {
@@ -310,8 +419,28 @@ std::vector<Row> Kernels::Filter(const PhysOp& op,
   return out;
 }
 
+Batch Kernels::ProjectBatch(const PhysOp& op, const Batch& in) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  const size_t ncols = op.children[0]->out_cols.size();
+  Batch out(op.out_cols.size());
+  Row scratch;
+  for (size_t i = 0; i < in.size(); ++i) {
+    in.GatherRow(i, &scratch);
+    size_t c = 0;
+    if (op.append) {
+      for (; c < ncols; ++c) out.col(c).push_back(scratch[c]);
+    }
+    for (const auto& item : op.items) {
+      out.col(c++).push_back(eval_.Eval(*item.expr, scratch, cmap));
+    }
+  }
+  return out;
+}
+
 std::vector<Row> Kernels::Project(const PhysOp& op,
                                   const std::vector<Row>& in) const {
+  // Row-native fast path: projection emits one output row per input row,
+  // so the batch boundary would only add two materializations.
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   std::vector<Row> out;
   out.reserve(in.size());
@@ -326,22 +455,34 @@ std::vector<Row> Kernels::Project(const PhysOp& op,
   return out;
 }
 
-std::vector<Row> Kernels::Unfold(const PhysOp& op,
-                                 const std::vector<Row>& in) const {
+Batch Kernels::UnfoldBatch(const PhysOp& op, const Batch& in) const {
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   int idx = cmap.at(op.unfold_tag);
-  std::vector<Row> out;
-  for (const Row& r : in) {
-    const Value& v = r[static_cast<size_t>(idx)];
+  Batch out(op.out_cols.size());
+  Row scratch;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Value& v = in.At(i, static_cast<size_t>(idx));
     if (v.kind() != Value::Kind::kList) continue;
+    in.GatherRow(i, &scratch);
     for (const Value& x : v.AsList()) {
-      Row nr = r;
-      nr.push_back(x);
-      out.push_back(std::move(nr));
+      for (size_t c = 0; c < scratch.size(); ++c) {
+        out.col(c).push_back(scratch[c]);
+      }
+      out.col(scratch.size()).push_back(x);
     }
   }
   return out;
 }
+
+std::vector<Row> Kernels::Unfold(const PhysOp& op,
+                                 const std::vector<Row>& in) const {
+  return UnfoldBatch(op, Batch::FromRows(in, op.children[0]->out_cols.size()))
+      .ToRows();
+}
+
+// ---------------------------------------------------------------------------
+// Dedup
+// ---------------------------------------------------------------------------
 
 std::vector<Row> Kernels::Dedup(const PhysOp& op,
                                 const std::vector<Row>& in) const {
@@ -513,89 +654,123 @@ std::vector<Row> Kernels::Aggregate(const PhysOp& op,
   for (size_t gi = 0; gi < keys.size(); ++gi) {
     Row r = keys[gi];
     for (size_t i = 0; i < naggs; ++i) {
-      AggCall call = op.aggs[i];
-      if (combine && call.fn == AggFunc::kSum) {
-        // ok as is
-      }
-      r.push_back(AggResult(call, states[gi][i]));
+      r.push_back(AggResult(op.aggs[i], states[gi][i]));
     }
     out.push_back(std::move(r));
   }
   return out;
 }
 
-std::vector<Row> Kernels::Join(const PhysOp& op, const std::vector<Row>& left,
-                               const std::vector<Row>& right) const {
+// ---------------------------------------------------------------------------
+// Join build / probe
+// ---------------------------------------------------------------------------
+
+JoinHashTable Kernels::BuildJoinTable(const PhysOp& op,
+                                      const std::vector<Row>& right) const {
   const auto& lcols = op.children[0]->out_cols;
   const auto& rcols = op.children[1]->out_cols;
-  std::vector<int> lkey, rkey;
+  JoinHashTable ht;
+  ht.rows = &right;
   for (const auto& k : op.join_keys) {
-    lkey.push_back(IndexOf(lcols, k));
-    rkey.push_back(IndexOf(rcols, k));
-    if (lkey.back() < 0 || rkey.back() < 0) {
+    ht.lkey.push_back(IndexOf(lcols, k));
+    ht.rkey.push_back(IndexOf(rcols, k));
+    if (ht.lkey.back() < 0 || ht.rkey.back() < 0) {
       throw std::runtime_error("HashJoin: key column '" + k +
                                "' missing from an input");
     }
   }
   // Right columns appended beyond the left layout.
-  std::vector<int> rappend;
   for (size_t i = lcols.size(); i < op.out_cols.size(); ++i) {
-    rappend.push_back(IndexOf(rcols, op.out_cols[i]));
-    if (rappend.back() < 0) {
+    ht.rappend.push_back(IndexOf(rcols, op.out_cols[i]));
+    if (ht.rappend.back() < 0) {
       throw std::runtime_error("HashJoin: output column '" + op.out_cols[i] +
                                "' missing from the right input");
     }
   }
-
-  std::unordered_map<std::vector<Value>, std::vector<const Row*>, ValueVecHash>
-      ht;
-  for (const Row& r : right) {
+  for (size_t ri = 0; ri < right.size(); ++ri) {
     std::vector<Value> key;
-    key.reserve(rkey.size());
-    for (int i : rkey) key.push_back(r[static_cast<size_t>(i)]);
-    ht[std::move(key)].push_back(&r);
+    key.reserve(ht.rkey.size());
+    for (int i : ht.rkey) key.push_back(right[ri][static_cast<size_t>(i)]);
+    ht.index[std::move(key)].push_back(static_cast<uint32_t>(ri));
   }
+  return ht;
+}
 
-  std::vector<Row> out;
-  for (const Row& l : left) {
-    std::vector<Value> key;
-    key.reserve(lkey.size());
-    for (int i : lkey) key.push_back(l[static_cast<size_t>(i)]);
-    auto it = ht.find(key);
-    bool matched = it != ht.end() && !it->second.empty();
-    switch (op.join_kind) {
-      case JoinKind::kSemi:
-        if (matched) out.push_back(l);
-        break;
-      case JoinKind::kAnti:
-        if (!matched) out.push_back(l);
-        break;
-      case JoinKind::kInner:
-        if (matched) {
-          for (const Row* r : it->second) {
-            Row nr = l;
-            for (int i : rappend) nr.push_back((*r)[static_cast<size_t>(i)]);
-            out.push_back(std::move(nr));
-          }
+Batch Kernels::JoinProbeBatch(const PhysOp& op, const Batch& left,
+                              const JoinHashTable& ht) const {
+  const size_t nlcols = op.children[0]->out_cols.size();
+  Batch out(op.out_cols.size());
+  Row scratch;
+  std::vector<Value> key;
+  auto emit_left = [&](const Row& l) {
+    for (size_t c = 0; c < nlcols; ++c) out.col(c).push_back(l[c]);
+  };
+  for (size_t i = 0; i < left.size(); ++i) {
+    left.GatherRow(i, &scratch);
+    key.clear();
+    key.reserve(ht.lkey.size());
+    for (int k : ht.lkey) key.push_back(scratch[static_cast<size_t>(k)]);
+    auto it = ht.index.find(key);
+    bool matched = it != ht.index.end() && !it->second.empty();
+    if (op.join_kind == JoinKind::kSemi) {
+      if (matched) emit_left(scratch);
+      continue;
+    }
+    if (op.join_kind == JoinKind::kAnti) {
+      if (!matched) emit_left(scratch);
+      continue;
+    }
+    // Inner and left-outer share the matched-row emit; left-outer adds a
+    // null-padded row when nothing matched.
+    if (matched) {
+      for (uint32_t ri : it->second) {
+        const Row& r = (*ht.rows)[ri];
+        emit_left(scratch);
+        for (size_t j = 0; j < ht.rappend.size(); ++j) {
+          out.col(nlcols + j).push_back(r[static_cast<size_t>(ht.rappend[j])]);
         }
-        break;
-      case JoinKind::kLeftOuter:
-        if (matched) {
-          for (const Row* r : it->second) {
-            Row nr = l;
-            for (int i : rappend) nr.push_back((*r)[static_cast<size_t>(i)]);
-            out.push_back(std::move(nr));
-          }
-        } else {
-          Row nr = l;
-          for (size_t i = 0; i < rappend.size(); ++i) nr.push_back(Value());
-          out.push_back(std::move(nr));
-        }
-        break;
+      }
+    } else if (op.join_kind == JoinKind::kLeftOuter) {
+      emit_left(scratch);
+      for (size_t j = 0; j < ht.rappend.size(); ++j) {
+        out.col(nlcols + j).push_back(Value());
+      }
     }
   }
   return out;
 }
+
+std::vector<Row> Kernels::Join(const PhysOp& op, const std::vector<Row>& left,
+                               const std::vector<Row>& right) const {
+  JoinHashTable ht = BuildJoinTable(op, right);
+  return JoinProbeBatch(
+             op, Batch::FromRows(left, op.children[0]->out_cols.size()), ht)
+      .ToRows();
+}
+
+// ---------------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------------
+
+std::vector<Row> Kernels::Union(const PhysOp& op, std::vector<Row> left,
+                                std::vector<Row> right) const {
+  std::vector<Row> mapped =
+      MapColumns(std::move(right), op.children[1]->out_cols, op.out_cols);
+  for (Row& r : mapped) left.push_back(std::move(r));
+  if (op.union_distinct) {
+    // Layout-only child so the dedup kernel sees the union's columns.
+    auto layout = std::make_shared<PhysOp>(PhysOpKind::kUnion);
+    layout->out_cols = op.out_cols;
+    PhysOp dd(PhysOpKind::kDedup);
+    dd.children = {layout};
+    left = Dedup(dd, left);
+  }
+  return left;
+}
+
+// ---------------------------------------------------------------------------
+// Sort / Limit
+// ---------------------------------------------------------------------------
 
 std::vector<Row> Kernels::SortLimit(const PhysOp& op,
                                     std::vector<Row> in) const {
@@ -625,6 +800,31 @@ std::vector<Row> Kernels::SortLimit(const PhysOp& op,
   for (size_t i = 0; i < n; ++i) out.push_back(std::move(dec[i].second));
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Batch wrappers over the blocking kernels
+// ---------------------------------------------------------------------------
+
+Batch Kernels::AggregateBatches(const PhysOp& op,
+                                const std::vector<Batch>& in) const {
+  return Batch::FromRows(Aggregate(op, RowsFromBatches(in)),
+                         op.out_cols.size());
+}
+
+Batch Kernels::SortLimitBatches(const PhysOp& op,
+                                const std::vector<Batch>& in) const {
+  return Batch::FromRows(SortLimit(op, RowsFromBatches(in)),
+                         op.out_cols.size());
+}
+
+Batch Kernels::DedupBatches(const PhysOp& op,
+                            const std::vector<Batch>& in) const {
+  return Batch::FromRows(Dedup(op, RowsFromBatches(in)), op.out_cols.size());
+}
+
+// ---------------------------------------------------------------------------
+// Column permutation
+// ---------------------------------------------------------------------------
 
 std::vector<Row> Kernels::MapColumns(std::vector<Row> rows,
                                      const std::vector<std::string>& from_cols,

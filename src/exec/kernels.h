@@ -1,29 +1,85 @@
 #pragma once
 
+#include <unordered_map>
+
+#include "src/exec/batch.h"
 #include "src/exec/eval.h"
 #include "src/physical/physical_op.h"
 
 namespace gopt {
 
-/// Row-level operator kernels shared by the single-machine and distributed
-/// executors: each kernel transforms a batch of rows according to one
-/// physical operator. The distributed executor applies them per worker
-/// partition and adds exchange steps; the single-machine executor applies
-/// them to one whole table.
+/// A morsel of a vertex scan: a slice of the scan domain. `all` morsels
+/// slice the raw vertex-id range [begin, end); typed morsels slice the
+/// per-type vertex list of `type` by list offset.
+struct ScanMorsel {
+  bool all = true;
+  TypeId type = kInvalidTypeId;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// A hash table built once over a join's build (right) side, probed by any
+/// number of threads concurrently — the build/probe split of the morsel
+/// runtime. `rows` is not owned and must outlive the probes.
+struct JoinHashTable {
+  const std::vector<Row>* rows = nullptr;  ///< build-side rows
+  std::unordered_map<std::vector<Value>, std::vector<uint32_t>, ValueVecHash>
+      index;                    ///< join key -> build row positions
+  std::vector<int> lkey, rkey;  ///< key column positions per side
+  std::vector<int> rappend;     ///< build columns appended to the output
+};
+
+/// Operator kernels shared by every runtime. The streaming kernels (scan,
+/// expansions, filter, project, unfold, join probe) are batch-native —
+/// they consume and produce columnar Batches, filters refining the
+/// selection vector in place — and are what the morsel-driven runtime
+/// (src/exec/morsel.cc) schedules. The row-vector entry points used by
+/// the sequential and distributed executors share the same semantics:
+/// most are lossless adapters over the batch kernels (converting at the
+/// boundary, one extra value copy each way), while the two where that
+/// boundary would dominate — Filter and Project — keep trivially
+/// equivalent row-native bodies. The blocking kernels (aggregate,
+/// sort/limit, dedup, union, join build) materialize by nature and stay
+/// row-based; Batch wrappers are provided for the morsel runtime's
+/// pipeline sinks.
 class Kernels {
  public:
   explicit Kernels(const PropertyGraph* g) : g_(g), eval_(g) {}
 
-  /// Vertex scan; with W > 1 only vertices owned by `worker` (id % W).
-  std::vector<Row> Scan(const PhysOp& op, int worker = 0, int W = 1) const;
+  // ---- batch-native streaming kernels ----
 
-  std::vector<Row> ExpandEdge(const PhysOp& op, const std::vector<Row>& in) const;
-  std::vector<Row> ExpandIntersect(const PhysOp& op,
-                                   const std::vector<Row>& in) const;
-  std::vector<Row> PathExpand(const PhysOp& op, const std::vector<Row>& in) const;
-  std::vector<Row> Filter(const PhysOp& op, const std::vector<Row>& in) const;
-  std::vector<Row> Project(const PhysOp& op, const std::vector<Row>& in) const;
-  std::vector<Row> Unfold(const PhysOp& op, const std::vector<Row>& in) const;
+  /// Splits the scan domain of `op` into morsels of at most `morsel_rows`
+  /// vertices (one or more per vertex type).
+  std::vector<ScanMorsel> ScanMorsels(const PhysOp& op,
+                                      size_t morsel_rows) const;
+
+  /// Scans one morsel; with W > 1 only vertices owned by `worker` (id % W).
+  Batch ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker = 0,
+                  int W = 1) const;
+
+  Batch ExpandEdgeBatch(const PhysOp& op, const Batch& in) const;
+  Batch ExpandIntersectBatch(const PhysOp& op, const Batch& in) const;
+  Batch PathExpandBatch(const PhysOp& op, const Batch& in) const;
+  /// The physical row positions (in visit order) that survive the filter
+  /// predicate — computed without mutating `in`.
+  std::vector<uint32_t> FilterSelection(const PhysOp& op,
+                                        const Batch& in) const;
+  /// Refines the selection vector in place; no values move.
+  void FilterBatch(const PhysOp& op, Batch* in) const;
+  Batch ProjectBatch(const PhysOp& op, const Batch& in) const;
+  Batch UnfoldBatch(const PhysOp& op, const Batch& in) const;
+
+  /// Builds the probe hash table over the join's build (right) side.
+  /// `right` must outlive every probe against the returned table.
+  JoinHashTable BuildJoinTable(const PhysOp& op,
+                               const std::vector<Row>& right) const;
+  /// Streams probe-side batches through a prebuilt table (thread-safe:
+  /// the table is read-only during probing).
+  Batch JoinProbeBatch(const PhysOp& op, const Batch& left,
+                       const JoinHashTable& ht) const;
+
+  // ---- blocking kernels (pipeline-breaker sinks) ----
+
   std::vector<Row> Dedup(const PhysOp& op, const std::vector<Row>& in) const;
 
   /// Aggregation. With combine = false, evaluates group keys / agg args over
@@ -34,10 +90,36 @@ class Kernels {
   std::vector<Row> Aggregate(const PhysOp& op, const std::vector<Row>& in,
                              bool combine = false) const;
 
+  std::vector<Row> SortLimit(const PhysOp& op, std::vector<Row> in) const;
+
+  /// Batch wrappers over the blocking kernels (materialize internally).
+  Batch AggregateBatches(const PhysOp& op,
+                         const std::vector<Batch>& in) const;
+  Batch SortLimitBatches(const PhysOp& op, const std::vector<Batch>& in) const;
+  Batch DedupBatches(const PhysOp& op, const std::vector<Batch>& in) const;
+
+  // ---- row-vector adapters (sequential + distributed executors) ----
+
+  /// Whole-domain vertex scan; with W > 1 only vertices owned by `worker`.
+  std::vector<Row> Scan(const PhysOp& op, int worker = 0, int W = 1) const;
+
+  std::vector<Row> ExpandEdge(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> ExpandIntersect(const PhysOp& op,
+                                   const std::vector<Row>& in) const;
+  std::vector<Row> PathExpand(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Filter(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Project(const PhysOp& op, const std::vector<Row>& in) const;
+  std::vector<Row> Unfold(const PhysOp& op, const std::vector<Row>& in) const;
+
   std::vector<Row> Join(const PhysOp& op, const std::vector<Row>& left,
                         const std::vector<Row>& right) const;
 
-  std::vector<Row> SortLimit(const PhysOp& op, std::vector<Row> in) const;
+  /// Union splice: appends `right` (column-mapped into the union layout)
+  /// to `left`, deduplicating when `op.union_distinct`. Shared by the
+  /// sequential executor and the morsel runtime's union sink so the two
+  /// can never diverge.
+  std::vector<Row> Union(const PhysOp& op, std::vector<Row> left,
+                         std::vector<Row> right) const;
 
   /// Permutes `rows` (with layout `from_cols`) into `to_cols` order.
   std::vector<Row> MapColumns(std::vector<Row> rows,

@@ -1,0 +1,305 @@
+#include "src/exec/morsel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace gopt {
+
+namespace {
+
+uint64_t Pack(uint32_t begin, uint32_t end) {
+  return (static_cast<uint64_t>(begin) << 32) | end;
+}
+uint32_t RangeBegin(uint64_t r) { return static_cast<uint32_t>(r >> 32); }
+uint32_t RangeEnd(uint64_t r) { return static_cast<uint32_t>(r); }
+
+}  // namespace
+
+MorselQueue::MorselQueue(size_t total, int workers)
+    : slots_(static_cast<size_t>(workers < 1 ? 1 : workers)) {
+  const uint64_t n = total;
+  const uint64_t w = slots_.size();
+  for (uint64_t i = 0; i < w; ++i) {
+    const uint32_t b = static_cast<uint32_t>(i * n / w);
+    const uint32_t e = static_cast<uint32_t>((i + 1) * n / w);
+    slots_[i].range.store(Pack(b, e), std::memory_order_relaxed);
+  }
+}
+
+bool MorselQueue::Next(int w, size_t* idx) {
+  auto& own = slots_[static_cast<size_t>(w)].range;
+  // Pop the front of the worker's own range.
+  uint64_t r = own.load(std::memory_order_acquire);
+  while (RangeBegin(r) < RangeEnd(r)) {
+    if (own.compare_exchange_weak(r, Pack(RangeBegin(r) + 1, RangeEnd(r)),
+                                  std::memory_order_acq_rel)) {
+      *idx = RangeBegin(r);
+      return true;
+    }
+  }
+  // Own range drained: steal from the back of the largest victim range.
+  while (true) {
+    int victim = -1;
+    uint64_t vr = 0;
+    uint32_t best = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (static_cast<int>(i) == w) continue;
+      uint64_t cand = slots_[i].range.load(std::memory_order_acquire);
+      uint32_t avail = RangeEnd(cand) - RangeBegin(cand);
+      if (RangeBegin(cand) < RangeEnd(cand) && avail > best) {
+        best = avail;
+        victim = static_cast<int>(i);
+        vr = cand;
+      }
+    }
+    if (victim < 0) return false;  // everything drained everywhere
+    auto& vslot = slots_[static_cast<size_t>(victim)].range;
+    const uint32_t e = RangeEnd(vr);
+    if (vslot.compare_exchange_weak(vr, Pack(RangeBegin(vr), e - 1),
+                                    std::memory_order_acq_rel)) {
+      *idx = e - 1;
+      return true;
+    }
+    // Lost the race; rescan for a new victim.
+  }
+}
+
+MorselExecutor::MorselExecutor(const PropertyGraph* g, MorselOptions opts)
+    : k_(g),
+      opts_(opts),
+      threads_(opts.threads > 0
+                   ? opts.threads
+                   : std::max(1u, std::thread::hardware_concurrency())) {}
+
+ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
+                                    const PipelinePlan* plan) {
+  results_.clear();
+  join_rows_.clear();
+  join_tables_.clear();
+  stats_ = ExecStats{};
+  PipelinePlan local;
+  if (plan == nullptr) {
+    local = BuildPipelinePlan(root);
+    plan = &local;
+  }
+  for (const Pipeline& p : plan->pipelines) RunPipeline(p);
+  ResultTable out;
+  out.columns = root->out_cols;
+  out.rows = RowsFromBatches(results_.at(root.get()));
+  return out;
+}
+
+Batch MorselExecutor::ApplyStreamingOp(const PhysOp& op,
+                                       const Batch& in) const {
+  switch (op.kind) {
+    case PhysOpKind::kExpandEdge:
+      return k_.ExpandEdgeBatch(op, in);
+    case PhysOpKind::kExpandIntersect:
+      return k_.ExpandIntersectBatch(op, in);
+    case PhysOpKind::kPathExpand:
+      return k_.PathExpandBatch(op, in);
+    case PhysOpKind::kProject:
+      return k_.ProjectBatch(op, in);
+    case PhysOpKind::kUnfold:
+      return k_.UnfoldBatch(op, in);
+    case PhysOpKind::kHashJoin:
+      return k_.JoinProbeBatch(op, in, join_tables_.at(&op));
+    default:
+      throw std::logic_error(
+          "MorselExecutor: non-streaming operator in a pipeline chain");
+  }
+}
+
+Batch MorselExecutor::ApplyOpsOwned(const Pipeline& p, size_t from, Batch cur,
+                                    uint64_t* emitted) const {
+  for (size_t i = from; i < p.ops.size(); ++i) {
+    const PhysOp* op = p.ops[i];
+    if (op->kind == PhysOpKind::kSelect) {
+      k_.FilterBatch(*op, &cur);  // refine the selection in place
+    } else {
+      cur = ApplyStreamingOp(*op, cur);
+    }
+    *emitted += cur.size();
+  }
+  return cur;
+}
+
+Batch MorselExecutor::ApplyChain(const Pipeline& p, Batch&& owned,
+                                 uint64_t* emitted) const {
+  return ApplyOpsOwned(p, 0, std::move(owned), emitted);
+}
+
+Batch MorselExecutor::ApplyChain(const Pipeline& p, const Batch& shared,
+                                 uint64_t* emitted) const {
+  // The shared batch belongs to the source node's materialized result; a
+  // leading filter is the one streaming op that would mutate it, so the
+  // selection is computed against the const batch and only the surviving
+  // rows are gathered out. Everything else produces a fresh batch anyway.
+  Batch cur;
+  const PhysOp* op0 = p.ops.front();
+  if (op0->kind == PhysOpKind::kSelect) {
+    cur = shared.GatherPhys(k_.FilterSelection(*op0, shared));
+  } else {
+    cur = ApplyStreamingOp(*op0, shared);
+  }
+  *emitted += cur.size();
+  return ApplyOpsOwned(p, 1, std::move(cur), emitted);
+}
+
+std::vector<Row> MorselExecutor::RunBreaker(const PhysOp& sink,
+                                            std::vector<Row> rows) const {
+  switch (sink.kind) {
+    case PhysOpKind::kAggregate:
+      return k_.Aggregate(sink, rows);
+    case PhysOpKind::kOrder:
+      return k_.SortLimit(sink, std::move(rows));
+    case PhysOpKind::kLimit: {
+      const size_t n =
+          std::min(rows.size(), static_cast<size_t>(sink.limit));
+      rows.resize(n);
+      return rows;
+    }
+    case PhysOpKind::kDedup:
+      return k_.Dedup(sink, rows);
+    default:
+      throw std::logic_error("MorselExecutor: unexpected breaker kind");
+  }
+}
+
+void MorselExecutor::RunUnionSink(const Pipeline& p) {
+  const PhysOp& op = *p.sink;
+  std::vector<Row> rows =
+      k_.Union(op, RowsFromBatches(results_.at(op.children[0].get())),
+               RowsFromBatches(results_.at(op.children[1].get())));
+  stats_.rows_produced += rows.size();
+  results_[p.sink] =
+      BatchesFromRows(rows, op.out_cols.size(), opts_.batch_rows);
+}
+
+void MorselExecutor::RunPipeline(const Pipeline& p) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PipelineStat ps;
+  ps.id = p.id;
+  ps.desc = p.ToString();
+
+  if (p.source == nullptr) {
+    RunUnionSink(p);
+  } else {
+    // Build the hash tables of every probe stage in the chain (their build
+    // sides materialized in dependency pipelines).
+    for (const PhysOp* op : p.ops) {
+      if (op->kind != PhysOpKind::kHashJoin || join_tables_.count(op)) {
+        continue;
+      }
+      std::vector<Row>& rows = join_rows_[op];
+      rows = RowsFromBatches(results_.at(op->children[1].get()));
+      join_tables_.emplace(op, k_.BuildJoinTable(*op, rows));
+    }
+
+    std::vector<ScanMorsel> scan_morsels;
+    const std::vector<Batch>* src = nullptr;
+    if (p.source_is_scan) {
+      scan_morsels = k_.ScanMorsels(*p.source, opts_.morsel_rows);
+      // Adaptive sizing: a small scan domain (one LDBC vertex type can be
+      // a few thousand ids) must still fan out over the pool, so aim for
+      // several morsels per worker — stealing then balances skew in the
+      // per-morsel expansion work. Order is unchanged: a finer slicing of
+      // the same domain concatenates to the same row sequence.
+      const size_t min_morsels = static_cast<size_t>(threads_) * 4;
+      if (threads_ > 1 && scan_morsels.size() < min_morsels) {
+        size_t domain = 0;
+        for (const ScanMorsel& m : scan_morsels) domain += m.end - m.begin;
+        const size_t finer =
+            std::max<size_t>(64, domain / (min_morsels ? min_morsels : 1));
+        if (finer < opts_.morsel_rows) {
+          scan_morsels = k_.ScanMorsels(*p.source, finer);
+        }
+      }
+    } else {
+      src = &results_.at(p.source);
+    }
+    const size_t M = p.source_is_scan ? scan_morsels.size() : src->size();
+    ps.morsels = M;
+
+    std::vector<Batch> out(M);
+    const std::vector<Batch>* sink_in = &out;
+    if (!p.source_is_scan && p.ops.empty()) {
+      // Nothing to stream through (e.g. a breaker directly over another
+      // breaker's output): feed the materialized batches straight to the
+      // sink instead of copying them morsel-by-morsel.
+      sink_in = src;
+      ps.threads = 1;
+    } else {
+      const int T = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(threads_), M ? M : 1));
+      ps.threads = T;
+      std::vector<uint64_t> emitted(static_cast<size_t>(T), 0);
+      MorselQueue queue(M, T);
+      auto work = [&](int w) {
+        uint64_t& acc = emitted[static_cast<size_t>(w)];
+        size_t idx;
+        while (queue.Next(w, &idx)) {
+          if (p.source_is_scan) {
+            Batch b = k_.ScanBatch(*p.source, scan_morsels[idx]);
+            acc += b.size();
+            out[idx] =
+                p.ops.empty() ? std::move(b) : ApplyChain(p, std::move(b), &acc);
+          } else {
+            out[idx] = ApplyChain(p, (*src)[idx], &acc);
+          }
+        }
+      };
+      if (T <= 1) {
+        work(0);
+      } else {
+        std::mutex err_mu;
+        std::exception_ptr err;
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(T));
+        for (int w = 0; w < T; ++w) {
+          pool.emplace_back([&, w] {
+            try {
+              work(w);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(err_mu);
+              if (!err) err = std::current_exception();
+            }
+          });
+        }
+        for (auto& t : pool) t.join();
+        if (err) std::rethrow_exception(err);
+      }
+      for (uint64_t e : emitted) stats_.rows_produced += e;
+    }
+
+    if (p.sink_is_breaker()) {
+      std::vector<Row> rows = RunBreaker(*p.sink, RowsFromBatches(*sink_in));
+      stats_.rows_produced += rows.size();
+      results_[p.sink] =
+          BatchesFromRows(rows, p.sink->out_cols.size(), opts_.batch_rows);
+    } else {
+      // Terminal collect: keep per-morsel batches, reassembled in morsel
+      // order so the result is identical for any thread count.
+      std::vector<Batch>& res = results_[p.sink];
+      for (Batch& b : out) {
+        if (b.size() > 0) {
+          b.Flatten();
+          res.push_back(std::move(b));
+        }
+      }
+    }
+  }
+
+  ps.rows_out = TotalBatchRows(results_[p.sink]);
+  const auto t1 = std::chrono::steady_clock::now();
+  ps.ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+      1000.0;
+  stats_.pipelines.push_back(std::move(ps));
+}
+
+}  // namespace gopt

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/exec/kernels.h"
+#include "src/exec/pipeline.h"
+
+namespace gopt {
+
+/// Knobs of the morsel-driven runtime.
+struct MorselOptions {
+  /// Worker threads per pipeline. 1 runs every morsel inline on the
+  /// calling thread (sequential batch execution, no pool); <= 0 means
+  /// hardware concurrency.
+  int threads = 1;
+  /// Vertices per scan morsel (slices of the scan domain).
+  size_t morsel_rows = 2048;
+  /// Rows per batch when a breaker's materialized output is re-chunked
+  /// into the next pipeline's morsels.
+  size_t batch_rows = kDefaultBatchRows;
+};
+
+/// Work-stealing distribution of morsel indices [0, total) over workers.
+/// Each worker owns a contiguous index range packed into one atomic word
+/// (begin << 32 | end): owners pop from the front of their range, and a
+/// worker whose range is empty steals from the back of the largest
+/// remaining victim range. All transitions are CAS on the packed word, so
+/// the queue is lock-free and ThreadSanitizer-clean.
+class MorselQueue {
+ public:
+  MorselQueue(size_t total, int workers);
+
+  /// Claims the next morsel for worker `w`; false when no work is left
+  /// anywhere (after attempting to steal from every other worker).
+  bool Next(int w, size_t* idx);
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> range{0};
+  };
+  std::vector<Slot> slots_;
+};
+
+/// The morsel-driven, batch-at-a-time parallel runtime: decomposes the
+/// physical plan into pipelines (src/exec/pipeline.h), splits every
+/// pipeline's source into morsels, and streams each morsel through the
+/// pipeline's operator chain on a work-stealing worker pool. Within a
+/// pipeline, each worker holds only the one in-flight batch of its
+/// current morsel — intermediate operator results are never retained.
+/// What does materialize is each pipeline's *output* (the sink), kept as
+/// the next pipeline's source; pipeline breakers (aggregate, sort, global
+/// limit, dedup, union, join build sides) additionally see their whole
+/// input at once when their blocking kernel runs.
+///
+/// With threads == 1 the runtime is fully sequential and deterministic;
+/// with N threads, results are identical (morsel outputs are reassembled
+/// in morsel order before any order-sensitive sink runs) and per-worker
+/// ExecStats are merged after every pipeline. The engine routes Execute
+/// here when EngineOptions::exec_threads != 1; differential tests
+/// (tests/batch_exec_test.cc) hold it equal to SingleMachineExecutor on
+/// every bundled workload.
+///
+/// Unlike the Neo4j-like SingleMachineExecutor, this runtime implements
+/// the full operator repertoire, including ExpandIntersect.
+///
+/// Thread-confinement: one instance per Execute call (the worker threads
+/// it spawns internally are its own) — same contract as the other
+/// executors.
+class MorselExecutor {
+ public:
+  explicit MorselExecutor(const PropertyGraph* g, MorselOptions opts = {});
+
+  /// Executes the plan. `plan` is an optional prebuilt decomposition of
+  /// `root` (e.g. cached in a Prepared at planning time so warm-cache
+  /// executions skip the rebuild); when null it is built here.
+  ResultTable Execute(const PhysOpPtr& root, const PipelinePlan* plan = nullptr);
+
+  const ExecStats& stats() const { return stats_; }
+
+  /// Parameter bindings for $name slots in the plan's expressions; must
+  /// outlive Execute (read concurrently by workers — safe, read-only).
+  void set_params(const ParamMap* params) { k_.set_params(params); }
+
+  int threads() const { return threads_; }
+
+ private:
+  void RunPipeline(const Pipeline& p);
+  /// Streams one source batch through the pipeline's operator chain,
+  /// adding each operator's emitted-row count to `*emitted`. The owned
+  /// overload filters in place (scan batches belong to the worker); the
+  /// shared overload copies only if the first operator is a filter
+  /// (materialized source batches may be consumed by several parents).
+  Batch ApplyChain(const Pipeline& p, Batch&& owned, uint64_t* emitted) const;
+  Batch ApplyChain(const Pipeline& p, const Batch& shared,
+                   uint64_t* emitted) const;
+  /// Applies ops[from..] to an owned batch.
+  Batch ApplyOpsOwned(const Pipeline& p, size_t from, Batch cur,
+                      uint64_t* emitted) const;
+  /// One non-filter streaming operator, batch in / batch out.
+  Batch ApplyStreamingOp(const PhysOp& op, const Batch& in) const;
+  void RunUnionSink(const Pipeline& p);
+  /// Runs the sink's blocking kernel over the collected input rows.
+  std::vector<Row> RunBreaker(const PhysOp& sink, std::vector<Row> rows) const;
+
+  Kernels k_;
+  MorselOptions opts_;
+  int threads_;
+  ExecStats stats_;
+  /// Materialized sink outputs, keyed by operator node (the DAG memo).
+  std::map<const PhysOp*, std::vector<Batch>> results_;
+  /// Join build sides: the owned build rows plus the hash table probing
+  /// them (JoinHashTable::rows points into join_rows_).
+  std::map<const PhysOp*, std::vector<Row>> join_rows_;
+  std::map<const PhysOp*, JoinHashTable> join_tables_;
+};
+
+}  // namespace gopt

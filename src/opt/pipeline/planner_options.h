@@ -77,6 +77,18 @@ struct EngineOptions {
   /// excluded from OptionsFingerprint like the cache knobs.
   int cbo_pattern_threads = 0;
 
+  /// Worker threads of the morsel-driven batch runtime (the execution-side
+  /// counterpart of cbo_pattern_threads). Applies to the single-machine
+  /// backend only (the distributed backend has its own worker model):
+  ///  - 1 (default): the sequential row-at-a-time SingleMachineExecutor —
+  ///    exactly the pre-batch execution path;
+  ///  - >= 2: the morsel-driven MorselExecutor with that many workers;
+  ///  - 0 / negative: MorselExecutor sized to hardware concurrency.
+  /// Never changes query results (differential-tested per release), so it
+  /// is excluded from OptionsFingerprint like the other non-plan-affecting
+  /// knobs.
+  int exec_threads = 1;
+
   /// Prepared-plan cache (sharded thread-safe LRU over the parameterized
   /// query stream): repeated Run / Prepare calls on the same query shape
   /// skip planning entirely. Capacity is read once at engine construction.

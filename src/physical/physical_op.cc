@@ -21,6 +21,37 @@ const char* PhysOpKindName(PhysOpKind k) {
   return "?";
 }
 
+PipelineRole PhysOpPipelineRole(PhysOpKind k) {
+  switch (k) {
+    case PhysOpKind::kScanVertices:
+      return PipelineRole::kSource;
+    case PhysOpKind::kExpandEdge:
+    case PhysOpKind::kExpandIntersect:
+    case PhysOpKind::kPathExpand:
+    case PhysOpKind::kSelect:
+    case PhysOpKind::kProject:
+    case PhysOpKind::kUnfold:
+    // HashJoin streams on its probe (left) side; the build side is a
+    // pipeline of its own (the breaker boundary lives on the edge to
+    // children[1], not on the join node itself).
+    case PhysOpKind::kHashJoin:
+      return PipelineRole::kStreaming;
+    case PhysOpKind::kAggregate:
+    case PhysOpKind::kOrder:
+    // Limit is global (first N of the whole stream), so it must see all
+    // input: a breaker, like Order.
+    case PhysOpKind::kLimit:
+    case PhysOpKind::kDedup:
+    case PhysOpKind::kUnion:
+      return PipelineRole::kBreaker;
+  }
+  return PipelineRole::kBreaker;
+}
+
+bool IsPipelineBreaker(PhysOpKind k) {
+  return PhysOpPipelineRole(k) == PipelineRole::kBreaker;
+}
+
 std::string PhysOp::ToString(const GraphSchema& schema, int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string s = pad + PhysOpKindName(kind);

@@ -94,4 +94,22 @@ struct PhysOp {
 
 const char* PhysOpKindName(PhysOpKind k);
 
+/// How an operator participates in pipelined (morsel-driven) execution —
+/// the annotation src/exec/pipeline.cc splits PhysOp trees on:
+///  - kSource:    produces rows from the graph store; its domain can be
+///                sliced into morsels (kScanVertices).
+///  - kStreaming: batch-in / batch-out with no state spanning batches
+///                (filters, projections, expansions, unfold — and HashJoin,
+///                whose *probe* side streams once the build side, a
+///                separate pipeline, has materialized).
+///  - kBreaker:   must consume its entire input before emitting anything
+///                (aggregate, sort, global limit, dedup, union); terminates
+///                a pipeline and materializes.
+enum class PipelineRole { kSource, kStreaming, kBreaker };
+
+PipelineRole PhysOpPipelineRole(PhysOpKind k);
+
+/// True for operators that end a pipeline (PipelineRole::kBreaker).
+bool IsPipelineBreaker(PhysOpKind k);
+
 }  // namespace gopt

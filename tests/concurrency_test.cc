@@ -330,12 +330,14 @@ TEST(ConcurrencyTest, SingleThreadedCboForcedByOption) {
   EXPECT_EQ(prep.trace->cbo_patterns.size(), 2u);
 }
 
-TEST(ConcurrencyTest, DeprecatedShimsStillReportLastExecute) {
+TEST(ConcurrencyTest, ExecOutcomeCarriesPerCallMetrics) {
+  // The ExecOutcome is the only place execution metrics live (the old
+  // engine-level last_* shims are gone): each call's numbers are its own.
   auto g = PaperGraph();
   GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
   ExecOutcome out = engine.Run(QueryShapes()[0]);
-  EXPECT_EQ(engine.last_exec_ms(), out.ms);
-  EXPECT_EQ(engine.last_stats().rows_produced, out.stats.rows_produced);
+  EXPECT_GT(out.stats.rows_produced, 0u);
+  EXPECT_GE(out.ms, 0.0);
 }
 
 TEST(ConcurrencyTest, ExplainShowsCacheSection) {
