@@ -20,7 +20,23 @@ GOptEngine::GOptEngine(const PropertyGraph* g, BackendSpec backend,
       plan_cache_(opts.plan_cache
                       ? opts.plan_cache
                       : std::make_shared<SharedPreparedPlanCache>(
-                            opts.plan_cache_capacity)) {}
+                            opts.plan_cache_capacity)) {
+  if (opts_.partitions > 0) {
+    pstore_ = PartitionedGraph::Build(g_, opts_.partition_policy,
+                                      opts_.partitions);
+    // The store's measured cut ratios become the CBO's communication
+    // profile: partition-local expansions price cheaper than
+    // cross-partition ones (docs/storage.md).
+    const int P = pstore_->num_partitions();
+    comm_profile_.rehash =
+        P <= 1 ? 0.0 : static_cast<double>(P - 1) / static_cast<double>(P);
+    comm_profile_.all_cut = pstore_->CutFraction();
+    comm_profile_.cut_by_etype.resize(g_->schema().NumEdgeTypes());
+    for (TypeId t = 0; t < comm_profile_.cut_by_etype.size(); ++t) {
+      comm_profile_.cut_by_etype[t] = pstore_->CutFraction(t);
+    }
+  }
+}
 
 void GOptEngine::SetGlogue(std::shared_ptr<const Glogue> gl) {
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -89,6 +105,7 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
   ctx.glogue = stats.glogue.get();
   ctx.gq_high = stats.gq_high.get();
   ctx.gq_low = stats.gq_low.get();
+  ctx.comm = pstore_ ? &comm_profile_ : nullptr;
 
   pipeline.Run(ctx);
 
@@ -180,16 +197,22 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
     // stats) is call-local, so any number of Execute calls may run
     // concurrently on one engine.
     if (backend_.distributed) {
-      DistributedExecutor ex(g_, backend_.num_workers);
+      // With a sharded store the executor runs one worker per partition
+      // (ownership-map exchanges); otherwise the legacy per-operator
+      // simulated partitioning over backend_.num_workers.
+      DistributedExecutor ex(g_, backend_.num_workers, pstore_.get());
       ex.set_params(&bound);
       out.table = ex.Execute(prep.physical);
       out.stats = ex.stats();
-    } else if (opts_.exec_threads != 1) {
+    } else if (opts_.exec_threads != 1 || pstore_ != nullptr) {
       // The morsel-driven batch runtime (see docs/executor.md). Results
       // are differential-tested equal to the sequential executor below.
+      // A sharded store routes here even at one thread, so partitioned
+      // scans are exercised sequentially too (partition-granular morsels,
+      // deterministic morsel-order reassembly).
       MorselOptions mopts;
       mopts.threads = opts_.exec_threads;
-      MorselExecutor ex(g_, mopts);
+      MorselExecutor ex(g_, mopts, pstore_.get());
       ex.set_params(&bound);
       out.table = ex.Execute(prep.physical, prep.exec_pipelines.get());
       out.stats = ex.stats();
@@ -248,6 +271,18 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
                      : 100.0 * static_cast<double>(stats.hits) /
                            static_cast<double>(lookups));
   }
+  if (pstore_) {
+    s += "=== Partitions ===\n";
+    std::string desc = pstore_->Describe();
+    // Indent the store description under the section header.
+    size_t pos = 0;
+    while (pos < desc.size()) {
+      size_t nl = desc.find('\n', pos);
+      if (nl == std::string::npos) nl = desc.size();
+      s += "  " + desc.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
   s += "=== Logical plan (GIR) ===\n";
   s += prep.logical->ToString(g_->schema());
   if (prep.trace) {
@@ -265,7 +300,7 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
   }
   s += "=== Physical plan (" + backend_.name + ") ===\n";
   s += prep.physical->ToString(g_->schema());
-  if (!backend_.distributed && opts_.exec_threads != 1) {
+  if (!backend_.distributed && (opts_.exec_threads != 1 || pstore_)) {
     s += "=== Pipelines (morsel runtime) ===\n";
     s += prep.exec_pipelines
              ? prep.exec_pipelines->ToString()
@@ -285,6 +320,17 @@ std::string GOptEngine::Explain(const Prepared& prep,
     s += StrFormat("  %llu exchanges, %llu rows exchanged\n",
                    static_cast<unsigned long long>(outcome.stats.exchanges),
                    static_cast<unsigned long long>(outcome.stats.comm_rows));
+  }
+  if (outcome.stats.partitions > 0) {
+    s += StrFormat("  %d partitions, store edge-cut %llu\n",
+                   outcome.stats.partitions,
+                   static_cast<unsigned long long>(
+                       outcome.stats.store_cut_edges));
+    for (size_t p = 0; p < outcome.stats.partition_rows.size(); ++p) {
+      s += StrFormat("  p%zu: %llu rows\n", p,
+                     static_cast<unsigned long long>(
+                         outcome.stats.partition_rows[p]));
+    }
   }
   for (const PipelineStat& p : outcome.stats.pipelines) {
     s += StrFormat(

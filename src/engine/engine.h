@@ -12,6 +12,7 @@
 #include "src/opt/pipeline/planner_options.h"
 #include "src/opt/pipeline/shared_plan_cache.h"
 #include "src/physical/converter.h"
+#include "src/store/partitioned_graph.h"
 
 namespace gopt {
 
@@ -79,7 +80,13 @@ struct ExecOutcome {
 /// configured backend: GraphScope-like distributed, or single-machine via
 /// either the sequential row-at-a-time executor (exec_threads == 1, the
 /// default) or the morsel-driven parallel batch runtime (exec_threads !=
-/// 1; see docs/executor.md).
+/// 1; see docs/executor.md). With EngineOptions::partitions > 0 the
+/// engine shards its graph into a PartitionedGraph at construction
+/// (docs/storage.md): the distributed backend then runs one worker per
+/// partition with ownership-map exchanges, the single-machine backend
+/// routes to the morsel runtime with partition-granular scan morsels
+/// (even at exec_threads == 1), and the CBO prices communication with
+/// the store's measured edge-cut.
 ///
 /// Prepared plans are a prepared-statement subsystem, not just a memoizer:
 /// Prepare first auto-parameterizes the query (constant tokens become $__pN
@@ -172,6 +179,12 @@ class GOptEngine {
 
   const BackendSpec& backend() const { return backend_; }
   const PropertyGraph& graph() const { return *g_; }
+  /// The sharded store built when EngineOptions::partitions > 0 (null on
+  /// the unpartitioned legacy store). Immutable and shareable: another
+  /// engine over the same graph may be handed the same shared_ptr.
+  const std::shared_ptr<const PartitionedGraph>& partitioned_store() const {
+    return pstore_;
+  }
   /// NOT thread-safe: option writes must be externally serialized against
   /// every concurrent use of the engine.
   EngineOptions* mutable_options() { return &opts_; }
@@ -194,6 +207,10 @@ class GOptEngine {
   BackendSpec backend_;
   EngineOptions opts_;
   std::shared_ptr<SharedPreparedPlanCache> plan_cache_;
+  /// Sharded store + its communication profile for the CBO, built once at
+  /// construction when opts_.partitions > 0; both immutable afterwards.
+  std::shared_ptr<const PartitionedGraph> pstore_;
+  CommProfile comm_profile_;
 
   /// Guards the lazily built statistics handles and the epoch; mutable so
   /// const Prepare can build them on first use.

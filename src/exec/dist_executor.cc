@@ -15,11 +15,36 @@ int IndexOf(const std::vector<std::string>& cols, const std::string& c) {
   return -1;
 }
 
+/// True when project item `it` passes a variable through under its own
+/// name — the one projection shape that preserves a stream's ownership
+/// partitioning on that column.
+bool IsPassthrough(const ProjectItem& it) {
+  return it.expr && it.expr->kind == Expr::Kind::kVar &&
+         it.expr->tag == it.alias;
+}
+
 }  // namespace
+
+void DistributedExecutor::CountConsumers(
+    const PhysOpPtr& op, std::map<const PhysOp*, int>* consumers) {
+  for (const PhysOpPtr& child : op->children) {
+    // A node reached again through a second parent contributes one more
+    // consumer edge but its subtree is already counted.
+    if ((*consumers)[child.get()]++ == 0) CountConsumers(child, consumers);
+  }
+}
 
 ResultTable DistributedExecutor::Execute(const PhysOpPtr& root) {
   memo_.clear();
+  owner_tag_.clear();
+  consumers_.clear();
   stats_ = ExecStats{};
+  if (pg_ != nullptr) {
+    stats_.partitions = workers_;
+    stats_.store_cut_edges = pg_->total_cut_edges();
+    stats_.partition_rows.assign(static_cast<size_t>(workers_), 0);
+    CountConsumers(root, &consumers_);
+  }
   PartsPtr parts = Run(root);
   ResultTable out;
   out.columns = root->out_cols;
@@ -53,6 +78,13 @@ DistributedExecutor::Parts DistributedExecutor::ParallelApply(
   return out;
 }
 
+int DistributedExecutor::OwnerOf(const Value& v) const {
+  if (v.kind() != Value::Kind::kVertex) return 0;
+  const VertexId id = v.AsVertex().id;
+  return pg_ ? pg_->OwnerOf(id)
+             : static_cast<int>(id % static_cast<VertexId>(workers_));
+}
+
 DistributedExecutor::Parts DistributedExecutor::ExchangeByKey(
     Parts in, const std::vector<int>& key_idx) {
   Parts out(static_cast<size_t>(workers_));
@@ -77,11 +109,7 @@ DistributedExecutor::Parts DistributedExecutor::ExchangeByVertex(Parts in,
   stats_.exchanges++;
   for (int w = 0; w < workers_; ++w) {
     for (auto& row : in[static_cast<size_t>(w)]) {
-      const Value& v = row[static_cast<size_t>(idx)];
-      int target =
-          v.kind() == Value::Kind::kVertex
-              ? static_cast<int>(v.AsVertex().id % static_cast<VertexId>(workers_))
-              : 0;
+      int target = OwnerOf(row[static_cast<size_t>(idx)]);
       if (target != w) stats_.comm_rows++;
       out[static_cast<size_t>(target)].push_back(std::move(row));
     }
@@ -89,40 +117,97 @@ DistributedExecutor::Parts DistributedExecutor::ExchangeByVertex(Parts in,
   return out;
 }
 
+const std::string& DistributedExecutor::ExpandSourceTag(const PhysOp& op) {
+  // ExpandIntersect reads adjacency of every arm; the first arm is the
+  // pivot the stream is distributed on (the remaining arms' reads are the
+  // intersection's irreducible remote lookups, charged by the cost model
+  // through the edge-cut profile).
+  if (op.kind == PhysOpKind::kExpandIntersect && !op.arms.empty()) {
+    return op.arms[0].from_tag;
+  }
+  return op.from_tag;
+}
+
+const DistributedExecutor::Parts* DistributedExecutor::StageForExpansion(
+    const PhysOp& op, const PartsPtr& in, Parts* staged,
+    std::string* cur_tag) {
+  const std::string& need = ExpandSourceTag(op);
+  *cur_tag = need;
+  auto it = owner_tag_.find(op.children[0].get());
+  const std::string& have = it != owner_tag_.end() ? it->second : std::string();
+  if (need.empty() || have == need) return in.get();  // already co-located
+  const int idx = IndexOf(op.children[0]->out_cols, need);
+  if (idx < 0) {
+    *cur_tag = have;  // tag not materialized in the row: nothing to stage
+    return in.get();
+  }
+  // A single-consumer stream is drained in place (the memoized entry has
+  // no other reader); one feeding several parents (DAG plans) is
+  // exchanged as a copy.
+  if (consumers_[op.children[0].get()] <= 1) {
+    *staged = ExchangeByVertex(std::move(*in), idx);
+  } else {
+    *staged = ExchangeByVertex(Parts(*in), idx);
+  }
+  return staged;
+}
+
 DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
   auto it = memo_.find(op.get());
   if (it != memo_.end()) return it->second;
 
+  // The vertex tag this node's output is ownership-partitioned by
+  // (sharded mode only; "" = none).
+  std::string out_tag;
   auto result = std::make_shared<Parts>(static_cast<size_t>(workers_));
   switch (op->kind) {
     case PhysOpKind::kScanVertices: {
       // Each worker scans its own vertex partition — no communication.
+      // Sharded: the partition's owned vertex lists; legacy: id % W.
       std::vector<std::thread> threads;
       for (int w = 0; w < workers_; ++w) {
-        threads.emplace_back(
-            [&, w] { (*result)[static_cast<size_t>(w)] = k_.Scan(*op, w, workers_); });
+        threads.emplace_back([&, w] {
+          (*result)[static_cast<size_t>(w)] =
+              pg_ ? k_.ScanPartition(*op, w) : k_.Scan(*op, w, workers_);
+        });
       }
       for (auto& t : threads) t.join();
+      out_tag = op->alias;
       break;
     }
     case PhysOpKind::kExpandEdge:
     case PhysOpKind::kExpandIntersect:
     case PhysOpKind::kPathExpand: {
       auto in = Run(op->children[0]);
-      *result = ParallelApply(*in, [&](const std::vector<Row>& rows) {
-        switch (op->kind) {
-          case PhysOpKind::kExpandEdge:
-            return k_.ExpandEdge(*op, rows);
-          case PhysOpKind::kExpandIntersect:
-            return k_.ExpandIntersect(*op, rows);
-          default:
-            return k_.PathExpand(*op, rows);
+      auto apply = [&](const Parts& src) {
+        return ParallelApply(src, [&](const std::vector<Row>& rows) {
+          switch (op->kind) {
+            case PhysOpKind::kExpandEdge:
+              return k_.ExpandEdge(*op, rows);
+            case PhysOpKind::kExpandIntersect:
+              return k_.ExpandIntersect(*op, rows);
+            default:
+              return k_.PathExpand(*op, rows);
+          }
+        });
+      };
+      if (pg_ != nullptr) {
+        // Lazy exchange: co-locate the input with the expansion source's
+        // owner (a no-op when the stream already is), then expand in
+        // place. The output stays partitioned by the source tag — the
+        // newly bound vertex ships only if a later operator expands from
+        // it, so a chain's final expansion moves no rows at all.
+        Parts staged;
+        const Parts* src = StageForExpansion(*op, in, &staged, &out_tag);
+        *result = apply(*src);
+      } else {
+        *result = apply(*in);
+        // Legacy eager placement: rows migrate to the owner of the newly
+        // bound vertex.
+        if (!op->target_bound) {
+          int idx = IndexOf(op->out_cols, op->alias);
+          if (idx >= 0) *result = ExchangeByVertex(std::move(*result), idx);
         }
-      });
-      // Rows migrate to the owner of the newly bound vertex.
-      if (!op->target_bound) {
-        int idx = IndexOf(op->out_cols, op->alias);
-        if (idx >= 0) *result = ExchangeByVertex(std::move(*result), idx);
       }
       break;
     }
@@ -130,6 +215,7 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
       auto in = Run(op->children[0]);
       *result = ParallelApply(
           *in, [&](const std::vector<Row>& rows) { return k_.Filter(*op, rows); });
+      out_tag = owner_tag_[op->children[0].get()];
       break;
     }
     case PhysOpKind::kProject: {
@@ -137,6 +223,12 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
       *result = ParallelApply(*in, [&](const std::vector<Row>& rows) {
         return k_.Project(*op, rows);
       });
+      // Partitioning survives only if the partitioning column passes
+      // through under its own name.
+      const std::string& have = owner_tag_[op->children[0].get()];
+      for (const ProjectItem& item : op->items) {
+        if (item.alias == have && IsPassthrough(item)) out_tag = have;
+      }
       break;
     }
     case PhysOpKind::kUnfold: {
@@ -144,6 +236,8 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
       *result = ParallelApply(*in, [&](const std::vector<Row>& rows) {
         return k_.Unfold(*op, rows);
       });
+      const std::string& have = owner_tag_[op->children[0].get()];
+      if (have != op->unfold_alias) out_tag = have;
       break;
     }
     case PhysOpKind::kAggregate: {
@@ -239,12 +333,18 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
     }
     case PhysOpKind::kOrder: {
       auto in = Run(op->children[0]);
-      // Local top-k, then gather to worker 0 for the final merge.
+      // Local top-k, gather the sorted lists to worker 0 (counted as
+      // communication like any exchange), then k-way merge them there —
+      // output-identical to re-sorting the concatenation, without the
+      // O(N log N) re-sort of already-sorted runs.
       Parts local = ParallelApply(*in, [&](const std::vector<Row>& rows) {
         return k_.SortLimit(*op, rows);
       });
-      Parts gathered = ExchangeByKey(std::move(local), {});
-      (*result)[0] = k_.SortLimit(*op, std::move(gathered[0]));
+      stats_.exchanges++;
+      for (int w = 1; w < workers_; ++w) {
+        stats_.comm_rows += local[static_cast<size_t>(w)].size();
+      }
+      (*result)[0] = k_.MergeSortedLimit(*op, std::move(local));
       break;
     }
     case PhysOpKind::kLimit: {
@@ -285,8 +385,12 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
   // rows_produced counts the rows emitted per operator node, once per node
   // (intermediate partials, exchanged copies and two-phase local results
   // are not emissions) — the definition all runtimes share; see ExecStats.
-  for (const auto& p : *result) stats_.rows_produced += p.size();
+  for (size_t w = 0; w < result->size(); ++w) {
+    stats_.rows_produced += (*result)[w].size();
+    if (pg_ != nullptr) stats_.partition_rows[w] += (*result)[w].size();
+  }
   memo_[op.get()] = result;
+  if (pg_ != nullptr) owner_tag_[op.get()] = out_tag;
   return result;
 }
 

@@ -3,21 +3,38 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "src/common/hash.h"
 #include "src/exec/executor.h"
+#include "src/store/partitioned_graph.h"
 
 namespace gopt {
 
 /// The GraphScope-like backend runtime: a W-worker dataflow simulator.
 ///
-/// Vertices are hash-partitioned across workers; each operator is applied
-/// per worker partition (in parallel threads), with explicit exchange steps
-/// that re-partition rows — after binding a new vertex rows move to its
-/// owner; joins, aggregates and dedups hash-exchange on their keys; ORDER
-/// does a local top-k then a merge at worker 0. Exchanged rows are counted
-/// in ExecStats::comm_rows, the quantity the paper's distributed cost model
-/// charges as communication cost.
+/// Two storage modes:
+///
+///  - **Sharded** (a PartitionedGraph is attached): one worker per store
+///    partition. Scans read each partition's owned vertex lists, exchange
+///    targets come from the store's ownership map, and exchange placement
+///    is *lazy*: a stream stays partitioned by the vertex column it was
+///    last distributed on, and rows move only when the next expansion
+///    reads adjacency of a differently-partitioned column. comm_rows is
+///    then a true edge-cut metric — the final expansion of a chain (whose
+///    target no operator expands from) ships nothing, unlike the legacy
+///    mode's unconditional post-expansion re-hash.
+///
+///  - **Legacy** (no store): vertices are hash-partitioned per operator
+///    (`id % W`), each expansion eagerly re-hashes its output to the new
+///    vertex's owner — the pre-sharding simulated partitioning, kept as
+///    the `partitions = 0` baseline.
+///
+/// In both modes joins, aggregates and dedups hash-exchange on their keys;
+/// ORDER does a local top-k then a k-way merge of the sorted per-worker
+/// lists at worker 0. Exchanged rows are counted in ExecStats::comm_rows,
+/// the quantity the paper's distributed cost model charges as
+/// communication cost.
 ///
 /// Implements ExpandIntersect (WCOJ-style vertex expansion) and two-phase
 /// aggregation (GroupLocal / GroupGlobal, Fig. 3(d) in the paper).
@@ -28,8 +45,13 @@ namespace gopt {
 /// per Execute, so engine-level Execute calls may run concurrently.
 class DistributedExecutor {
  public:
-  DistributedExecutor(const PropertyGraph* g, int workers)
-      : k_(g), workers_(workers < 1 ? 1 : workers) {}
+  /// With `pg` attached, the worker count is the store's partition count
+  /// and `workers` is ignored; `pg` must outlive the executor.
+  DistributedExecutor(const PropertyGraph* g, int workers,
+                      const PartitionedGraph* pg = nullptr)
+      : k_(g, pg),
+        pg_(pg),
+        workers_(pg ? pg->num_partitions() : (workers < 1 ? 1 : workers)) {}
 
   ResultTable Execute(const PhysOpPtr& root);
 
@@ -51,17 +73,43 @@ class DistributedExecutor {
   /// Re-partitions rows by a hash of the given column indices (empty:
   /// everything to worker 0); counts moved rows as communication.
   Parts ExchangeByKey(Parts in, const std::vector<int>& key_idx);
-  /// Re-partitions by owner of the vertex in column `idx`.
+  /// Re-partitions by owner of the vertex in column `idx` — the store's
+  /// ownership map when sharded, `id % W` in legacy mode.
   Parts ExchangeByVertex(Parts in, int idx);
+  /// Owner worker of a row value holding a vertex.
+  int OwnerOf(const Value& v) const;
   /// Applies `fn(worker_partition)` across workers in parallel.
   Parts ParallelApply(const Parts& in,
                       std::function<std::vector<Row>(const std::vector<Row>&)>
                           fn) const;
 
+  /// Sharded mode: the vertex tag an expansion reads adjacency from (the
+  /// column its input must be partitioned by); empty when none.
+  static const std::string& ExpandSourceTag(const PhysOp& op);
+  /// Sharded mode: re-distributes `in` by owner of `tag` unless the
+  /// stream is already partitioned that way; returns the parts to expand
+  /// and records the stream's new partitioning tag in `cur_tag`. A
+  /// single-consumer child stream is drained in place; one shared by
+  /// several parents (DAG plans) is exchanged as a copy.
+  const Parts* StageForExpansion(const PhysOp& op, const PartsPtr& in,
+                                 Parts* staged, std::string* cur_tag);
+  /// Counts how many parent operators consume each node's output (DAG
+  /// nodes counted once per distinct parent edge).
+  static void CountConsumers(const PhysOpPtr& op,
+                             std::map<const PhysOp*, int>* consumers);
+
   Kernels k_;
+  const PartitionedGraph* pg_;
   int workers_;
   ExecStats stats_;
   std::map<const PhysOp*, PartsPtr> memo_;
+  /// Sharded mode: the vertex tag each memoized stream is currently
+  /// ownership-partitioned by ("" = no meaningful partitioning, e.g.
+  /// after a key exchange or gather).
+  std::map<const PhysOp*, std::string> owner_tag_;
+  /// Sharded mode: parent count per node, so staging exchanges can drain
+  /// single-consumer streams instead of copying them.
+  std::map<const PhysOp*, int> consumers_;
 };
 
 }  // namespace gopt

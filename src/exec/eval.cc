@@ -14,7 +14,12 @@ ColMap MakeColMap(const std::vector<std::string>& cols) {
 Value ExprEval::Property(const Value& entity, const std::string& prop) const {
   switch (entity.kind()) {
     case Value::Kind::kVertex:
-      return g_->GetVertexProp(entity.AsVertex().id, prop);
+      // Sharded store attached: serve from the owner partition's columnar
+      // slice. Edge properties stay on the global store (edges are
+      // identified globally; see docs/storage.md).
+      return pstore_ != nullptr
+                 ? pstore_->GetVertexPropOf(entity.AsVertex().id, prop)
+                 : g_->GetVertexProp(entity.AsVertex().id, prop);
     case Value::Kind::kEdge:
       return g_->GetEdgeProp(entity.AsEdge().id, prop);
     default:

@@ -6,6 +6,7 @@
 #include "src/exec/result.h"
 #include "src/gir/expr.h"
 #include "src/graph/property_graph.h"
+#include "src/store/partitioned_graph.h"
 
 namespace gopt {
 
@@ -23,7 +24,12 @@ ColMap MakeColMap(const std::vector<std::string>& cols);
 /// replanning.
 class ExprEval {
  public:
-  explicit ExprEval(const PropertyGraph* g) : g_(g) {}
+  /// `pstore` (optional) attaches a sharded store: vertex-property reads
+  /// then resolve through its per-partition columnar slices (owner-routed,
+  /// value-identical to the global columns by construction).
+  explicit ExprEval(const PropertyGraph* g,
+                    const PartitionedGraph* pstore = nullptr)
+      : g_(g), pstore_(pstore) {}
 
   /// Installs the parameter bindings used by subsequent Eval calls. The map
   /// must outlive the evaluation; pass nullptr to clear. Evaluating a
@@ -49,6 +55,7 @@ class ExprEval {
   Value EvalFunc(const Expr& e, const Row& row, const ColMap& cols) const;
 
   const PropertyGraph* g_;
+  const PartitionedGraph* pstore_ = nullptr;
   const ParamMap* params_ = nullptr;
 };
 

@@ -30,6 +30,15 @@ struct ExecStats {
   uint64_t comm_rows = 0;       ///< rows exchanged between workers (dist only)
   uint64_t exchanges = 0;       ///< number of exchange steps (dist only)
   std::vector<PipelineStat> pipelines;  ///< per-pipeline metrics (morsel only)
+
+  // Sharded-store metrics (docs/storage.md), populated only when the run
+  // executed against a PartitionedGraph.
+  int partitions = 0;           ///< partition count of the store (0 = none)
+  uint64_t store_cut_edges = 0; ///< the partitioning's total edge-cut
+  /// Rows produced per partition: per worker-partition operator emissions
+  /// (distributed runtime) or per-partition scan-source rows (morsel
+  /// runtime) — the skew signal Explain surfaces.
+  std::vector<uint64_t> partition_rows;
 };
 
 /// The Neo4j-like backend runtime: a sequential, materialize-per-operator

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <queue>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
@@ -28,17 +29,29 @@ void EmitProjected(const Row& scratch, const std::vector<int>& proj,
 
 }  // namespace
 
+Span<const AdjEntry> Kernels::Adj(VertexId u, bool out) const {
+  if (pstore_ != nullptr) {
+    return out ? pstore_->OutEdgesOf(u) : pstore_->InEdgesOf(u);
+  }
+  return out ? g_->OutEdges(u) : g_->InEdges(u);
+}
+
+Span<const AdjEntry> Kernels::Adj(VertexId u, bool out, TypeId etype) const {
+  if (pstore_ != nullptr) {
+    return out ? pstore_->OutEdgesOf(u, etype) : pstore_->InEdgesOf(u, etype);
+  }
+  return out ? g_->OutEdges(u, etype) : g_->InEdges(u, etype);
+}
+
 template <typename F>
 void Kernels::ForEachAdj(VertexId u, Direction dir, const TypeConstraint& etc_,
                          F&& f) const {
   auto iter_dir = [&](bool out) {
     if (etc_.IsAll()) {
-      auto span = out ? g_->OutEdges(u) : g_->InEdges(u);
-      for (const auto& a : span) f(a, !out);
+      for (const auto& a : Adj(u, out)) f(a, !out);
     } else {
       for (TypeId t : etc_.types()) {
-        auto span = out ? g_->OutEdges(u, t) : g_->InEdges(u, t);
-        for (const auto& a : span) f(a, !out);
+        for (const auto& a : Adj(u, out, t)) f(a, !out);
       }
     }
   };
@@ -54,21 +67,36 @@ std::vector<ScanMorsel> Kernels::ScanMorsels(const PhysOp& op,
                                              size_t morsel_rows) const {
   if (morsel_rows == 0) morsel_rows = kDefaultBatchRows;
   std::vector<ScanMorsel> out;
-  auto slice = [&](bool all, TypeId t, size_t n) {
+  auto slice = [&](bool all, TypeId t, int partition, size_t n) {
     for (size_t b = 0; b < n; b += morsel_rows) {
       ScanMorsel m;
       m.all = all;
       m.type = t;
+      m.partition = partition;
       m.begin = b;
       m.end = std::min(n, b + morsel_rows);
       out.push_back(m);
     }
   };
+  if (pstore_ != nullptr) {
+    // Partition-major: each partition's morsels form one contiguous index
+    // run, so the morsel queue can hand whole partitions to workers.
+    for (int p = 0; p < pstore_->num_partitions(); ++p) {
+      if (op.vtc.IsAll()) {
+        slice(true, kInvalidTypeId, p, pstore_->Vertices(p).size());
+      } else {
+        for (TypeId t : op.vtc.types()) {
+          slice(false, t, p, pstore_->VerticesOfType(p, t).size());
+        }
+      }
+    }
+    return out;
+  }
   if (op.vtc.IsAll()) {
-    slice(true, kInvalidTypeId, g_->NumVertices());
+    slice(true, kInvalidTypeId, -1, g_->NumVertices());
   } else {
     for (TypeId t : op.vtc.types()) {
-      slice(false, t, g_->VerticesOfType(t).size());
+      slice(false, t, -1, g_->VerticesOfType(t).size());
     }
   }
   return out;
@@ -79,8 +107,12 @@ Batch Kernels::ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker,
   Batch out(1);
   ColMap self{{op.alias, 0}};
   Row row(1);
+  // The id % W filter is the legacy simulated partitioning; partitioned
+  // morsels carry real ownership, so it must never drop their vertices.
+  const bool simulated = m.partition < 0 && W > 1;
   auto try_vertex = [&](VertexId v) {
-    if (W > 1 && static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
+    if (simulated &&
+        static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
       return;
     }
     row[0] = Value(VertexRef{v});
@@ -89,13 +121,29 @@ Batch Kernels::ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker,
     }
     out.col(0).push_back(row[0]);
   };
-  if (m.all) {
+  if (m.partition >= 0) {
+    // Partition-local domain: the slice indexes the owned vertex list of
+    // one shard (real ownership — the legacy worker/W filter is the
+    // simulated partitioning and does not apply).
+    auto span = m.all ? pstore_->Vertices(m.partition)
+                      : pstore_->VerticesOfType(m.partition, m.type);
+    for (size_t i = m.begin; i < m.end; ++i) try_vertex(span[i]);
+  } else if (m.all) {
     for (size_t i = m.begin; i < m.end; ++i) {
       try_vertex(static_cast<VertexId>(i));
     }
   } else {
     auto span = g_->VerticesOfType(m.type);
     for (size_t i = m.begin; i < m.end; ++i) try_vertex(span[i]);
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::ScanPartition(const PhysOp& op, int partition) const {
+  std::vector<Row> out;
+  for (const ScanMorsel& m : ScanMorsels(op, ~static_cast<size_t>(0))) {
+    if (m.partition != partition) continue;
+    ScanBatch(op, m).AppendRowsTo(&out);
   }
   return out;
 }
@@ -170,7 +218,7 @@ Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
       VertexId t = scratch[static_cast<size_t>(tgt_idx)].AsVertex().id;
       auto probe = [&](bool out_dir) {
         for (TypeId et : etypes) {
-          auto span = out_dir ? g_->OutEdges(u, et) : g_->InEdges(u, et);
+          auto span = Adj(u, out_dir, et);
           auto lo = std::lower_bound(
               span.begin(), span.end(), t,
               [](const AdjEntry& a, VertexId x) { return a.nbr < x; });
@@ -798,6 +846,58 @@ std::vector<Row> Kernels::SortLimit(const PhysOp& op,
   if (op.limit >= 0) n = std::min(n, static_cast<size_t>(op.limit));
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) out.push_back(std::move(dec[i].second));
+  return out;
+}
+
+std::vector<Row> Kernels::MergeSortedLimit(
+    const PhysOp& op, std::vector<std::vector<Row>> parts) const {
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+  const size_t nkeys = op.sort_items.size();
+  // Evaluate each row's sort keys once up front (same decoration SortLimit
+  // uses, so the comparator agrees exactly).
+  std::vector<std::vector<std::vector<Value>>> keys(parts.size());
+  size_t total = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    keys[p].reserve(parts[p].size());
+    for (const Row& r : parts[p]) {
+      std::vector<Value> k(nkeys);
+      for (size_t i = 0; i < nkeys; ++i) {
+        k[i] = eval_.Eval(*op.sort_items[i].expr, r, cmap);
+      }
+      keys[p].push_back(std::move(k));
+    }
+    total += parts[p].size();
+  }
+  struct Cursor {
+    size_t part;
+    size_t pos;
+  };
+  // Min-heap ordered by sort keys; key ties resolve to the lower part
+  // index — the order a stable sort of the worker-order concatenation
+  // yields, so the merge is output-identical to the old full re-sort.
+  auto after = [&](const Cursor& a, const Cursor& b) {
+    const auto& ka = keys[a.part][a.pos];
+    const auto& kb = keys[b.part][b.pos];
+    for (size_t i = 0; i < nkeys; ++i) {
+      int c = ka[i].Compare(kb[i]);
+      if (c != 0) return op.sort_items[i].asc ? c > 0 : c < 0;
+    }
+    return a.part > b.part;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heap(after);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    if (!parts[p].empty()) heap.push({p, 0});
+  }
+  size_t n = total;
+  if (op.limit >= 0) n = std::min(n, static_cast<size_t>(op.limit));
+  std::vector<Row> out;
+  out.reserve(n);
+  while (out.size() < n && !heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out.push_back(std::move(parts[c.part][c.pos]));
+    if (c.pos + 1 < parts[c.part].size()) heap.push({c.part, c.pos + 1});
+  }
   return out;
 }
 

@@ -5,15 +5,19 @@
 #include "src/exec/batch.h"
 #include "src/exec/eval.h"
 #include "src/physical/physical_op.h"
+#include "src/store/partitioned_graph.h"
 
 namespace gopt {
 
 /// A morsel of a vertex scan: a slice of the scan domain. `all` morsels
 /// slice the raw vertex-id range [begin, end); typed morsels slice the
-/// per-type vertex list of `type` by list offset.
+/// per-type vertex list of `type` by list offset. On a sharded store
+/// (`partition` >= 0) the sliced domain is that partition's owned vertex
+/// list (or per-type list) instead of the global one.
 struct ScanMorsel {
   bool all = true;
   TypeId type = kInvalidTypeId;
+  int partition = -1;  ///< -1: global store; else partition-local domain
   size_t begin = 0;
   size_t end = 0;
 };
@@ -44,16 +48,29 @@ struct JoinHashTable {
 /// pipeline sinks.
 class Kernels {
  public:
-  explicit Kernels(const PropertyGraph* g) : g_(g), eval_(g) {}
+  /// `pstore` (optional) attaches a sharded store. All graph reads are
+  /// then served partition-locally: scan morsels slice the per-partition
+  /// vertex lists (partition-major order), expansions read the owner
+  /// partition's CSR (Adj below), and vertex-property evaluation resolves
+  /// through the owner's columnar slices. Semantics are identical either
+  /// way — the partitioned store's spans and slices are
+  /// differential-tested equal to the global store's.
+  explicit Kernels(const PropertyGraph* g,
+                   const PartitionedGraph* pstore = nullptr)
+      : g_(g), pstore_(pstore), eval_(g, pstore) {}
 
   // ---- batch-native streaming kernels ----
 
   /// Splits the scan domain of `op` into morsels of at most `morsel_rows`
-  /// vertices (one or more per vertex type).
+  /// vertices (one or more per vertex type). On a sharded store the
+  /// domain is per-partition (morsels ordered partition-major, so a
+  /// contiguous morsel-index range covers one partition).
   std::vector<ScanMorsel> ScanMorsels(const PhysOp& op,
                                       size_t morsel_rows) const;
 
-  /// Scans one morsel; with W > 1 only vertices owned by `worker` (id % W).
+  /// Scans one morsel; with W > 1 only vertices owned by `worker` (id % W,
+  /// the legacy simulated partitioning — partitioned morsels carry real
+  /// ownership instead and ignore worker/W).
   Batch ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker = 0,
                   int W = 1) const;
 
@@ -92,6 +109,14 @@ class Kernels {
 
   std::vector<Row> SortLimit(const PhysOp& op, std::vector<Row> in) const;
 
+  /// K-way merge of per-worker lists already sorted by the op's sort
+  /// items (each typically a local top-k), honoring op.limit. Ties across
+  /// lists resolve to the lower list index then the earlier position —
+  /// exactly the order a stable sort of the worker-order concatenation
+  /// produces, at O(N log K) instead of a full re-sort.
+  std::vector<Row> MergeSortedLimit(const PhysOp& op,
+                                    std::vector<std::vector<Row>> parts) const;
+
   /// Batch wrappers over the blocking kernels (materialize internally).
   Batch AggregateBatches(const PhysOp& op,
                          const std::vector<Batch>& in) const;
@@ -102,6 +127,9 @@ class Kernels {
 
   /// Whole-domain vertex scan; with W > 1 only vertices owned by `worker`.
   std::vector<Row> Scan(const PhysOp& op, int worker = 0, int W = 1) const;
+  /// One partition's share of the scan domain, read from the attached
+  /// sharded store's per-partition vertex lists (requires a pstore).
+  std::vector<Row> ScanPartition(const PhysOp& op, int partition) const;
 
   std::vector<Row> ExpandEdge(const PhysOp& op, const std::vector<Row>& in) const;
   std::vector<Row> ExpandIntersect(const PhysOp& op,
@@ -128,12 +156,20 @@ class Kernels {
 
   const ExprEval& eval() const { return eval_; }
   const PropertyGraph& graph() const { return *g_; }
+  /// The attached sharded store, or null on the legacy global store.
+  const PartitionedGraph* pstore() const { return pstore_; }
 
   /// Installs execution-time parameter bindings on the evaluator (see
   /// ExprEval::set_params). The map must outlive kernel execution.
   void set_params(const ParamMap* params) { eval_.set_params(params); }
 
  private:
+  /// Adjacency of `u`, served from the sharded store's partition-local
+  /// CSR when one is attached (owner resolved through the ownership map),
+  /// else from the global store. Span contents are identical either way.
+  Span<const AdjEntry> Adj(VertexId u, bool out) const;
+  Span<const AdjEntry> Adj(VertexId u, bool out, TypeId etype) const;
+
   /// Iterates adjacency entries of `u` in direction `dir` filtered by the
   /// edge type constraint; `reversed` in the callback is true when the data
   /// edge points toward `u`.
@@ -142,6 +178,7 @@ class Kernels {
                   F&& f) const;
 
   const PropertyGraph* g_;
+  const PartitionedGraph* pstore_ = nullptr;
   ExprEval eval_;
 };
 

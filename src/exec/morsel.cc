@@ -30,6 +30,15 @@ MorselQueue::MorselQueue(size_t total, int workers)
   }
 }
 
+MorselQueue::MorselQueue(const std::vector<std::pair<size_t, size_t>>& ranges)
+    : slots_(ranges.empty() ? 1 : ranges.size()) {
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    slots_[i].range.store(Pack(static_cast<uint32_t>(ranges[i].first),
+                               static_cast<uint32_t>(ranges[i].second)),
+                          std::memory_order_relaxed);
+  }
+}
+
 bool MorselQueue::Next(int w, size_t* idx) {
   auto& own = slots_[static_cast<size_t>(w)].range;
   // Pop the front of the worker's own range.
@@ -68,8 +77,10 @@ bool MorselQueue::Next(int w, size_t* idx) {
   }
 }
 
-MorselExecutor::MorselExecutor(const PropertyGraph* g, MorselOptions opts)
-    : k_(g),
+MorselExecutor::MorselExecutor(const PropertyGraph* g, MorselOptions opts,
+                               const PartitionedGraph* pg)
+    : k_(g, pg),
+      pg_(pg),
       opts_(opts),
       threads_(opts.threads > 0
                    ? opts.threads
@@ -81,6 +92,12 @@ ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
   join_rows_.clear();
   join_tables_.clear();
   stats_ = ExecStats{};
+  if (pg_ != nullptr) {
+    stats_.partitions = pg_->num_partitions();
+    stats_.store_cut_edges = pg_->total_cut_edges();
+    stats_.partition_rows.assign(
+        static_cast<size_t>(pg_->num_partitions()), 0);
+  }
   PipelinePlan local;
   if (plan == nullptr) {
     local = BuildPipelinePlan(root);
@@ -238,7 +255,32 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
           std::min<size_t>(static_cast<size_t>(threads_), M ? M : 1));
       ps.threads = T;
       std::vector<uint64_t> emitted(static_cast<size_t>(T), 0);
-      MorselQueue queue(M, T);
+      // Per-morsel scan-source row counts (partitioned store only): each
+      // slot is written by exactly one worker, merged into the
+      // per-partition stats after the pool joins.
+      std::vector<uint64_t> scan_rows;
+      if (pg_ != nullptr && p.source_is_scan) scan_rows.assign(M, 0);
+      // Partitioned scans: morsels are partition-major, so each
+      // partition's morsels form one contiguous index run. When the runs
+      // match the worker count, seed each worker with one whole partition
+      // (partition-local work first; stealing still balances skew).
+      auto make_queue = [&]() -> MorselQueue {
+        if (pg_ != nullptr && p.source_is_scan && M > 0) {
+          std::vector<std::pair<size_t, size_t>> runs;
+          for (size_t i = 0; i < scan_morsels.size(); ++i) {
+            if (runs.empty() ||
+                scan_morsels[i].partition !=
+                    scan_morsels[runs.back().first].partition) {
+              runs.emplace_back(i, i + 1);
+            } else {
+              runs.back().second = i + 1;
+            }
+          }
+          if (runs.size() == static_cast<size_t>(T)) return MorselQueue(runs);
+        }
+        return MorselQueue(M, T);
+      };
+      MorselQueue queue = make_queue();
       auto work = [&](int w) {
         uint64_t& acc = emitted[static_cast<size_t>(w)];
         size_t idx;
@@ -246,6 +288,7 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
           if (p.source_is_scan) {
             Batch b = k_.ScanBatch(*p.source, scan_morsels[idx]);
             acc += b.size();
+            if (!scan_rows.empty()) scan_rows[idx] = b.size();
             out[idx] =
                 p.ops.empty() ? std::move(b) : ApplyChain(p, std::move(b), &acc);
           } else {
@@ -274,6 +317,10 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
         if (err) std::rethrow_exception(err);
       }
       for (uint64_t e : emitted) stats_.rows_produced += e;
+      for (size_t i = 0; i < scan_rows.size(); ++i) {
+        stats_.partition_rows[static_cast<size_t>(
+            scan_morsels[i].partition)] += scan_rows[i];
+      }
     }
 
     if (p.sink_is_breaker()) {

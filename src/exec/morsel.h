@@ -33,6 +33,12 @@ class MorselQueue {
  public:
   MorselQueue(size_t total, int workers);
 
+  /// Explicit initial ranges, one per worker (begin/end morsel indices).
+  /// Used by partitioned scans to hand each worker one whole partition's
+  /// contiguous morsel run — locality-first assignment, with stealing
+  /// still balancing skewed partitions.
+  explicit MorselQueue(const std::vector<std::pair<size_t, size_t>>& ranges);
+
   /// Claims the next morsel for worker `w`; false when no work is left
   /// anywhere (after attempting to steal from every other worker).
   bool Next(int w, size_t* idx);
@@ -71,7 +77,13 @@ class MorselQueue {
 /// executors.
 class MorselExecutor {
  public:
-  explicit MorselExecutor(const PropertyGraph* g, MorselOptions opts = {});
+  /// `pg` (optional) attaches a sharded store: scan pipelines then split
+  /// into partition-granular morsels (one contiguous morsel run per
+  /// partition, handed to workers partition-at-a-time before stealing)
+  /// and ExecStats carries the per-partition scan row counts. Results are
+  /// differential-tested identical across partition counts.
+  explicit MorselExecutor(const PropertyGraph* g, MorselOptions opts = {},
+                          const PartitionedGraph* pg = nullptr);
 
   /// Executes the plan. `plan` is an optional prebuilt decomposition of
   /// `root` (e.g. cached in a Prepared at planning time so warm-cache
@@ -106,6 +118,7 @@ class MorselExecutor {
   std::vector<Row> RunBreaker(const PhysOp& sink, std::vector<Row> rows) const;
 
   Kernels k_;
+  const PartitionedGraph* pg_;
   MorselOptions opts_;
   int threads_;
   ExecStats stats_;

@@ -45,6 +45,10 @@ void PropertyGraph::SetEdgeProp(EdgeId e, const std::string& name, Value value) 
 }
 
 void PropertyGraph::Finalize() {
+  // Idempotence guard: AddVertex/AddEdge reset the flag, so a second call
+  // with no intervening mutation has nothing to do — without this it
+  // would rebuild and re-sort the whole CSR over the already-sorted state.
+  if (finalized_) return;
   const size_t nv = NumVertices();
   const size_t ne = NumEdges();
 
@@ -96,16 +100,17 @@ void PropertyGraph::Finalize() {
 }
 
 Span<const AdjEntry> PropertyGraph::OutEdges(VertexId v) const {
+  CheckFinalized();
   return {out_adj_.data() + out_offsets_[v],
           out_offsets_[v + 1] - out_offsets_[v]};
 }
 
 Span<const AdjEntry> PropertyGraph::InEdges(VertexId v) const {
+  CheckFinalized();
   return {in_adj_.data() + in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]};
 }
 
-namespace {
-Span<const AdjEntry> TypeRange(Span<const AdjEntry> all, TypeId t) {
+Span<const AdjEntry> AdjTypeRange(Span<const AdjEntry> all, TypeId t) {
   auto lo = std::lower_bound(
       all.begin(), all.end(), t,
       [](const AdjEntry& a, TypeId ty) { return a.etype < ty; });
@@ -114,17 +119,17 @@ Span<const AdjEntry> TypeRange(Span<const AdjEntry> all, TypeId t) {
       [](TypeId ty, const AdjEntry& a) { return ty < a.etype; });
   return {&*lo, static_cast<size_t>(hi - lo)};
 }
-}  // namespace
 
 Span<const AdjEntry> PropertyGraph::OutEdges(VertexId v, TypeId t) const {
-  return TypeRange(OutEdges(v), t);
+  return AdjTypeRange(OutEdges(v), t);
 }
 
 Span<const AdjEntry> PropertyGraph::InEdges(VertexId v, TypeId t) const {
-  return TypeRange(InEdges(v), t);
+  return AdjTypeRange(InEdges(v), t);
 }
 
 Span<const VertexId> PropertyGraph::VerticesOfType(TypeId t) const {
+  CheckFinalized();
   if (t >= vertices_of_type_.size()) return {};
   return vertices_of_type_[t];
 }
@@ -139,6 +144,19 @@ Value PropertyGraph::GetEdgeProp(EdgeId e, const std::string& name) const {
   auto it = edge_props_.find(name);
   if (it == edge_props_.end() || e >= it->second.size()) return Value();
   return it->second[e];
+}
+
+std::vector<std::string> PropertyGraph::VertexPropNames() const {
+  std::vector<std::string> names;
+  names.reserve(vertex_props_.size());
+  for (const auto& [name, col] : vertex_props_) names.push_back(name);
+  return names;
+}
+
+const std::vector<Value>* PropertyGraph::VertexPropColumn(
+    const std::string& name) const {
+  auto it = vertex_props_.find(name);
+  return it == vertex_props_.end() ? nullptr : &it->second;
 }
 
 size_t PropertyGraph::NumVerticesOfType(TypeId t) const {

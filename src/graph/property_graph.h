@@ -22,6 +22,11 @@ struct AdjEntry {
   TypeId etype;
 };
 
+/// The contiguous per-edge-type range of a (type, nbr)-sorted adjacency
+/// span — shared by the global store's and the sharded store's per-type
+/// lookups so the two can never diverge on the sort contract.
+Span<const AdjEntry> AdjTypeRange(Span<const AdjEntry> all, TypeId t);
+
 /// In-memory property graph store (the data substrate both simulated
 /// backends execute against).
 ///
@@ -45,11 +50,17 @@ class PropertyGraph {
   /// Adds a directed edge; returns its dense id.
   EdgeId AddEdge(VertexId src, VertexId dst, TypeId type);
   /// Sets a vertex property (columnar storage keyed by property name).
+  /// Like all mutation, intended for the loading phase: consumers built
+  /// over a finalized graph snapshot derived state (Glogue statistics,
+  /// cached plans, a PartitionedGraph's columnar slices) and will not see
+  /// writes made after their construction.
   void SetVertexProp(VertexId v, const std::string& name, Value value);
   /// Sets an edge property.
   void SetEdgeProp(EdgeId e, const std::string& name, Value value);
-  /// Builds CSR adjacency and per-type vertex lists. Must be called once
-  /// after loading and before reads.
+  /// Builds CSR adjacency and per-type vertex lists. Must be called after
+  /// loading and before reads. Idempotent: a second call with no
+  /// intervening AddVertex/AddEdge is a no-op instead of rebuilding (and
+  /// re-sorting) the CSR over the already-finalized state.
   void Finalize();
 
   // ---- topology ----
@@ -76,6 +87,18 @@ class PropertyGraph {
   Span<const AdjEntry> OutEdges(VertexId v) const;
   /// All in edges of v.
   Span<const AdjEntry> InEdges(VertexId v) const;
+  /// Debug-build guard used by the index reads: throws std::logic_error
+  /// when the CSR has not been (re)built since the last mutation. Release
+  /// builds compile it away — reads there are undefined as before.
+  void CheckFinalized() const {
+#ifndef NDEBUG
+    if (!finalized_) {
+      throw std::logic_error(
+          "PropertyGraph: read before Finalize() — call Finalize() after "
+          "loading (AddVertex/AddEdge invalidate the CSR indexes)");
+    }
+#endif
+  }
   /// Out edges of v restricted to one edge type (contiguous span).
   Span<const AdjEntry> OutEdges(VertexId v, TypeId etype) const;
   /// In edges of v restricted to one edge type.
@@ -92,6 +115,14 @@ class PropertyGraph {
   /// Returns the property value or a null Value if absent.
   Value GetVertexProp(VertexId v, const std::string& name) const;
   Value GetEdgeProp(EdgeId e, const std::string& name) const;
+  /// Names of every vertex-property column (unordered-map order is
+  /// unspecified; callers needing determinism sort). Used by the sharded
+  /// store to slice columnar properties per partition.
+  std::vector<std::string> VertexPropNames() const;
+  /// The raw column of one vertex property, or nullptr when absent —
+  /// one name lookup for a whole-column read (Finalize pads columns to
+  /// |V|, but pre-Finalize columns may be shorter).
+  const std::vector<Value>* VertexPropColumn(const std::string& name) const;
 
   // ---- statistics (low-order) ----
 

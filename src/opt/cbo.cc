@@ -88,13 +88,34 @@ PatternPlanPtr GraphOptimizer::MakeScan(const Pattern& p, int vid) const {
   return node;
 }
 
+double GraphOptimizer::ExpandCutFraction(const Pattern& pt,
+                                         const std::vector<int>& added) const {
+  if (!comm_ || added.empty()) return comm_ ? comm_->all_cut : 1.0;
+  double sum = 0;
+  for (int eid : added) {
+    double cut = comm_->all_cut;
+    for (const PatternEdge& e : pt.edges()) {
+      if (e.id == eid) {
+        cut = comm_->CutOf(e.tc);
+        break;
+      }
+    }
+    sum += cut;
+  }
+  return sum / static_cast<double>(added.size());
+}
+
 double GraphOptimizer::ExpandStepCost(const Pattern& ps, const Pattern& pt,
                                       int new_vertex,
                                       const std::vector<int>& added,
                                       const ExpandSpec& spec) const {
   double out_freq = gq_->GetFreq(pt);
   double comp = spec.ComputeCost(*gq_, ps, pt, new_vertex, added);
-  double comm = backend_->comm_factor * out_freq;
+  // An expansion's exchange moves only the rows whose newly bound vertex
+  // lives off-worker — on a sharded store that is the edge-cut fraction of
+  // the traversed edge types, not the whole output.
+  double comm =
+      backend_->comm_factor * out_freq * ExpandCutFraction(pt, added);
   return out_freq + comp + comm;
 }
 
@@ -201,8 +222,10 @@ void GraphOptimizer::RecursiveSearch(const Pattern& p, SearchCtx* ctx) const {
       if (common.empty()) continue;
       double f1 = gq_->GetFreq(p1), f2 = gq_->GetFreq(p2);
       for (const auto& jspec : backend_->joins) {
+        // A join's exchange re-hashes both inputs by key; on a sharded
+        // store only the (P-1)/P fraction actually moves.
         double noncum = out_freq + jspec->ComputeCost(*gq_, p1, p2) +
-                        backend_->comm_factor * (f1 + f2);
+                        backend_->comm_factor * (f1 + f2) * RehashFraction();
         if (noncum >= ctx->cost_star) {
           ++pruned_branches;
           continue;
@@ -418,7 +441,7 @@ void GraphOptimizer::Recost(const PatternPlanPtr& node) const {
       node->cost = node->left->cost + node->right->cost + node->freq +
                    node->join_spec->ComputeCost(*gq_, node->left->pattern,
                                                 node->right->pattern) +
-                   backend_->comm_factor * (f1 + f2);
+                   backend_->comm_factor * (f1 + f2) * RehashFraction();
       return;
     }
   }

@@ -48,8 +48,14 @@ struct PatternPlanNode {
 /// (comm_factor x exchanged rows) on distributed backends.
 class GraphOptimizer {
  public:
-  GraphOptimizer(const GlogueQuery* gq, const BackendSpec* backend)
-      : gq_(gq), backend_(backend) {}
+  /// `comm` (optional) is the store's communication profile: when a
+  /// sharded store is attached, its measured edge-cut scales the
+  /// communication term, so partition-local expansions (low cut) price
+  /// cheaper than cross-partition ones. Null charges every exchanged row,
+  /// the pre-sharding behavior. Must outlive the optimizer.
+  GraphOptimizer(const GlogueQuery* gq, const BackendSpec* backend,
+                 const CommProfile* comm = nullptr)
+      : gq_(gq), backend_(backend), comm_(comm) {}
 
   /// Optimal plan for a connected pattern (Algorithm 2).
   PatternPlanPtr Optimize(const Pattern& p) const;
@@ -87,9 +93,20 @@ class GraphOptimizer {
   double ExpandStepCost(const Pattern& ps, const Pattern& pt, int new_vertex,
                         const std::vector<int>& added,
                         const ExpandSpec& spec) const;
+  /// Fraction of an expansion's output rows that cross workers: the mean
+  /// measured edge-cut of the added edges' types under the attached
+  /// CommProfile, 1.0 without one.
+  double ExpandCutFraction(const Pattern& pt,
+                           const std::vector<int>& added) const;
+  /// Fraction of rows a key re-hash exchange moves (joins): profile's
+  /// rehash, 1.0 without one.
+  double RehashFraction() const {
+    return comm_ ? comm_->rehash : 1.0;
+  }
 
   const GlogueQuery* gq_;
   const BackendSpec* backend_;
+  const CommProfile* comm_ = nullptr;
 };
 
 }  // namespace gopt

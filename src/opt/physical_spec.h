@@ -86,6 +86,40 @@ class HashJoinSpec : public JoinSpec {
                      const Pattern& ps2) const override;
 };
 
+/// Communication profile of the store the CBO prices exchanges against —
+/// how the per-partition cardinality statistics of a sharded store
+/// (src/store/PartitionStats) feed plan costing. Without a profile every
+/// exchanged row is charged (the paper's model over the simulated
+/// per-operator re-hash); with one, vertex-ownership exchanges charge only
+/// the measured edge-cut fraction of the traversed edge types, and key
+/// re-hash exchanges charge the (P-1)/P fraction that actually moves.
+struct CommProfile {
+  /// Fraction of rows a hash re-distribution moves off-worker: (P-1)/P on
+  /// a P-partition store; 1 when no store is attached.
+  double rehash = 1.0;
+  /// The store's overall edge-cut fraction (PartitionedGraph::
+  /// CutFraction()) — the fallback for untyped expansions, so a
+  /// locality-preserving partitioning benefits them too; 1 when no store
+  /// is attached.
+  double all_cut = 1.0;
+  /// Per edge TypeId: fraction of that type's edges crossing partitions
+  /// (PartitionedGraph::CutFraction(etype)).
+  std::vector<double> cut_by_etype;
+
+  /// Cut fraction of one edge type, falling back to the overall cut when
+  /// unknown.
+  double CutOf(TypeId etype) const {
+    return etype < cut_by_etype.size() ? cut_by_etype[etype] : all_cut;
+  }
+  /// Mean cut fraction over an edge-type constraint (All -> overall cut).
+  double CutOf(const TypeConstraint& tc) const {
+    if (tc.IsAll() || tc.types().empty()) return all_cut;
+    double sum = 0;
+    for (TypeId t : tc.types()) sum += CutOf(t);
+    return sum / static_cast<double>(tc.types().size());
+  }
+};
+
 /// A backend registration: the physical operators the engine implements,
 /// their cost models, and the engine's execution profile (sequential or
 /// distributed with a communication cost factor).

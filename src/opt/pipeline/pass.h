@@ -70,6 +70,10 @@ struct PlanContext {
   const Glogue* glogue = nullptr;
   const GlogueQuery* gq_high = nullptr;
   const GlogueQuery* gq_low = nullptr;
+  /// Communication profile of the engine's (optionally sharded) store:
+  /// the CBO scales its exchange costs by the measured edge-cut. Null =
+  /// unpartitioned store, every exchanged row charged.
+  const CommProfile* comm = nullptr;
 
   // ---- evolving plan state ----
   LogicalOpPtr logical;

@@ -134,7 +134,7 @@ void CboPass::Run(PlanContext& ctx) {
   auto plan_one = [&](size_t i) {
     auto t0 = std::chrono::steady_clock::now();
     try {
-      GraphOptimizer optimizer(gq, backend);
+      GraphOptimizer optimizer(gq, backend, ctx.comm);
       const Pattern& p = matches[i]->pattern;
       switch (cfg_.strategy) {
         case Strategy::kRandom: {

@@ -64,6 +64,10 @@ uint64_t OptionsFingerprint(const EngineOptions& opts) {
     h = HashCombine(h, HashString(r));
   }
   h = HashCombine(h, opts.rbo_rule_filter.size());
+  // The sharded-store knobs shape plans: the CBO's communication term is
+  // scaled by the partitioning's measured edge-cut (see CommProfile).
+  h = HashCombine(h, static_cast<size_t>(opts.partitions));
+  h = HashCombine(h, static_cast<size_t>(opts.partition_policy));
   return static_cast<uint64_t>(h);
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/opt/physical_spec.h"
+#include "src/store/partitioner.h"
 
 namespace gopt {
 
@@ -88,6 +89,24 @@ struct EngineOptions {
   /// is excluded from OptionsFingerprint like the other non-plan-affecting
   /// knobs.
   int exec_threads = 1;
+
+  /// Sharded graph storage (src/store/, docs/storage.md): number of
+  /// partitions the engine shards its graph into at construction.
+  ///  - 0 (default): the unpartitioned legacy store — the distributed
+  ///    backend simulates worker partitioning per operator (pre-sharding
+  ///    behavior), the morsel runtime slices the global scan domain;
+  ///  - >= 1: a PartitionedGraph is built once; the distributed backend
+  ///    runs one worker per partition with ownership-map exchanges (its
+  ///    num_workers is overridden), and the morsel runtime scans
+  ///    partition-granular morsels. Results are differential-tested equal
+  ///    across partition counts.
+  /// Unlike the thread knobs this IS plan-affecting: the CBO prices
+  /// communication with the store's measured edge-cut, so it is part of
+  /// OptionsFingerprint.
+  int partitions = 0;
+  /// Vertex-partitioning policy of the sharded store (hash or range);
+  /// plan-affecting for the same reason as `partitions`.
+  PartitionPolicy partition_policy = PartitionPolicy::kHash;
 
   /// Prepared-plan cache (sharded thread-safe LRU over the parameterized
   /// query stream): repeated Run / Prepare calls on the same query shape

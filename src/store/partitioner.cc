@@ -1,0 +1,51 @@
+#include "src/store/partitioner.h"
+
+namespace gopt {
+
+const char* PartitionPolicyName(PartitionPolicy policy) {
+  switch (policy) {
+    case PartitionPolicy::kHash:
+      return "hash";
+    case PartitionPolicy::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+std::string HashPartitioner::Name() const {
+  return "hash(" + std::to_string(partitions_) + ")";
+}
+
+RangePartitioner::RangePartitioner(int partitions, size_t num_vertices)
+    : GraphPartitioner(partitions), num_vertices_(num_vertices) {}
+
+std::string RangePartitioner::Name() const {
+  return "range(" + std::to_string(partitions_) + ")";
+}
+
+int RangePartitioner::OwnerOf(VertexId v) const {
+  if (num_vertices_ == 0) return 0;
+  if (v >= num_vertices_) return partitions_ - 1;
+  // Inverse of the boundary formula b_p = p*n/P: owner is the largest p
+  // with b_p <= v, i.e. floor(((v+1)*P - 1) / n), clamped for safety.
+  uint64_t p = ((v + 1) * static_cast<uint64_t>(partitions_) - 1) /
+               static_cast<uint64_t>(num_vertices_);
+  if (p >= static_cast<uint64_t>(partitions_)) {
+    p = static_cast<uint64_t>(partitions_) - 1;
+  }
+  return static_cast<int>(p);
+}
+
+std::unique_ptr<GraphPartitioner> MakePartitioner(PartitionPolicy policy,
+                                                  int partitions,
+                                                  const PropertyGraph& g) {
+  switch (policy) {
+    case PartitionPolicy::kHash:
+      return std::make_unique<HashPartitioner>(partitions);
+    case PartitionPolicy::kRange:
+      return std::make_unique<RangePartitioner>(partitions, g.NumVertices());
+  }
+  return std::make_unique<HashPartitioner>(partitions);
+}
+
+}  // namespace gopt

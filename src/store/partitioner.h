@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/graph/property_graph.h"
+
+namespace gopt {
+
+/// Vertex-partitioning policies of the sharded store (src/store/). Edge
+/// placement always follows the source owner: an edge lives in the
+/// partition that owns its source vertex, so every out-adjacency read is
+/// partition-local and the cross-partition edges are exactly the edge-cut
+/// the distributed cost model charges communication for.
+enum class PartitionPolicy {
+  kHash,   ///< owner = mix(vertex id) mod P — balanced, locality-free
+  kRange,  ///< contiguous id ranges of near-equal size — locality-friendly
+};
+
+const char* PartitionPolicyName(PartitionPolicy policy);
+
+/// Maps every vertex of a finalized graph onto one of `num_partitions()`
+/// partitions. Implementations must be total (every valid vertex id has
+/// exactly one owner) and deterministic (same graph + parameters -> same
+/// ownership), which the partitioner unit tests assert; both properties
+/// are what lets two engines build interchangeable PartitionedGraphs.
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+
+  virtual std::string Name() const = 0;
+  virtual PartitionPolicy policy() const = 0;
+  /// Owner partition of `v`, in [0, num_partitions()).
+  virtual int OwnerOf(VertexId v) const = 0;
+
+  int num_partitions() const { return partitions_; }
+
+ protected:
+  explicit GraphPartitioner(int partitions)
+      : partitions_(partitions < 1 ? 1 : partitions) {}
+
+  int partitions_;
+};
+
+/// Hash policy: a 64-bit finalizer mix of the vertex id, mod P. Unlike the
+/// plain `id % W` the distributed simulator used before this subsystem,
+/// the mix decorrelates ownership from id arithmetic, so range-clustered
+/// loaders (LDBC emits ids grouped by type) still balance.
+class HashPartitioner : public GraphPartitioner {
+ public:
+  explicit HashPartitioner(int partitions) : GraphPartitioner(partitions) {}
+
+  std::string Name() const override;
+  PartitionPolicy policy() const override { return PartitionPolicy::kHash; }
+  int OwnerOf(VertexId v) const override {
+    // splitmix64 finalizer: deterministic, well-mixed, dependency-free.
+    uint64_t x = v + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<int>(x % static_cast<uint64_t>(partitions_));
+  }
+};
+
+/// Range policy: partition p owns the contiguous id range
+/// [p*n/P, (p+1)*n/P). Preserves id locality (neighbors created together
+/// stay together under loaders that emit communities contiguously) and
+/// makes per-type scan lists concatenate back in global id order.
+class RangePartitioner : public GraphPartitioner {
+ public:
+  RangePartitioner(int partitions, size_t num_vertices);
+
+  std::string Name() const override;
+  PartitionPolicy policy() const override { return PartitionPolicy::kRange; }
+  int OwnerOf(VertexId v) const override;
+
+ private:
+  size_t num_vertices_;
+};
+
+/// Factory over the policy enum (`g` supplies the domain size the range
+/// policy needs).
+std::unique_ptr<GraphPartitioner> MakePartitioner(PartitionPolicy policy,
+                                                  int partitions,
+                                                  const PropertyGraph& g);
+
+}  // namespace gopt

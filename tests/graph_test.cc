@@ -160,5 +160,44 @@ TEST(FraudGenerator, Basics) {
   EXPECT_GT(fraud.graph->NumEdges(), 500u);
 }
 
+TEST(PropertyGraph, FinalizeIsIdempotent) {
+  GraphSchema s = TwoTypeSchema();
+  PropertyGraph g(s);
+  VertexId a = g.AddVertex(0), b = g.AddVertex(1);
+  g.AddEdge(a, b, 0);
+  g.Finalize();
+  ASSERT_TRUE(g.finalized());
+  const AdjEntry* adj_before = g.OutEdges(a).data();
+  // A second Finalize with no intervening mutation is a no-op: the CSR is
+  // not rebuilt (same storage) and reads stay valid.
+  g.Finalize();
+  EXPECT_EQ(g.OutEdges(a).data(), adj_before);
+  EXPECT_EQ(g.OutEdges(a).size(), 1u);
+  // Mutation re-arms finalization: the new edge appears after the rebuild.
+  g.AddEdge(b, a, 1);
+  EXPECT_FALSE(g.finalized());
+  g.Finalize();
+  EXPECT_EQ(g.OutDegree(b), 1u);
+}
+
+TEST(PropertyGraph, DebugReadBeforeFinalizeThrows) {
+#ifndef NDEBUG
+  GraphSchema s = TwoTypeSchema();
+  PropertyGraph g(s);
+  VertexId a = g.AddVertex(0), b = g.AddVertex(1);
+  g.AddEdge(a, b, 0);
+  EXPECT_THROW(g.OutEdges(a), std::logic_error);
+  EXPECT_THROW(g.InEdges(b), std::logic_error);
+  EXPECT_THROW(g.VerticesOfType(0), std::logic_error);
+  g.Finalize();
+  EXPECT_NO_THROW(g.OutEdges(a));
+  // Mutating after Finalize invalidates the indexes again.
+  g.AddVertex(0);
+  EXPECT_THROW(g.VerticesOfType(0), std::logic_error);
+#else
+  GTEST_SKIP() << "read-before-Finalize guard is debug-build only";
+#endif
+}
+
 }  // namespace
 }  // namespace gopt
