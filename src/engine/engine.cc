@@ -5,6 +5,7 @@
 
 #include "src/common/str_format.h"
 #include "src/lang/parameterize.h"
+#include "src/opt/factorization.h"
 
 namespace gopt {
 
@@ -118,8 +119,12 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
   prep.output_columns = std::move(ctx.output_columns);
   prep.trace = std::make_shared<const PlanTrace>(std::move(ctx.trace));
   if (prep.physical) {
-    prep.exec_pipelines =
-        std::make_shared<const PipelinePlan>(BuildPipelinePlan(prep.physical));
+    PipelinePlan pp = BuildPipelinePlan(prep.physical);
+    // Freeze the per-pipeline factorize / lazy / flatten decisions into
+    // the cached plan (the knob is part of OptionsFingerprint for exactly
+    // this reason).
+    ChooseFactorization(&pp, opts_.factorization);
+    prep.exec_pipelines = std::make_shared<const PipelinePlan>(std::move(pp));
   }
   return prep;
 }
@@ -204,14 +209,17 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
       ex.set_params(&bound);
       out.table = ex.Execute(prep.physical);
       out.stats = ex.stats();
-    } else if (opts_.exec_threads != 1 || pstore_ != nullptr) {
+    } else if (opts_.exec_threads != 1 || pstore_ != nullptr ||
+               opts_.factorization == FactorizationMode::kOn) {
       // The morsel-driven batch runtime (see docs/executor.md). Results
       // are differential-tested equal to the sequential executor below.
       // A sharded store routes here even at one thread, so partitioned
       // scans are exercised sequentially too (partition-granular morsels,
-      // deterministic morsel-order reassembly).
+      // deterministic morsel-order reassembly); factorization=on routes
+      // here likewise — only this runtime carries factorized batches.
       MorselOptions mopts;
       mopts.threads = opts_.exec_threads;
+      mopts.factorization = opts_.factorization;
       MorselExecutor ex(g_, mopts, pstore_.get());
       ex.set_params(&bound);
       out.table = ex.Execute(prep.physical, prep.exec_pipelines.get());
@@ -300,7 +308,9 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
   }
   s += "=== Physical plan (" + backend_.name + ") ===\n";
   s += prep.physical->ToString(g_->schema());
-  if (!backend_.distributed && (opts_.exec_threads != 1 || pstore_)) {
+  if (!backend_.distributed &&
+      (opts_.exec_threads != 1 || pstore_ ||
+       opts_.factorization == FactorizationMode::kOn)) {
     s += "=== Pipelines (morsel runtime) ===\n";
     s += prep.exec_pipelines
              ? prep.exec_pipelines->ToString()
@@ -316,6 +326,19 @@ std::string GOptEngine::Explain(const Prepared& prep,
   s += StrFormat("  %zu rows returned, %.3f ms, %llu rows produced\n",
                  outcome.table.NumRows(), outcome.ms,
                  static_cast<unsigned long long>(outcome.stats.rows_produced));
+  bool any_factorized = false;
+  for (const PipelineStat& p : outcome.stats.pipelines) {
+    any_factorized = any_factorized || p.factorized;
+  }
+  if (any_factorized && outcome.stats.tuples_materialized > 0) {
+    s += StrFormat(
+        "  factorized: %llu tuples materialized for %llu rows produced "
+        "(%.2fx compression)\n",
+        static_cast<unsigned long long>(outcome.stats.tuples_materialized),
+        static_cast<unsigned long long>(outcome.stats.rows_produced),
+        static_cast<double>(outcome.stats.rows_produced) /
+            static_cast<double>(outcome.stats.tuples_materialized));
+  }
   if (outcome.stats.exchanges > 0 || outcome.stats.comm_rows > 0) {
     s += StrFormat("  %llu exchanges, %llu rows exchanged\n",
                    static_cast<unsigned long long>(outcome.stats.exchanges),
@@ -338,6 +361,19 @@ std::string GOptEngine::Explain(const Prepared& prep,
         p.desc.c_str(), static_cast<unsigned long long>(p.morsels),
         static_cast<unsigned long long>(p.rows_out), p.threads,
         p.threads == 1 ? "" : "s", p.ms);
+    if (p.factorized) {
+      s += StrFormat(
+          "      factorized: %llu logical rows as %llu tuples "
+          "(%llu groups, %.2fx), %d flatten point%s\n",
+          static_cast<unsigned long long>(p.chain_rows),
+          static_cast<unsigned long long>(p.chain_tuples),
+          static_cast<unsigned long long>(p.groups),
+          p.chain_tuples == 0
+              ? 1.0
+              : static_cast<double>(p.chain_rows) /
+                    static_cast<double>(p.chain_tuples),
+          p.flatten_points, p.flatten_points == 1 ? "" : "s");
+    }
   }
   return s;
 }

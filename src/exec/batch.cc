@@ -6,6 +6,7 @@ namespace gopt {
 
 void Batch::AppendRow(const Row& r) {
   assert(!sel_active_);
+  assert(!factorized_);
   assert(r.size() == cols_.size());
   for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(r[c]);
 }
@@ -13,17 +14,96 @@ void Batch::AppendRow(const Row& r) {
 void Batch::GatherRow(size_t i, Row* out) const {
   const uint32_t p = PhysIndex(i);
   out->resize(cols_.size());
+  if (factorized_) {
+    const uint32_t g = GroupOf(p);
+    for (size_t c = 0; c < cols_.size(); ++c)
+      (*out)[c] = group_col_[c] ? gcols_[c][g] : cols_[c][p];
+    return;
+  }
   for (size_t c = 0; c < cols_.size(); ++c) (*out)[c] = cols_[c][p];
 }
 
-void Batch::Flatten() {
-  if (!sel_active_) return;
-  std::vector<std::vector<Value>> dense(cols_.size());
+void Batch::InitFactorized(std::vector<uint8_t> is_group) {
+  assert(is_group.size() == cols_.size());
+  assert(num_phys_rows() == 0 && !sel_active_);
+  factorized_ = true;
+  group_col_ = std::move(is_group);
+  gcols_.assign(cols_.size(), {});
+  goff_.assign(1, 0);
+}
+
+void Batch::CloseGroup(uint32_t run_len) {
+  assert(factorized_ && run_len > 0);
+  goff_.push_back(goff_.back() + run_len);
+}
+
+void Batch::CopyLayoutFrom(const Batch& src) {
+  assert(factorized_ && src.factorized_);
+  goff_ = src.goff_;
+  sel_ = src.sel_;
+  sel_active_ = src.sel_active_;
+}
+
+void Batch::FlattenGroups() {
+  if (!factorized_) return;
+  const size_t n = num_phys_rows();
   for (size_t c = 0; c < cols_.size(); ++c) {
-    dense[c].reserve(sel_.size());
-    for (uint32_t p : sel_) dense[c].push_back(std::move(cols_[c][p]));
+    if (!group_col_[c]) continue;
+    std::vector<Value> flat;
+    flat.reserve(n);
+    for (size_t g = 0; g + 1 < goff_.size(); ++g) {
+      const Value& v = gcols_[c][g];
+      for (uint32_t p = goff_[g]; p < goff_[g + 1]; ++p) flat.push_back(v);
+    }
+    cols_[c] = std::move(flat);
   }
-  cols_ = std::move(dense);
+  factorized_ = false;
+  group_col_.clear();
+  gcols_.clear();
+  goff_.clear();
+}
+
+void Batch::Flatten() {
+  if (!sel_active_) {
+    FlattenGroups();
+    return;
+  }
+  if (factorized_) {
+    // One-pass dense gather of the selected rows, resolving groups.
+    std::vector<std::vector<Value>> dense(cols_.size());
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      dense[c].reserve(sel_.size());
+      if (group_col_[c]) {
+        for (uint32_t p : sel_) dense[c].push_back(gcols_[c][GroupOf(p)]);
+      } else {
+        for (uint32_t p : sel_) dense[c].push_back(std::move(cols_[c][p]));
+      }
+    }
+    cols_ = std::move(dense);
+    factorized_ = false;
+    group_col_.clear();
+    gcols_.clear();
+    goff_.clear();
+    sel_.clear();
+    sel_active_ = false;
+    return;
+  }
+  // Identity selection: every physical row is active, in order — the
+  // columns are already dense, so just drop the selection vector.
+  bool identity = sel_.size() == num_phys_rows();
+  if (identity) {
+    for (size_t i = 0; i < sel_.size(); ++i) {
+      if (sel_[i] != i) { identity = false; break; }
+    }
+  }
+  if (!identity) {
+    std::vector<std::vector<Value>> dense(cols_.size());
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      dense[c].reserve(sel_.size());
+      for (uint32_t p : sel_) dense[c].push_back(std::move(cols_[c][p]));
+    }
+    cols_ = std::move(dense);
+  }
   sel_.clear();
   sel_active_ = false;
 }
@@ -32,7 +112,11 @@ Batch Batch::GatherPhys(const std::vector<uint32_t>& phys) const {
   Batch out(cols_.size());
   for (size_t c = 0; c < cols_.size(); ++c) {
     out.cols_[c].reserve(phys.size());
-    for (uint32_t p : phys) out.cols_[c].push_back(cols_[c][p]);
+    if (factorized_ && group_col_[c]) {
+      for (uint32_t p : phys) out.cols_[c].push_back(gcols_[c][GroupOf(p)]);
+    } else {
+      for (uint32_t p : phys) out.cols_[c].push_back(cols_[c][p]);
+    }
   }
   return out;
 }
@@ -61,6 +145,22 @@ std::vector<Row> Batch::ToRows() const {
   std::vector<Row> out;
   AppendRowsTo(&out);
   return out;
+}
+
+uint64_t Batch::materialized_tuples() const {
+  if (!factorized_) return num_phys_rows();
+  uint64_t t = num_groups();
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    if (!group_col_[c] && !cols_[c].empty()) return t + num_phys_rows();
+  }
+  return t;
+}
+
+uint64_t Batch::materialized_cells() const {
+  uint64_t cells = 0;
+  for (const auto& c : cols_) cells += c.size();
+  for (const auto& g : gcols_) cells += g.size();
+  return cells;
 }
 
 std::vector<Batch> BatchesFromRows(const std::vector<Row>& rows,

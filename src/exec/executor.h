@@ -16,6 +16,15 @@ struct PipelineStat {
   uint64_t rows_out = 0;     ///< rows materialized by the sink
   int threads = 1;           ///< workers that ran this pipeline
   double ms = 0;             ///< wall-clock milliseconds
+
+  // Factorized-execution metrics (docs/factorization.md). chain_rows /
+  // chain_tuples is the pipeline's compression ratio: logical bindings
+  // represented vs. physical tuples actually stored by the chain.
+  bool factorized = false;   ///< ran with factorized expansion output
+  uint64_t chain_rows = 0;   ///< logical rows emitted by the chain's operators
+  uint64_t chain_tuples = 0; ///< physical tuples those operators stored
+  uint64_t groups = 0;       ///< prefix-group entries among the tuples
+  int flatten_points = 0;    ///< plan-annotated forced-flatten count
 };
 
 /// Execution statistics shared by every runtime.
@@ -27,6 +36,14 @@ struct PipelineStat {
 /// distributed) count it identically; tests assert parity.
 struct ExecStats {
   uint64_t rows_produced = 0;   ///< rows emitted per operator, summed
+  /// Physical tuples the morsel runtime actually stored: scan output plus
+  /// each streaming operator's materialized tuples (a factorized batch
+  /// stores one group entry per prefix instead of one row per binding, a
+  /// filter stores nothing), plus deferred flattens and breaker outputs.
+  /// With factorization off this tracks rows_produced; the off/on ratio is
+  /// the measured intermediate-result compression (docs/factorization.md).
+  /// Populated by the morsel runtime only.
+  uint64_t tuples_materialized = 0;
   uint64_t comm_rows = 0;       ///< rows exchanged between workers (dist only)
   uint64_t exchanges = 0;       ///< number of exchange steps (dist only)
   std::vector<PipelineStat> pipelines;  ///< per-pipeline metrics (morsel only)

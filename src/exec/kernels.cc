@@ -27,6 +27,40 @@ void EmitProjected(const Row& scratch, const std::vector<int>& proj,
   }
 }
 
+/// True when an expansion's output layout is its input layout plus new
+/// columns at the end — the shape factorized emission needs (the input row
+/// becomes the group prefix verbatim).
+bool OutputExtendsInput(const PhysOp& op) {
+  const auto& child_cols = op.children[0]->out_cols;
+  return op.out_cols.size() >= child_cols.size() &&
+         std::equal(child_cols.begin(), child_cols.end(),
+                    op.out_cols.begin());
+}
+
+/// Group-column layout of a factorized expansion: the inherited prefix is
+/// group-backed; the new columns are per-row, unless `lazy` elides them
+/// into null group entries.
+std::vector<uint8_t> FactorizedLayout(size_t nout, size_t nchild, bool lazy) {
+  std::vector<uint8_t> is_group(nout, 1);
+  if (!lazy) {
+    for (size_t c = nchild; c < nout; ++c) is_group[c] = 0;
+  }
+  return is_group;
+}
+
+/// Closes the group of one factorized-expansion input row: pushes the
+/// prefix values (and null entries for lazily elided new columns), then
+/// records the run length.
+void CloseFactorizedRow(const Row& scratch, size_t nchild, size_t nout,
+                        bool lazy, uint32_t run, Batch* out) {
+  if (run == 0) return;
+  for (size_t c = 0; c < nchild; ++c) out->gcol(c).push_back(scratch[c]);
+  if (lazy) {
+    for (size_t c = nchild; c < nout; ++c) out->gcol(c).push_back(Value());
+  }
+  out->CloseGroup(run);
+}
+
 }  // namespace
 
 Span<const AdjEntry> Kernels::Adj(VertexId u, bool out) const {
@@ -162,11 +196,15 @@ std::vector<Row> Kernels::Scan(const PhysOp& op, int worker, int W) const {
 // ExpandEdge (flattened expansion / ExpandInto edge check)
 // ---------------------------------------------------------------------------
 
-Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
+Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in,
+                               bool factorize, bool lazy) const {
   const auto& child_cols = op.children[0]->out_cols;
   ColMap cmap = MakeColMap(child_cols);
   int from_idx = cmap.at(op.from_tag);
   int tgt_idx = op.target_bound ? cmap.at(op.alias) : -1;
+  const size_t nchild = child_cols.size();
+  const size_t nout = op.out_cols.size();
+  const bool fact = factorize && OutputExtendsInput(op);
 
   // Scratch layout: child row + [edge, vertex].
   ColMap smap = cmap;
@@ -186,8 +224,10 @@ Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
     }
   }
 
-  Batch out(op.out_cols.size());
+  Batch out(nout);
+  if (fact) out.InitFactorized(FactorizedLayout(nout, nchild, lazy));
   Row scratch;
+  uint32_t run = 0;  // fan-out of the current input row (fact mode)
   auto emit = [&](const AdjEntry& a, VertexId v) {
     scratch[static_cast<size_t>(epos)] = Value(g_->MakeEdgeRef(a.eid));
     scratch[static_cast<size_t>(vpos)] = Value(VertexRef{v});
@@ -197,7 +237,21 @@ Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
     for (const auto& p : op.vertex_preds) {
       if (!eval_.EvalBool(p, scratch, smap)) return;
     }
+    if (fact) {
+      if (!lazy) {
+        for (size_t j = nchild; j < nout; ++j) {
+          out.col(j).push_back(scratch[static_cast<size_t>(proj[j])]);
+        }
+      }
+      ++run;
+      return;
+    }
     EmitProjected(scratch, proj, &out);
+  };
+  auto close_row = [&]() {
+    if (!fact) return;
+    CloseFactorizedRow(scratch, nchild, nout, lazy, run, &out);
+    run = 0;
   };
 
   if (op.target_bound) {
@@ -229,6 +283,7 @@ Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
       };
       if (op.dir == Direction::kOut || op.dir == Direction::kBoth) probe(true);
       if (op.dir == Direction::kIn || op.dir == Direction::kBoth) probe(false);
+      close_row();
     }
     return out;
   }
@@ -242,6 +297,7 @@ Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in) const {
       if (!op.vtc.Matches(g_->VertexType(v))) return;
       emit(a, v);
     });
+    close_row();
   }
   return out;
 }
@@ -256,11 +312,15 @@ std::vector<Row> Kernels::ExpandEdge(const PhysOp& op,
 // ExpandIntersect (WCOJ-style multi-arm intersection)
 // ---------------------------------------------------------------------------
 
-Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in) const {
+Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in,
+                                    bool factorize, bool lazy) const {
   const auto& child_cols = op.children[0]->out_cols;
   ColMap cmap = MakeColMap(child_cols);
   std::vector<int> from_idx;
   for (const auto& arm : op.arms) from_idx.push_back(cmap.at(arm.from_tag));
+  const size_t nchild = child_cols.size();
+  const size_t nout = op.out_cols.size();
+  const bool fact = factorize && OutputExtendsInput(op);
 
   ColMap smap = cmap;
   const int vpos = static_cast<int>(child_cols.size());
@@ -291,7 +351,8 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in) const {
     outv->resize(w);
   };
 
-  Batch out(op.out_cols.size());
+  Batch out(nout);
+  if (fact) out.InitFactorized(FactorizedLayout(nout, nchild, lazy));
   Row scratch;
   for (size_t ri = 0; ri < in.size(); ++ri) {
     // WCOJ-style sorted intersection, multiplicity-preserving: the result
@@ -320,6 +381,7 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in) const {
       }
       std::swap(cur, next);
     }
+    uint32_t run = 0;
     for (auto [v, mult] : cur) {
       scratch[static_cast<size_t>(vpos)] = Value(VertexRef{v});
       bool ok = true;
@@ -330,6 +392,16 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in) const {
         }
       }
       if (!ok) continue;
+      if (fact) {
+        if (!lazy) {
+          for (uint64_t k = 0; k < mult; ++k) {
+            out.col(static_cast<size_t>(vpos))
+                .push_back(scratch[static_cast<size_t>(vpos)]);
+          }
+        }
+        run += static_cast<uint32_t>(mult);
+        continue;
+      }
       // Output layout = child columns + the intersected vertex.
       for (uint64_t k = 0; k < mult; ++k) {
         for (size_t c = 0; c < scratch.size(); ++c) {
@@ -337,6 +409,7 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in) const {
         }
       }
     }
+    if (fact) CloseFactorizedRow(scratch, nchild, nout, lazy, run, &out);
   }
   return out;
 }
@@ -352,11 +425,15 @@ std::vector<Row> Kernels::ExpandIntersect(const PhysOp& op,
 // PathExpand
 // ---------------------------------------------------------------------------
 
-Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in) const {
+Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in,
+                               bool factorize, bool lazy) const {
   const auto& child_cols = op.children[0]->out_cols;
   ColMap cmap = MakeColMap(child_cols);
   int from_idx = cmap.at(op.from_tag);
   int tgt_idx = op.target_bound ? cmap.at(op.alias) : -1;
+  const size_t nchild = child_cols.size();
+  const size_t nout = op.out_cols.size();
+  const bool fact = factorize && OutputExtendsInput(op);
 
   ColMap smap = cmap;
   const int vpos = static_cast<int>(child_cols.size());
@@ -374,10 +451,12 @@ Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in) const {
     }
   }
 
-  Batch out(op.out_cols.size());
+  Batch out(nout);
+  if (fact) out.InitFactorized(FactorizedLayout(nout, nchild, lazy));
   Row scratch;
   std::vector<VertexId> path_v;
   std::vector<EdgeId> path_e;
+  uint32_t run = 0;
 
   for (size_t ri = 0; ri < in.size(); ++ri) {
     in.GatherRow(ri, &scratch);
@@ -396,6 +475,15 @@ Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in) const {
       scratch[static_cast<size_t>(ppos)] = Value(PathRef{path_v, path_e});
       for (const auto& p : op.vertex_preds) {
         if (!eval_.EvalBool(p, scratch, smap)) return;
+      }
+      if (fact) {
+        if (!lazy) {
+          for (size_t j = nchild; j < nout; ++j) {
+            out.col(j).push_back(scratch[static_cast<size_t>(proj[j])]);
+          }
+        }
+        ++run;
+        return;
       }
       EmitProjected(scratch, proj, &out);
     };
@@ -420,6 +508,10 @@ Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in) const {
       });
     };
     dfs(start, 0);
+    if (fact) {
+      CloseFactorizedRow(scratch, nchild, nout, lazy, run, &out);
+      run = 0;
+    }
   }
   return out;
 }
@@ -435,12 +527,57 @@ std::vector<Row> Kernels::PathExpand(const PhysOp& op,
 // Filter / Project / Unfold
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// True when every tag the expression references maps to a group-backed
+/// column of `b` (then the expression has one value per group). Unmapped
+/// tags (e.g. parameter names) disqualify conservatively.
+bool OnlyGroupTags(const Expr& e, const Batch& b, const ColMap& cmap) {
+  std::set<std::string> tags;
+  e.CollectTags(&tags);
+  for (const auto& t : tags) {
+    auto it = cmap.find(t);
+    if (it == cmap.end() || !b.col_is_group(static_cast<size_t>(it->second))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Fills `scratch` with group g's values: group columns from their
+/// backing, per-row columns as null (callers guarantee the expression
+/// evaluated on it only reads group columns).
+void GatherGroup(const Batch& b, uint32_t g, Row* scratch) {
+  scratch->resize(b.num_cols());
+  for (size_t c = 0; c < b.num_cols(); ++c) {
+    (*scratch)[c] = b.col_is_group(c) ? b.gcol(c)[g] : Value();
+  }
+}
+
+}  // namespace
+
 std::vector<uint32_t> Kernels::FilterSelection(const PhysOp& op,
                                                const Batch& in) const {
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   std::vector<uint32_t> sel;
   sel.reserve(in.size());
   Row scratch;
+  if (in.factorized() && op.predicate &&
+      OnlyGroupTags(*op.predicate, in, cmap)) {
+    // The predicate's verdict is constant within a group: evaluate it
+    // once per group touched and fan the verdict out over the rows.
+    std::vector<int8_t> verdict(in.num_groups(), -1);
+    for (size_t i = 0; i < in.size(); ++i) {
+      const uint32_t p = in.PhysIndex(i);
+      const uint32_t g = in.GroupOf(p);
+      if (verdict[g] < 0) {
+        GatherGroup(in, g, &scratch);
+        verdict[g] = eval_.EvalBool(op.predicate, scratch, cmap) ? 1 : 0;
+      }
+      if (verdict[g]) sel.push_back(p);
+    }
+    return sel;
+  }
   for (size_t i = 0; i < in.size(); ++i) {
     in.GatherRow(i, &scratch);
     if (eval_.EvalBool(op.predicate, scratch, cmap)) {
@@ -470,7 +607,85 @@ std::vector<Row> Kernels::Filter(const PhysOp& op,
 Batch Kernels::ProjectBatch(const PhysOp& op, const Batch& in) const {
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   const size_t ncols = op.children[0]->out_cols.size();
-  Batch out(op.out_cols.size());
+  const size_t nout = op.out_cols.size();
+  if (in.factorized()) {
+    // Structure-preserving path: plan each output column as a pass-through
+    // of an input backing, a per-group evaluation (expression only reads
+    // group columns — includes constants), or a per-row evaluation.
+    enum class How { kPass, kGroupEval, kRowEval };
+    std::vector<How> how(nout, How::kRowEval);
+    std::vector<int> src(nout, -1);
+    std::vector<const ProjectItem*> item_of(nout, nullptr);
+    std::vector<uint8_t> is_group(nout, 0);
+    size_t oc = 0;
+    if (op.append) {
+      for (; oc < ncols; ++oc) {
+        how[oc] = How::kPass;
+        src[oc] = static_cast<int>(oc);
+        is_group[oc] = in.col_is_group(oc) ? 1 : 0;
+      }
+    }
+    for (const auto& item : op.items) {
+      item_of[oc] = &item;
+      if (item.expr->kind == Expr::Kind::kVar) {
+        auto it = cmap.find(item.expr->tag);
+        if (it != cmap.end()) {
+          how[oc] = How::kPass;
+          src[oc] = it->second;
+          is_group[oc] =
+              in.col_is_group(static_cast<size_t>(it->second)) ? 1 : 0;
+          ++oc;
+          continue;
+        }
+      }
+      if (OnlyGroupTags(*item.expr, in, cmap)) {
+        how[oc] = How::kGroupEval;
+        is_group[oc] = 1;
+      }
+      ++oc;
+    }
+    bool any_group = false;
+    for (uint8_t g : is_group) any_group |= g != 0;
+    if (any_group) {
+      Batch out(nout);
+      out.InitFactorized(is_group);
+      Row scratch;
+      for (size_t j = 0; j < nout; ++j) {
+        switch (how[j]) {
+          case How::kPass:
+            if (is_group[j]) {
+              out.gcol(j) = in.gcol(static_cast<size_t>(src[j]));
+            } else {
+              out.col(j) = in.col(static_cast<size_t>(src[j]));
+            }
+            break;
+          case How::kGroupEval: {
+            auto& gc = out.gcol(j);
+            gc.reserve(in.num_groups());
+            for (uint32_t g = 0; g < in.num_groups(); ++g) {
+              GatherGroup(in, g, &scratch);
+              gc.push_back(eval_.Eval(*item_of[j]->expr, scratch, cmap));
+            }
+            break;
+          }
+          case How::kRowEval: {
+            // Per-row values land at their physical positions (inactive
+            // rows stay null), so the adopted selection keeps working.
+            auto& fc = out.col(j);
+            fc.assign(in.num_phys_rows(), Value());
+            for (size_t i = 0; i < in.size(); ++i) {
+              in.GatherRow(i, &scratch);
+              fc[in.PhysIndex(i)] = eval_.Eval(*item_of[j]->expr, scratch, cmap);
+            }
+            break;
+          }
+        }
+      }
+      out.CopyLayoutFrom(in);
+      return out;
+    }
+  }
+  Batch out(nout);
   Row scratch;
   for (size_t i = 0; i < in.size(); ++i) {
     in.GatherRow(i, &scratch);
@@ -503,15 +718,29 @@ std::vector<Row> Kernels::Project(const PhysOp& op,
   return out;
 }
 
-Batch Kernels::UnfoldBatch(const PhysOp& op, const Batch& in) const {
+Batch Kernels::UnfoldBatch(const PhysOp& op, const Batch& in,
+                           bool factorize) const {
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   int idx = cmap.at(op.unfold_tag);
+  const size_t nchild = op.children[0]->out_cols.size();
+  const bool fact = factorize && op.out_cols.size() == nchild + 1;
   Batch out(op.out_cols.size());
+  if (fact) out.InitFactorized(FactorizedLayout(nchild + 1, nchild, false));
   Row scratch;
   for (size_t i = 0; i < in.size(); ++i) {
     const Value& v = in.At(i, static_cast<size_t>(idx));
     if (v.kind() != Value::Kind::kList) continue;
     in.GatherRow(i, &scratch);
+    if (fact) {
+      // The input row is the prefix group; the list elements are the
+      // per-row column — the same shape as a factorized expansion.
+      const auto& elems = v.AsList();
+      if (elems.empty()) continue;
+      for (const Value& x : elems) out.col(nchild).push_back(x);
+      CloseFactorizedRow(scratch, nchild, nchild + 1, false,
+                         static_cast<uint32_t>(elems.size()), &out);
+      continue;
+    }
     for (const Value& x : v.AsList()) {
       for (size_t c = 0; c < scratch.size(); ++c) {
         out.col(c).push_back(scratch[c]);
@@ -642,6 +871,41 @@ void AggUpdate(AggState* s, const AggCall& call, const Value& v) {
   }
 }
 
+/// AggUpdate applied `n` times with the same value. Integer COUNT/SUM fold
+/// the multiplicity into one arithmetic step; anything touching doubles
+/// replays the per-row additions so floating-point accumulation order (and
+/// therefore rounding) is bit-identical to the flat row loop. MIN/MAX and
+/// COUNT DISTINCT are multiplicity-invariant.
+void AggUpdateN(AggState* s, const AggCall& call, const Value& v, uint64_t n) {
+  switch (call.fn) {
+    case AggFunc::kCount:
+      if (call.arg == nullptr || !v.is_null()) {
+        s->count += static_cast<int64_t>(n);
+      }
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (!v.is_null()) {
+        if (v.kind() == Value::Kind::kDouble || s->any_double) {
+          for (uint64_t k = 0; k < n; ++k) AggUpdate(s, call, v);
+        } else {
+          s->count += static_cast<int64_t>(n);
+          s->has_value = true;
+          s->isum += v.AsInt() * static_cast<int64_t>(n);
+        }
+      }
+      break;
+    case AggFunc::kCountDistinct:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      AggUpdate(s, call, v);
+      break;
+    case AggFunc::kCollect:
+      for (uint64_t k = 0; k < n; ++k) AggUpdate(s, call, v);
+      break;
+  }
+}
+
 }  // namespace
 
 std::vector<Row> Kernels::Aggregate(const PhysOp& op,
@@ -701,6 +965,85 @@ std::vector<Row> Kernels::Aggregate(const PhysOp& op,
   }
   for (size_t gi = 0; gi < keys.size(); ++gi) {
     Row r = keys[gi];
+    for (size_t i = 0; i < naggs; ++i) {
+      r.push_back(AggResult(op.aggs[i], states[gi][i]));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<Row> Kernels::AggregateBatchRows(
+    const PhysOp& op, const std::vector<Batch>& in) const {
+  const size_t nkeys = op.group_keys.size();
+  const size_t naggs = op.aggs.size();
+  ColMap cmap = MakeColMap(op.children[0]->out_cols);
+
+  std::unordered_map<std::vector<Value>, size_t, ValueVecHash> index;
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<AggState>> states;
+  Row scratch;
+
+  // One state update representing `n` identical input rows. Group keys are
+  // discovered in first-occurrence order, exactly like the row loop: the
+  // first row of a run precedes the rest.
+  auto update = [&](const Row& r, uint64_t n) {
+    std::vector<Value> key(nkeys);
+    for (size_t i = 0; i < nkeys; ++i) {
+      key[i] = eval_.Eval(*op.group_keys[i].expr, r, cmap);
+    }
+    auto [it, inserted] = index.emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(std::move(key));
+      states.emplace_back(naggs);
+    }
+    auto& st = states[it->second];
+    for (size_t i = 0; i < naggs; ++i) {
+      const AggCall& call = op.aggs[i];
+      Value v = call.arg ? eval_.Eval(*call.arg, r, cmap) : Value(true);
+      AggUpdateN(&st[i], call, v, n);
+    }
+  };
+
+  for (const Batch& b : in) {
+    // Run-at-a-time consumption is sound when every key and argument is
+    // constant within a group — i.e. reads only group columns.
+    bool runwise = b.factorized();
+    if (runwise) {
+      for (const auto& k : op.group_keys) {
+        runwise = runwise && OnlyGroupTags(*k.expr, b, cmap);
+      }
+      for (const auto& a : op.aggs) {
+        if (a.arg) runwise = runwise && OnlyGroupTags(*a.arg, b, cmap);
+      }
+    }
+    const size_t n = b.size();
+    if (runwise) {
+      size_t i = 0;
+      while (i < n) {
+        const uint32_t g = b.GroupOf(b.PhysIndex(i));
+        size_t j = i + 1;
+        while (j < n && b.GroupOf(b.PhysIndex(j)) == g) ++j;
+        GatherGroup(b, g, &scratch);
+        update(scratch, j - i);
+        i = j;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        b.GatherRow(i, &scratch);
+        update(scratch, 1);
+      }
+    }
+  }
+
+  std::vector<Row> out;
+  // A keyless aggregate over empty input still yields one row.
+  if (keys.empty() && nkeys == 0) {
+    keys.push_back({});
+    states.emplace_back(naggs);
+  }
+  for (size_t gi = 0; gi < keys.size(); ++gi) {
+    Row r = std::move(keys[gi]);
     for (size_t i = 0; i < naggs; ++i) {
       r.push_back(AggResult(op.aggs[i], states[gi][i]));
     }

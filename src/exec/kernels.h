@@ -74,17 +74,38 @@ class Kernels {
   Batch ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker = 0,
                   int W = 1) const;
 
-  Batch ExpandEdgeBatch(const PhysOp& op, const Batch& in) const;
-  Batch ExpandIntersectBatch(const PhysOp& op, const Batch& in) const;
-  Batch PathExpandBatch(const PhysOp& op, const Batch& in) const;
+  /// The expansion kernels accept factorized input transparently (values
+  /// resolve through the group mapping). With `factorize` they also emit
+  /// factorized output: the input row becomes one prefix group shared by
+  /// the whole fan-out, only the newly bound columns get per-row entries
+  /// (docs/factorization.md). With `lazy` additionally set (only legal
+  /// when the chooser proved the new columns dead downstream) even those
+  /// are elided: groups carry just their multiplicity, the new columns
+  /// read as null. Results are row-for-row identical in all modes.
+  Batch ExpandEdgeBatch(const PhysOp& op, const Batch& in,
+                        bool factorize = false, bool lazy = false) const;
+  Batch ExpandIntersectBatch(const PhysOp& op, const Batch& in,
+                             bool factorize = false, bool lazy = false) const;
+  Batch PathExpandBatch(const PhysOp& op, const Batch& in,
+                        bool factorize = false, bool lazy = false) const;
   /// The physical row positions (in visit order) that survive the filter
-  /// predicate — computed without mutating `in`.
+  /// predicate — computed without mutating `in`. On a factorized batch
+  /// whose predicate only touches group columns, the predicate is
+  /// evaluated once per group instead of once per row.
   std::vector<uint32_t> FilterSelection(const PhysOp& op,
                                         const Batch& in) const;
   /// Refines the selection vector in place; no values move.
   void FilterBatch(const PhysOp& op, Batch* in) const;
+  /// Structure-preserving on factorized input: pass-through and
+  /// group-only-expression columns stay group-backed (evaluated once per
+  /// group), everything else is evaluated per row; falls back to the flat
+  /// row loop when no output column would stay group-backed.
   Batch ProjectBatch(const PhysOp& op, const Batch& in) const;
-  Batch UnfoldBatch(const PhysOp& op, const Batch& in) const;
+  /// With `factorize`, each input row becomes a prefix group and the
+  /// unfolded list elements the per-row column — the same shape as a
+  /// factorized expansion.
+  Batch UnfoldBatch(const PhysOp& op, const Batch& in,
+                    bool factorize = false) const;
 
   /// Builds the probe hash table over the join's build (right) side.
   /// `right` must outlive every probe against the returned table.
@@ -116,6 +137,16 @@ class Kernels {
   /// produces, at O(N log K) instead of a full re-sort.
   std::vector<Row> MergeSortedLimit(const PhysOp& op,
                                     std::vector<std::vector<Row>> parts) const;
+
+  /// Aggregates collected batches directly — without materializing them
+  /// as rows first. Factorized batches whose group keys and agg arguments
+  /// all live on group columns are consumed run-at-a-time: one evaluation
+  /// and one multiplicity-weighted state update per run (COUNT += n,
+  /// SUM += v*n, ...), never expanding the groups. Output is identical to
+  /// Aggregate over the flattened rows, including group order (first
+  /// occurrence).
+  std::vector<Row> AggregateBatchRows(const PhysOp& op,
+                                      const std::vector<Batch>& in) const;
 
   /// Batch wrappers over the blocking kernels (materialize internally).
   Batch AggregateBatches(const PhysOp& op,

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/opt/factorization.h"
+
 namespace gopt {
 
 namespace {
@@ -101,6 +103,7 @@ ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
   PipelinePlan local;
   if (plan == nullptr) {
     local = BuildPipelinePlan(root);
+    ChooseFactorization(&local, opts_.factorization);
     plan = &local;
   }
   for (const Pipeline& p : plan->pipelines) RunPipeline(p);
@@ -110,19 +113,22 @@ ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
   return out;
 }
 
-Batch MorselExecutor::ApplyStreamingOp(const PhysOp& op,
+Batch MorselExecutor::ApplyStreamingOp(const Pipeline& p, size_t i,
                                        const Batch& in) const {
+  const PhysOp& op = *p.ops[i];
+  const bool fact = p.factorized;
+  const bool lazy = fact && i < p.lazy_ops.size() && p.lazy_ops[i] != 0;
   switch (op.kind) {
     case PhysOpKind::kExpandEdge:
-      return k_.ExpandEdgeBatch(op, in);
+      return k_.ExpandEdgeBatch(op, in, fact, lazy);
     case PhysOpKind::kExpandIntersect:
-      return k_.ExpandIntersectBatch(op, in);
+      return k_.ExpandIntersectBatch(op, in, fact, lazy);
     case PhysOpKind::kPathExpand:
-      return k_.PathExpandBatch(op, in);
+      return k_.PathExpandBatch(op, in, fact, lazy);
     case PhysOpKind::kProject:
       return k_.ProjectBatch(op, in);
     case PhysOpKind::kUnfold:
-      return k_.UnfoldBatch(op, in);
+      return k_.UnfoldBatch(op, in, fact);
     case PhysOpKind::kHashJoin:
       return k_.JoinProbeBatch(op, in, join_tables_.at(&op));
     default:
@@ -132,26 +138,29 @@ Batch MorselExecutor::ApplyStreamingOp(const PhysOp& op,
 }
 
 Batch MorselExecutor::ApplyOpsOwned(const Pipeline& p, size_t from, Batch cur,
-                                    uint64_t* emitted) const {
+                                    ChainStats* cs) const {
   for (size_t i = from; i < p.ops.size(); ++i) {
     const PhysOp* op = p.ops[i];
     if (op->kind == PhysOpKind::kSelect) {
       k_.FilterBatch(*op, &cur);  // refine the selection in place
+      cs->rows += cur.size();     // stores nothing new, just marks rows
     } else {
-      cur = ApplyStreamingOp(*op, cur);
+      cur = ApplyStreamingOp(p, i, cur);
+      cs->rows += cur.size();
+      cs->tuples += cur.materialized_tuples();
+      cs->groups += cur.num_groups();
     }
-    *emitted += cur.size();
   }
   return cur;
 }
 
 Batch MorselExecutor::ApplyChain(const Pipeline& p, Batch&& owned,
-                                 uint64_t* emitted) const {
-  return ApplyOpsOwned(p, 0, std::move(owned), emitted);
+                                 ChainStats* cs) const {
+  return ApplyOpsOwned(p, 0, std::move(owned), cs);
 }
 
 Batch MorselExecutor::ApplyChain(const Pipeline& p, const Batch& shared,
-                                 uint64_t* emitted) const {
+                                 ChainStats* cs) const {
   // The shared batch belongs to the source node's materialized result; a
   // leading filter is the one streaming op that would mutate it, so the
   // selection is computed against the const batch and only the surviving
@@ -160,11 +169,15 @@ Batch MorselExecutor::ApplyChain(const Pipeline& p, const Batch& shared,
   const PhysOp* op0 = p.ops.front();
   if (op0->kind == PhysOpKind::kSelect) {
     cur = shared.GatherPhys(k_.FilterSelection(*op0, shared));
+    cs->rows += cur.size();
+    cs->tuples += cur.size();  // the gathered dense copy
   } else {
-    cur = ApplyStreamingOp(*op0, shared);
+    cur = ApplyStreamingOp(p, 0, shared);
+    cs->rows += cur.size();
+    cs->tuples += cur.materialized_tuples();
+    cs->groups += cur.num_groups();
   }
-  *emitted += cur.size();
-  return ApplyOpsOwned(p, 1, std::move(cur), emitted);
+  return ApplyOpsOwned(p, 1, std::move(cur), cs);
 }
 
 std::vector<Row> MorselExecutor::RunBreaker(const PhysOp& sink,
@@ -241,6 +254,8 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
     }
     const size_t M = p.source_is_scan ? scan_morsels.size() : src->size();
     ps.morsels = M;
+    ps.factorized = p.factorized;
+    ps.flatten_points = p.flatten_points;
 
     std::vector<Batch> out(M);
     const std::vector<Batch>* sink_in = &out;
@@ -254,7 +269,7 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
       const int T = static_cast<int>(
           std::min<size_t>(static_cast<size_t>(threads_), M ? M : 1));
       ps.threads = T;
-      std::vector<uint64_t> emitted(static_cast<size_t>(T), 0);
+      std::vector<ChainStats> emitted(static_cast<size_t>(T));
       // Per-morsel scan-source row counts (partitioned store only): each
       // slot is written by exactly one worker, merged into the
       // per-partition stats after the pool joins.
@@ -282,12 +297,13 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
       };
       MorselQueue queue = make_queue();
       auto work = [&](int w) {
-        uint64_t& acc = emitted[static_cast<size_t>(w)];
+        ChainStats& acc = emitted[static_cast<size_t>(w)];
         size_t idx;
         while (queue.Next(w, &idx)) {
           if (p.source_is_scan) {
             Batch b = k_.ScanBatch(*p.source, scan_morsels[idx]);
-            acc += b.size();
+            acc.rows += b.size();
+            acc.tuples += b.size();
             if (!scan_rows.empty()) scan_rows[idx] = b.size();
             out[idx] =
                 p.ops.empty() ? std::move(b) : ApplyChain(p, std::move(b), &acc);
@@ -316,7 +332,13 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
         for (auto& t : pool) t.join();
         if (err) std::rethrow_exception(err);
       }
-      for (uint64_t e : emitted) stats_.rows_produced += e;
+      for (const ChainStats& e : emitted) {
+        stats_.rows_produced += e.rows;
+        stats_.tuples_materialized += e.tuples;
+        ps.chain_rows += e.rows;
+        ps.chain_tuples += e.tuples;
+        ps.groups += e.groups;
+      }
       for (size_t i = 0; i < scan_rows.size(); ++i) {
         stats_.partition_rows[static_cast<size_t>(
             scan_morsels[i].partition)] += scan_rows[i];
@@ -324,16 +346,35 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
     }
 
     if (p.sink_is_breaker()) {
-      std::vector<Row> rows = RunBreaker(*p.sink, RowsFromBatches(*sink_in));
+      std::vector<Row> rows;
+      if (p.sink->kind == PhysOpKind::kAggregate) {
+        // The one breaker that consumes factorized batches without ever
+        // expanding them: COUNT/SUM fold a whole run into one
+        // multiplicity-weighted state update (group order and rounding
+        // bit-identical to aggregating the flattened rows).
+        rows = k_.AggregateBatchRows(*p.sink, *sink_in);
+      } else {
+        // Row-needing breakers (sort, global limit, dedup) force the
+        // deferred flatten here: charge the expanded rows of every still-
+        // factorized input batch as materialized now.
+        for (const Batch& b : *sink_in) {
+          if (b.factorized()) stats_.tuples_materialized += b.size();
+        }
+        rows = RunBreaker(*p.sink, RowsFromBatches(*sink_in));
+      }
       stats_.rows_produced += rows.size();
+      stats_.tuples_materialized += rows.size();
       results_[p.sink] =
           BatchesFromRows(rows, p.sink->out_cols.size(), opts_.batch_rows);
     } else {
       // Terminal collect: keep per-morsel batches, reassembled in morsel
-      // order so the result is identical for any thread count.
+      // order so the result is identical for any thread count. Flatten is
+      // where a factorized chain's deferred materialization finally
+      // happens (free for flat, selection-less batches).
       std::vector<Batch>& res = results_[p.sink];
       for (Batch& b : out) {
         if (b.size() > 0) {
+          if (b.factorized()) stats_.tuples_materialized += b.size();
           b.Flatten();
           res.push_back(std::move(b));
         }

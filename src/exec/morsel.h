@@ -7,6 +7,7 @@
 #include "src/exec/executor.h"
 #include "src/exec/kernels.h"
 #include "src/exec/pipeline.h"
+#include "src/opt/pipeline/planner_options.h"
 
 namespace gopt {
 
@@ -21,6 +22,10 @@ struct MorselOptions {
   /// Rows per batch when a breaker's materialized output is re-chunked
   /// into the next pipeline's morsels.
   size_t batch_rows = kDefaultBatchRows;
+  /// Factorized-intermediate mode applied when Execute has to build the
+  /// pipeline plan itself (no prebuilt plan passed). A prebuilt plan
+  /// carries its own frozen per-pipeline decisions and wins.
+  FactorizationMode factorization = FactorizationMode::kAuto;
 };
 
 /// Work-stealing distribution of morsel indices [0, total) over workers.
@@ -99,20 +104,34 @@ class MorselExecutor {
   int threads() const { return threads_; }
 
  private:
+  /// Per-worker counters of one pipeline chain, merged into ExecStats
+  /// after the pool joins. `rows` counts logical rows (bindings
+  /// represented — identical factorized or flat, which is what keeps
+  /// rows_produced parity with the other runtimes); `tuples` counts
+  /// physical tuples actually stored; `groups` the prefix-group entries
+  /// among them.
+  struct ChainStats {
+    uint64_t rows = 0;
+    uint64_t tuples = 0;
+    uint64_t groups = 0;
+  };
+
   void RunPipeline(const Pipeline& p);
   /// Streams one source batch through the pipeline's operator chain,
-  /// adding each operator's emitted-row count to `*emitted`. The owned
-  /// overload filters in place (scan batches belong to the worker); the
-  /// shared overload copies only if the first operator is a filter
-  /// (materialized source batches may be consumed by several parents).
-  Batch ApplyChain(const Pipeline& p, Batch&& owned, uint64_t* emitted) const;
+  /// accumulating per-operator counts into `*cs`. The owned overload
+  /// filters in place (scan batches belong to the worker); the shared
+  /// overload copies only if the first operator is a filter (materialized
+  /// source batches may be consumed by several parents).
+  Batch ApplyChain(const Pipeline& p, Batch&& owned, ChainStats* cs) const;
   Batch ApplyChain(const Pipeline& p, const Batch& shared,
-                   uint64_t* emitted) const;
+                   ChainStats* cs) const;
   /// Applies ops[from..] to an owned batch.
   Batch ApplyOpsOwned(const Pipeline& p, size_t from, Batch cur,
-                      uint64_t* emitted) const;
-  /// One non-filter streaming operator, batch in / batch out.
-  Batch ApplyStreamingOp(const PhysOp& op, const Batch& in) const;
+                      ChainStats* cs) const;
+  /// One non-filter streaming operator (ops[i]), batch in / batch out.
+  /// The pipeline's factorized / lazy_ops flags select factorized
+  /// emission for the expansion kernels.
+  Batch ApplyStreamingOp(const Pipeline& p, size_t i, const Batch& in) const;
   void RunUnionSink(const Pipeline& p);
   /// Runs the sink's blocking kernel over the collected input rows.
   std::vector<Row> RunBreaker(const PhysOp& sink, std::vector<Row> rows) const;

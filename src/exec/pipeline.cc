@@ -31,12 +31,16 @@ std::string Pipeline::ToString() const {
   } else {
     s += "mat[" + std::string(PhysOpKindName(source->kind)) + "]";
   }
-  for (const PhysOp* op : ops) s += " -> " + OpLabel(op);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    s += " -> " + OpLabel(ops[i]);
+    if (i < lazy_ops.size() && lazy_ops[i]) s += "[lazy]";
+  }
   if (sink_is_breaker()) {
     s += " => " + std::string(PhysOpKindName(sink->kind));
   } else {
     s += " => collect";
   }
+  if (factorized) s += " [factorized]";
   return s;
 }
 

@@ -45,6 +45,22 @@ struct Pipeline {
   /// `ops`, and of a union sink's children.
   std::vector<int> deps;
 
+  /// Run the pipeline's expansions factorized (group columns sharing the
+  /// prefix across the fan-out; docs/factorization.md). Chosen per
+  /// pipeline by ChooseFactorization (src/opt/factorization.cc) from the
+  /// EngineOptions::factorization mode; BuildPipelinePlan leaves it false.
+  bool factorized = false;
+  /// Parallel to `ops` when `factorized`: 1 marks an expansion whose
+  /// produced columns are provably dead downstream of this pipeline, so it
+  /// emits multiplicity-only groups (no per-row values at all). Empty when
+  /// not factorized.
+  std::vector<uint8_t> lazy_ops;
+  /// Points inside or at the end of this pipeline where factorized batches
+  /// are forced flat again (row-needing breaker sinks, terminal collects
+  /// feeding row consumers, hash-join builds). Purely informational — the
+  /// runtime flattens wherever it must regardless.
+  int flatten_points = 0;
+
   /// True when the sink is a breaker (its blocking kernel still has to run
   /// over the collected input).
   bool sink_is_breaker() const {

@@ -68,6 +68,8 @@ uint64_t OptionsFingerprint(const EngineOptions& opts) {
   // scaled by the partitioning's measured edge-cut (see CommProfile).
   h = HashCombine(h, static_cast<size_t>(opts.partitions));
   h = HashCombine(h, static_cast<size_t>(opts.partition_policy));
+  // Factorization decisions are frozen into the cached pipeline plan.
+  h = HashCombine(h, static_cast<size_t>(opts.factorization));
   return static_cast<uint64_t>(h);
 }
 

@@ -38,6 +38,18 @@ enum class PlannerMode { kGOpt, kNoOpt, kRboOnly, kNeo4jStyle };
 /// appended after the pattern.
 enum class MatchSemantics { kHomomorphism, kNoRepeatedEdge };
 
+/// Whether the morsel runtime may keep expansion output *factorized* —
+/// prefix groups shared across the fan-out instead of one flat row per
+/// binding (docs/factorization.md):
+///  - kAuto: per pipeline, the CBO decides from estimated fan-outs and
+///    sink liveness (src/opt/factorization.cc);
+///  - kOn:   every pipeline with an expansion runs factorized, and the
+///    engine routes execution through the morsel runtime even at
+///    exec_threads == 1 so the representation is exercised;
+///  - kOff:  always flat (the pre-factorization behavior).
+/// Results are differential-tested identical across all three settings.
+enum class FactorizationMode { kAuto, kOn, kOff };
+
 struct EngineOptions {
   PlannerMode mode = PlannerMode::kGOpt;
 
@@ -107,6 +119,11 @@ struct EngineOptions {
   /// Vertex-partitioning policy of the sharded store (hash or range);
   /// plan-affecting for the same reason as `partitions`.
   PartitionPolicy partition_policy = PartitionPolicy::kHash;
+
+  /// Factorized intermediate batches (docs/factorization.md). Plan-affecting
+  /// — the per-pipeline factorize/flatten decisions are frozen into the
+  /// cached prepared plan — so it is part of OptionsFingerprint.
+  FactorizationMode factorization = FactorizationMode::kAuto;
 
   /// Prepared-plan cache (sharded thread-safe LRU over the parameterized
   /// query stream): repeated Run / Prepare calls on the same query shape

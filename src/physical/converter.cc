@@ -152,6 +152,7 @@ PhysOpPtr PhysicalConverter::ConvertPlanRec(const Pattern& full,
       op->vtc = v.tc;
       op->vertex_preds = v.predicates;
       op->out_cols = {v.alias};
+      op->est_rows = node->freq;
       return op;
     }
     case PatternPlanNode::Kind::kExpand: {
@@ -198,6 +199,7 @@ PhysOpPtr PhysicalConverter::ConvertPlanRec(const Pattern& full,
         }
         op->out_cols = in->out_cols;
         op->out_cols.push_back(nv.alias);
+        op->est_rows = node->freq;
         return op;
       }
       // Sequential expansion: the first edge incident to the new vertex
@@ -211,6 +213,9 @@ PhysOpPtr PhysicalConverter::ConvertPlanRec(const Pattern& full,
         const PatternEdge& e = full.EdgeById(eid);
         cur = MakeEdgeStep(node->pattern, e, cur, needs_binding(e));
       }
+      // The CBO's frequency estimate covers the whole expand step; annotate
+      // its final operator (intermediate edge steps stay unknown).
+      if (cur != in) cur->est_rows = node->freq;
       return cur;
     }
     case PatternPlanNode::Kind::kJoin: {
@@ -226,6 +231,7 @@ PhysOpPtr PhysicalConverter::ConvertPlanRec(const Pattern& full,
       for (const auto& c : r->out_cols) {
         if (!HasCol(op->out_cols, c)) op->out_cols.push_back(c);
       }
+      op->est_rows = node->freq;
       return op;
     }
   }
@@ -247,6 +253,7 @@ PhysOpPtr PhysicalConverter::FinishPattern(const LogicalOp& op, PhysOpPtr in) {
       sel->children = {in};
       sel->predicate = Expr::MakeFunc("all_edges_distinct", args);
       sel->out_cols = in->out_cols;
+      sel->est_rows = in->est_rows;
       in = sel;
     }
   }
@@ -273,6 +280,7 @@ PhysOpPtr PhysicalConverter::FinishPattern(const LogicalOp& op, PhysOpPtr in) {
   }
   proj->append = false;
   proj->out_cols = kept;
+  proj->est_rows = in->est_rows;
   return proj;
 }
 
@@ -344,6 +352,7 @@ PhysOpPtr PhysicalConverter::ConvertNode(
       out->children = {in};
       out->predicate = op->predicate;
       out->out_cols = in->out_cols;
+      out->est_rows = in->est_rows;
       break;
     }
     case LogicalOpKind::kProject: {
@@ -356,6 +365,7 @@ PhysOpPtr PhysicalConverter::ConvertNode(
         out->out_cols = in->out_cols;
       }
       for (const auto& item : op->items) out->out_cols.push_back(item.alias);
+      out->est_rows = in->est_rows;
       break;
     }
     case LogicalOpKind::kAggregate: {

@@ -49,6 +49,12 @@ struct PhysOp {
   std::vector<PhysOpPtr> children;
   std::vector<std::string> out_cols;
 
+  /// CBO-estimated output cardinality (the Glogue frequency of the pattern
+  /// this operator completes), or -1 when unknown. Consumed by the
+  /// factorization chooser (src/opt/factorization.cc) to estimate per-step
+  /// fan-outs; never affects results.
+  double est_rows = -1;
+
   // kScanVertices / expansion targets
   std::string alias;              ///< bound vertex alias (scan/expand target)
   TypeConstraint vtc;             ///< target vertex constraint
