@@ -64,8 +64,8 @@ int main() {
   auto r1 = standard.Execute(p1);
   auto r2 = remote.Execute(p2);
   std::printf("triangle count (standard backend): %s\n",
-              r1.table.rows[0][0].ToString().c_str());
+              r1.table().rows[0][0].ToString().c_str());
   std::printf("triangle count (custom backend):   %s\n",
-              r2.table.rows[0][0].ToString().c_str());
+              r2.table().rows[0][0].ToString().c_str());
   return 0;
 }

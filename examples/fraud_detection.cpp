@@ -32,7 +32,7 @@ int main() {
 
   ExecOutcome r = engine.Execute(prep);
   std::printf("paths found: %s (%.2f ms, %llu rows exchanged)\n",
-              r.table.rows.empty() ? "0" : r.table.rows[0][0].ToString().c_str(),
+              r.table().rows.empty() ? "0" : r.table().rows[0][0].ToString().c_str(),
               r.ms,
               static_cast<unsigned long long>(r.stats.comm_rows));
 

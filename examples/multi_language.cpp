@@ -33,7 +33,7 @@ int main() {
     auto rg = engine.Run(gremlin, Language::kGremlin);
     std::printf("[%s] Cypher rows=%zu, Gremlin rows=%zu\n",
                 backend.name.c_str(), rc.NumRows(), rg.NumRows());
-    std::printf("%s\n", rc.table.ToString(5).c_str());
+    std::printf("%s\n", rc.table().ToString(5).c_str());
   }
 
   // The unified GIR also makes the optimizer language-agnostic: the rules

@@ -58,7 +58,7 @@ int main() {
 
   ExecOutcome result = engine.Execute(prep);
   std::printf("=== Results (%zu rows, %.2f ms) ===\n%s", result.NumRows(),
-              result.ms, result.table.ToString().c_str());
+              result.ms, result.table().ToString().c_str());
 
   // 4. The same query in Gremlin lowers into the same GIR.
   const char* gremlin =

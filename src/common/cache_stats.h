@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gopt {
+
+/// Counters shared by every engine-level cache (the prepared-plan cache in
+/// opt/pipeline/shared_plan_cache.h and the result cache in
+/// engine/result_cache.h), always handed out as a by-value snapshot — the
+/// live counters are atomics updated concurrently, so a reference would
+/// expose torn reads. hits/misses/evictions are monotonic over the cache's
+/// lifetime (Clear and scoped invalidation preserve them); entries and
+/// bytes are the current occupancy at snapshot time.
+///
+/// `bytes` is meaningful only for byte-budgeted caches (the result cache);
+/// entry-budgeted caches leave it 0. Keeping one struct for both is what
+/// lets Explain render a single "Cache" section in one format.
+struct CacheStats {
+  uint64_t hits = 0;       ///< Get calls that found an entry
+  uint64_t misses = 0;     ///< Get calls that found nothing
+  uint64_t evictions = 0;  ///< entries dropped by LRU capacity pressure
+  size_t entries = 0;      ///< cached entries at snapshot time
+  size_t bytes = 0;        ///< estimated bytes held (byte-budgeted caches)
+};
+
+}  // namespace gopt

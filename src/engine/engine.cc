@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/common/str_format.h"
+#include "src/engine/subpattern.h"
 #include "src/lang/parameterize.h"
 #include "src/opt/factorization.h"
 
@@ -21,7 +22,14 @@ GOptEngine::GOptEngine(const PropertyGraph* g, BackendSpec backend,
       plan_cache_(opts.plan_cache
                       ? opts.plan_cache
                       : std::make_shared<SharedPreparedPlanCache>(
-                            opts.plan_cache_capacity)) {
+                            opts.plan_cache_capacity)),
+      // An injected result cache is shared with its other engines and
+      // overrides result_cache_bytes; otherwise a private one sized by the
+      // byte budget, or none at all (the common default).
+      result_cache_(opts.result_cache ? opts.result_cache
+                    : opts.result_cache_bytes > 0
+                        ? std::make_shared<ResultCache>(opts.result_cache_bytes)
+                        : nullptr) {
   if (opts_.partitions > 0) {
     pstore_ = PartitionedGraph::Build(g_, opts_.partition_policy,
                                       opts_.partitions);
@@ -40,17 +48,31 @@ GOptEngine::GOptEngine(const PropertyGraph* g, BackendSpec backend,
 }
 
 void GOptEngine::SetGlogue(std::shared_ptr<const Glogue> gl) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  glogue_ = std::move(gl);
-  gq_high_.reset();
-  gq_low_.reset();
-  // Re-key this engine's cache lookups instead of clearing the (possibly
-  // shared) cache: plans cached under the old epoch embed cost decisions
-  // made against the previous statistics and become unreachable for this
-  // engine, while peers sharing the cache keep theirs. The epoch is the
-  // Glogue's process-unique instance id (never address-reused), so engines
-  // given the same Glogue share an epoch (and therefore plans).
-  glogue_epoch_ = glogue_ ? glogue_->instance_id() : 0;
+  uint64_t old_epoch;
+  uint64_t new_epoch;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    old_epoch = glogue_epoch_;
+    glogue_ = std::move(gl);
+    gq_high_.reset();
+    gq_low_.reset();
+    // Re-key this engine's cache lookups instead of clearing the (possibly
+    // shared) cache: plans cached under the old epoch embed cost decisions
+    // made against the previous statistics and become unreachable for this
+    // engine, while peers sharing the cache keep theirs. The epoch is the
+    // Glogue's process-unique instance id (never address-reused), so
+    // engines given the same Glogue share an epoch (and therefore plans).
+    glogue_epoch_ = glogue_ ? glogue_->instance_id() : 0;
+    new_epoch = glogue_epoch_;
+  }
+  // Precise result-cache invalidation: cached results are keyed through
+  // plan keys that embed (graph, epoch), so this engine's old-generation
+  // entries just became unreachable — evict exactly those. Entries of
+  // peers sharing the cache (other graphs, or the same graph on an epoch
+  // still in use) survive untouched (docs/result-cache.md).
+  if (result_cache_ && new_epoch != old_epoch) {
+    result_cache_->EraseScope(g_->instance_id(), old_epoch);
+  }
 }
 
 std::shared_ptr<const Glogue> GOptEngine::glogue() const {
@@ -151,18 +173,24 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
                                " [in canonical query: " + pq.text + "]");
     }
   };
-  if (!opts_.enable_plan_cache) {
-    Prepared prep = plan_parameterized();
-    prep.parameterized_query = std::move(pq.text);
-    prep.required_params = std::move(pq.required_params);
-    prep.params = std::move(pq.bindings);
-    return prep;
-  }
+  // The scoped plan key is computed even with the plan cache disabled: it
+  // is also the plan component of result-cache keys, which need the same
+  // (text, language, options, graph, epoch) discrimination.
   PlanCacheScope scope;
   scope.graph = g_->instance_id();
   scope.glogue_epoch = stats.epoch;
   const std::string key =
       PlanCacheKeyFromCanonical(pq.text, lang, opts_, scope);
+  if (!opts_.enable_plan_cache) {
+    Prepared prep = plan_parameterized();
+    prep.parameterized_query = std::move(pq.text);
+    prep.lang = lang;
+    prep.plan_key = key;
+    prep.glogue_epoch = stats.epoch;
+    prep.required_params = std::move(pq.required_params);
+    prep.params = std::move(pq.bindings);
+    return prep;
+  }
   if (std::shared_ptr<const Prepared> hit = plan_cache_->Get(key)) {
     Prepared prep = *hit;
     prep.from_cache = true;
@@ -172,6 +200,9 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
   }
   Prepared prep = plan_parameterized();
   prep.parameterized_query = std::move(pq.text);
+  prep.lang = lang;
+  prep.plan_key = key;
+  prep.glogue_epoch = stats.epoch;
   prep.required_params = std::move(pq.required_params);
   // Cache the binding-independent plan; this call's extracted literals are
   // attached only to the returned copy. A concurrent Prepare of the same
@@ -179,6 +210,56 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
   plan_cache_->Put(key, prep);
   prep.params = std::move(pq.bindings);
   return prep;
+}
+
+ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
+                                    const PipelinePlan* pipelines,
+                                    const ParamMap& bound,
+                                    ExecStats* stats) const {
+  // A fresh executor per call: all execution state (operator memo, stats)
+  // is call-local, so any number of Execute calls may run concurrently on
+  // one engine.
+  if (backend_.distributed) {
+    // With a sharded store the executor runs one worker per partition
+    // (ownership-map exchanges); otherwise the legacy per-operator
+    // simulated partitioning over backend_.num_workers.
+    DistributedExecutor ex(g_, backend_.num_workers, pstore_.get());
+    ex.set_params(&bound);
+    ResultTable table = ex.Execute(root);
+    *stats = ex.stats();
+    return table;
+  }
+  if (opts_.exec_threads != 1 || pstore_ != nullptr ||
+      opts_.factorization == FactorizationMode::kOn) {
+    // The morsel-driven batch runtime (see docs/executor.md). Results are
+    // differential-tested equal to the sequential executor below. A
+    // sharded store routes here even at one thread, so partitioned scans
+    // are exercised sequentially too (partition-granular morsels,
+    // deterministic morsel-order reassembly); factorization=on routes
+    // here likewise — only this runtime carries factorized batches.
+    MorselOptions mopts;
+    mopts.threads = opts_.exec_threads;
+    mopts.factorization = opts_.factorization;
+    MorselExecutor ex(g_, mopts, pstore_.get());
+    ex.set_params(&bound);
+    ResultTable table;
+    if (pipelines) {
+      table = ex.Execute(root, pipelines);
+    } else {
+      // Ad-hoc plan (a spliced consumer or a sub-pattern subtree): build
+      // its decomposition on the fly, same knobs as planning time.
+      PipelinePlan pp = BuildPipelinePlan(root);
+      ChooseFactorization(&pp, opts_.factorization);
+      table = ex.Execute(root, &pp);
+    }
+    *stats = ex.stats();
+    return table;
+  }
+  SingleMachineExecutor ex(g_);
+  ex.set_params(&bound);
+  ResultTable table = ex.Execute(root);
+  *stats = ex.stats();
+  return table;
 }
 
 ExecOutcome GOptEngine::Execute(const Prepared& prep,
@@ -195,46 +276,43 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
   }
   ExecOutcome out;
   if (prep.invalid || !prep.physical) {
-    out.table.columns = prep.output_columns;
-  } else {
-    auto t0 = std::chrono::steady_clock::now();
-    // A fresh executor per call: all execution state (operator memo,
-    // stats) is call-local, so any number of Execute calls may run
-    // concurrently on one engine.
-    if (backend_.distributed) {
-      // With a sharded store the executor runs one worker per partition
-      // (ownership-map exchanges); otherwise the legacy per-operator
-      // simulated partitioning over backend_.num_workers.
-      DistributedExecutor ex(g_, backend_.num_workers, pstore_.get());
-      ex.set_params(&bound);
-      out.table = ex.Execute(prep.physical);
-      out.stats = ex.stats();
-    } else if (opts_.exec_threads != 1 || pstore_ != nullptr ||
-               opts_.factorization == FactorizationMode::kOn) {
-      // The morsel-driven batch runtime (see docs/executor.md). Results
-      // are differential-tested equal to the sequential executor below.
-      // A sharded store routes here even at one thread, so partitioned
-      // scans are exercised sequentially too (partition-granular morsels,
-      // deterministic morsel-order reassembly); factorization=on routes
-      // here likewise — only this runtime carries factorized batches.
-      MorselOptions mopts;
-      mopts.threads = opts_.exec_threads;
-      mopts.factorization = opts_.factorization;
-      MorselExecutor ex(g_, mopts, pstore_.get());
-      ex.set_params(&bound);
-      out.table = ex.Execute(prep.physical, prep.exec_pipelines.get());
-      out.stats = ex.stats();
-    } else {
-      SingleMachineExecutor ex(g_);
-      ex.set_params(&bound);
-      out.table = ex.Execute(prep.physical);
-      out.stats = ex.stats();
+    auto empty = std::make_shared<ResultTable>();
+    empty->columns = prep.output_columns;
+    out.table_ptr = std::move(empty);
+    if (result_cache_) out.stats.result_cache = result_cache_->stats();
+    return out;
+  }
+  // Result-cache consult: keyed by the scoped plan key plus the effective
+  // values of exactly the parameters the plan reads. A hit is zero-copy —
+  // the cached immutable table is shared, no operator runs.
+  std::string rkey;
+  if (result_cache_) {
+    rkey = ResultCacheKey(prep.plan_key, prep.required_params, bound);
+    if (std::shared_ptr<const CachedResult> hit = result_cache_->Get(rkey)) {
+      out.table_ptr = hit->table;
+      out.stats.rows_produced = hit->rows_produced;
+      out.stats.result_cache_hit = true;
+      out.stats.result_cache = result_cache_->stats();
+      return out;
     }
-    auto t1 = std::chrono::steady_clock::now();
-    out.ms =
-        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
-            .count() /
-        1000.0;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  auto table = std::make_shared<ResultTable>(
+      RunPhysical(prep.physical, prep.exec_pipelines.get(), bound,
+                  &out.stats));
+  out.table_ptr = table;
+  auto t1 = std::chrono::steady_clock::now();
+  out.ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+      1000.0;
+  if (result_cache_) {
+    CachedResult entry;
+    entry.table = table;
+    entry.rows_produced = out.stats.rows_produced;
+    result_cache_->Put(rkey, PlanCacheScope{g_->instance_id(),
+                                            prep.glogue_epoch},
+                       std::move(entry));
+    out.stats.result_cache = result_cache_->stats();
   }
   return out;
 }
@@ -246,6 +324,158 @@ ExecOutcome GOptEngine::Run(const std::string& query, Language lang) const {
 ExecOutcome GOptEngine::Run(const std::string& query, const ParamMap& params,
                             Language lang) const {
   return Execute(Prepare(query, lang), params);
+}
+
+std::vector<ExecOutcome> GOptEngine::ExecuteBatch(
+    const std::vector<BatchQuery>& batch) const {
+  const size_t n = batch.size();
+  std::vector<ExecOutcome> out(n);
+  std::vector<Prepared> preps;
+  preps.reserve(n);
+  std::vector<ParamMap> bounds(n);
+  std::vector<std::string> rkeys(n);
+  std::vector<bool> done(n, false);
+
+  // Phase 1: prepare everything, validate bindings, and answer what the
+  // result cache already knows — cache hits never reach the sharing pass.
+  for (size_t i = 0; i < n; ++i) {
+    preps.push_back(Prepare(batch[i].query, batch[i].lang));
+    const Prepared& prep = preps.back();
+    bounds[i] = prep.params;
+    for (const auto& [name, value] : batch[i].params) {
+      bounds[i][name] = value;
+    }
+    for (const auto& name : prep.required_params) {
+      if (!bounds[i].count(name)) {
+        throw std::runtime_error("ExecuteBatch: unbound parameter $" + name +
+                                 " in batch entry " + std::to_string(i));
+      }
+    }
+    if (prep.invalid || !prep.physical) {
+      auto empty = std::make_shared<ResultTable>();
+      empty->columns = prep.output_columns;
+      out[i].table_ptr = std::move(empty);
+      done[i] = true;
+      continue;
+    }
+    if (result_cache_) {
+      rkeys[i] = ResultCacheKey(prep.plan_key, prep.required_params,
+                                bounds[i]);
+      if (std::shared_ptr<const CachedResult> hit =
+              result_cache_->Get(rkeys[i])) {
+        out[i].table_ptr = hit->table;
+        out[i].stats.rows_produced = hit->rows_produced;
+        out[i].stats.result_cache_hit = true;
+        done[i] = true;
+      }
+    }
+  }
+
+  // Phase 2: find sub-plans shared across the remaining (miss) plans.
+  std::vector<PhysOpPtr> roots(n);
+  std::vector<const ParamMap*> boundp(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!done[i]) roots[i] = preps[i].physical;
+    boundp[i] = &bounds[i];
+  }
+  const std::vector<SharedSubPlan> shared = FindSharedSubPlans(roots, boundp);
+
+  // Phase 3: materialize each shared sub-plan once (served from the
+  // result cache across batches when possible) and record, per consumer
+  // plan, the node -> cached-scan substitution and the rows_produced
+  // compensation that keeps batch metrics identical to standalone runs.
+  std::vector<std::map<const PhysOp*, PhysOpPtr>> splices(n);
+  std::vector<uint64_t> extra_rows(n, 0);
+  for (const SharedSubPlan& sp : shared) {
+    const size_t owner = sp.sites.front().first;
+    // Sub-pattern entries share the result cache under a reserved prefix:
+    // '\x01' cannot start a plan key (those begin with query text), and the
+    // graph id keeps engines over different graphs apart on a shared cache.
+    const std::string skey = std::string("\x01sub\x1f") +
+                             std::to_string(g_->instance_id()) + '\x1f' +
+                             sp.fingerprint;
+    std::shared_ptr<const std::vector<Row>> rows;
+    uint64_t sub_rows_produced = 0;
+    std::shared_ptr<const CachedResult> hit =
+        result_cache_ ? result_cache_->Get(skey) : nullptr;
+    if (hit) {
+      // Aliasing share of the cached table's row vector — zero-copy.
+      rows = std::shared_ptr<const std::vector<Row>>(hit->table,
+                                                     &hit->table->rows);
+      sub_rows_produced = hit->rows_produced;
+    } else {
+      ExecStats sub_stats;
+      auto sub_table = std::make_shared<ResultTable>(RunPhysical(
+          sp.representative, nullptr, bounds[owner], &sub_stats));
+      rows = std::shared_ptr<const std::vector<Row>>(sub_table,
+                                                     &sub_table->rows);
+      sub_rows_produced = sub_stats.rows_produced;
+      if (result_cache_) {
+        CachedResult entry;
+        entry.table = sub_table;
+        entry.rows_produced = sub_rows_produced;
+        result_cache_->Put(skey,
+                           PlanCacheScope{g_->instance_id(),
+                                          preps[owner].glogue_epoch},
+                           std::move(entry));
+      }
+    }
+    PhysOpPtr scan = MakeCachedScan(*sp.representative, rows);
+    for (const auto& [plan_idx, node] : sp.sites) {
+      splices[plan_idx][node] = scan;
+      // Standalone, the subtree's operators would have emitted
+      // sub_rows_produced rows; spliced, only the cached scan emits its
+      // rows.size(). Compensate so rows_produced parity holds.
+      extra_rows[plan_idx] += sub_rows_produced - rows->size();
+    }
+  }
+
+  // Phase 4: execute — spliced plans where sharing applies, the prepared
+  // plan (with its frozen pipeline decomposition) otherwise.
+  for (size_t i = 0; i < n; ++i) {
+    if (done[i]) {
+      if (result_cache_) out[i].stats.result_cache = result_cache_->stats();
+      continue;
+    }
+    const Prepared& prep = preps[i];
+    auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<ResultTable> table;
+    if (splices[i].empty()) {
+      table = std::make_shared<ResultTable>(
+          RunPhysical(prep.physical, prep.exec_pipelines.get(), bounds[i],
+                      &out[i].stats));
+    } else {
+      PhysOpPtr spliced = SplicePlan(prep.physical, splices[i]);
+      table = std::make_shared<ResultTable>(
+          RunPhysical(spliced, nullptr, bounds[i], &out[i].stats));
+      out[i].stats.rows_produced += extra_rows[i];
+    }
+    out[i].table_ptr = table;
+    auto t1 = std::chrono::steady_clock::now();
+    out[i].ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count() /
+        1000.0;
+    if (result_cache_) {
+      CachedResult entry;
+      entry.table = table;
+      entry.rows_produced = out[i].stats.rows_produced;
+      result_cache_->Put(rkeys[i],
+                         PlanCacheScope{g_->instance_id(),
+                                        prep.glogue_epoch},
+                         std::move(entry));
+      out[i].stats.result_cache = result_cache_->stats();
+    }
+  }
+  return out;
+}
+
+std::vector<ExecOutcome> GOptEngine::RunBatch(
+    const std::vector<std::string>& queries, Language lang) const {
+  std::vector<BatchQuery> batch;
+  batch.reserve(queries.size());
+  for (const std::string& q : queries) batch.emplace_back(q, ParamMap{}, lang);
+  return ExecuteBatch(batch);
 }
 
 std::string GOptEngine::Explain(const Prepared& prep) const {
@@ -278,6 +508,23 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
         lookups == 0 ? 0.0
                      : 100.0 * static_cast<double>(stats.hits) /
                            static_cast<double>(lookups));
+    if (result_cache_) {
+      const CacheStats rs = result_cache_->stats();
+      const uint64_t rlookups = rs.hits + rs.misses;
+      s += StrFormat(
+          "  result cache (%s): %zu entries, %zu / %zu bytes, %llu hits / "
+          "%llu misses / %llu evictions (hit rate %.1f%%)\n",
+          result_cache_.use_count() > 1 ? "shared" : "private", rs.entries,
+          rs.bytes, result_cache_->byte_budget(),
+          static_cast<unsigned long long>(rs.hits),
+          static_cast<unsigned long long>(rs.misses),
+          static_cast<unsigned long long>(rs.evictions),
+          rlookups == 0 ? 0.0
+                        : 100.0 * static_cast<double>(rs.hits) /
+                              static_cast<double>(rlookups));
+    } else {
+      s += "  result cache: disabled\n";
+    }
   }
   if (pstore_) {
     s += "=== Partitions ===\n";
@@ -324,8 +571,11 @@ std::string GOptEngine::Explain(const Prepared& prep,
   std::string s = Explain(prep);
   s += "=== Execution ===\n";
   s += StrFormat("  %zu rows returned, %.3f ms, %llu rows produced\n",
-                 outcome.table.NumRows(), outcome.ms,
+                 outcome.table().NumRows(), outcome.ms,
                  static_cast<unsigned long long>(outcome.stats.rows_produced));
+  if (outcome.stats.result_cache_hit) {
+    s += "  result cache hit: served zero-copy, no operator ran\n";
+  }
   bool any_factorized = false;
   for (const PipelineStat& p : outcome.stats.pipelines) {
     any_factorized = any_factorized || p.factorized;

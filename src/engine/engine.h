@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "src/engine/result_cache.h"
 #include "src/exec/dist_executor.h"
 #include "src/exec/executor.h"
 #include "src/exec/morsel.h"
@@ -44,6 +45,17 @@ struct Prepared {
   /// The canonical parameterized query text this plan was built from
   /// (also the cache-key text).
   std::string parameterized_query;
+  /// The language the text was planned as (part of every cache key).
+  Language lang = Language::kCypher;
+  /// The full plan-cache key — (parameterized text, language, options
+  /// fingerprint, graph identity, statistics epoch). Computed by every
+  /// Prepare, even with the plan cache disabled: it doubles as the plan
+  /// component of result-cache keys (docs/result-cache.md).
+  std::string plan_key;
+  /// The statistics epoch this plan was prepared under — the scope tag of
+  /// every result-cache entry it populates, so a later SetGlogue can evict
+  /// exactly this generation's results.
+  uint64_t glogue_epoch = 0;
   /// Every parameter slot the plan references: auto-extracted $__pN slots
   /// plus user-written $name parameters, in first-occurrence order.
   /// Execute throws if any of them is unbound.
@@ -59,19 +71,42 @@ struct Prepared {
 /// members) is what makes Execute re-entrant — concurrent calls cannot
 /// clobber each other's numbers.
 struct ExecOutcome {
-  ResultTable table;
+  /// The result rows, held by shared_ptr so a result-cache hit hands out
+  /// the cached table zero-copy (docs/result-cache.md): any number of
+  /// concurrent hits share one immutable materialization. Cold executions
+  /// wrap their freshly built table the same way.
+  std::shared_ptr<const ResultTable> table_ptr;
   ExecStats stats;
   double ms = 0;  ///< wall-clock milliseconds of this execution
 
+  /// The rows (an empty table when the query was invalid-by-types and
+  /// produced none). Reference is valid as long as this outcome — or any
+  /// copy sharing table_ptr — lives.
+  const ResultTable& table() const {
+    static const ResultTable kEmpty;
+    return table_ptr ? *table_ptr : kEmpty;
+  }
+
   // Table forwarders, so call sites that only care about rows read as
   // before: `engine.Run(q).NumRows()`.
-  size_t NumRows() const { return table.NumRows(); }
+  size_t NumRows() const { return table().NumRows(); }
   bool SameRows(const ResultTable& other) const {
-    return table.SameRows(other);
+    return table().SameRows(other);
   }
   bool SameRows(const ExecOutcome& other) const {
-    return table.SameRows(other.table);
+    return table().SameRows(other.table());
   }
+};
+
+/// One entry of GOptEngine::ExecuteBatch: a query plus its $name bindings.
+struct BatchQuery {
+  std::string query;
+  ParamMap params;
+  Language lang = Language::kCypher;
+
+  BatchQuery() = default;
+  BatchQuery(std::string q, ParamMap p = {}, Language l = Language::kCypher)
+      : query(std::move(q)), params(std::move(p)), lang(l) {}
 };
 
 /// GOptEngine: the end-to-end facade. Planning runs as a declarative pass
@@ -135,6 +170,22 @@ class GOptEngine {
   ExecOutcome Run(const std::string& query, const ParamMap& params,
                   Language lang = Language::kCypher) const;
 
+  /// Executes a batch of queries with shared sub-pattern caching
+  /// (docs/result-cache.md): after per-query result-cache consults, the
+  /// remaining plans are scanned for structurally identical sub-plans
+  /// (under their effective bindings); each shared sub-plan is
+  /// materialized once and spliced into every consumer as a cached-scan
+  /// leaf before execution. Outcomes are index-aligned with `batch` and
+  /// identical (bit-for-bit tables, same logical rows_produced) to running
+  /// each query alone — only the work is shared, never the semantics.
+  /// Const and re-entrant like Execute.
+  std::vector<ExecOutcome> ExecuteBatch(
+      const std::vector<BatchQuery>& batch) const;
+  /// ExecuteBatch convenience over bare query strings.
+  std::vector<ExecOutcome> RunBatch(
+      const std::vector<std::string>& queries,
+      Language lang = Language::kCypher) const;
+
   /// Human-readable plan description (logical + pattern plans + physical +
   /// the per-pass PlanTrace with millisecond timings, per-pattern CBO
   /// timings, and the plan-cache counters). When the morsel runtime is
@@ -162,6 +213,25 @@ class GOptEngine {
   /// EngineOptions::plan_cache to share plans).
   const std::shared_ptr<SharedPreparedPlanCache>& plan_cache() const {
     return plan_cache_;
+  }
+
+  /// Snapshot of the result-cache counters (hits / misses / evictions /
+  /// entries / bytes); all zero when no result cache is configured. On a
+  /// shared cache the counters aggregate over every engine attached.
+  CacheStats result_cache_stats() const {
+    return result_cache_ ? result_cache_->stats() : CacheStats{};
+  }
+  /// Drops every cached result scoped to this engine's graph, across all
+  /// epochs (counters preserved). On a shared cache, entries of engines
+  /// over *other* graphs survive. No-op without a result cache.
+  void ClearResultCache() {
+    if (result_cache_) result_cache_->EraseScope(g_->instance_id());
+  }
+  /// The engine's result cache handle (null when result_cache_bytes == 0
+  /// and none was injected). Inject into another engine's
+  /// EngineOptions::result_cache to share results across engines.
+  const std::shared_ptr<ResultCache>& result_cache() const {
+    return result_cache_;
   }
 
   /// Shares a prebuilt GLogue (e.g. across engines over the same graph).
@@ -202,11 +272,22 @@ class GOptEngine {
   /// Runs the full planning pipeline (no cache).
   Prepared PlanQuery(const std::string& query, Language lang,
                      const StatsSnapshot& stats) const;
+  /// Runs one physical plan on the configured backend with `bound`
+  /// parameter bindings, accumulating metrics into *stats. `pipelines` is
+  /// the plan's prebuilt decomposition for the morsel runtime (null: built
+  /// on the fly — the spliced-plan path of ExecuteBatch). The shared
+  /// backend-dispatch of Execute and ExecuteBatch.
+  ResultTable RunPhysical(const PhysOpPtr& root, const PipelinePlan* pipelines,
+                          const ParamMap& bound, ExecStats* stats) const;
 
   const PropertyGraph* g_;
   BackendSpec backend_;
   EngineOptions opts_;
   std::shared_ptr<SharedPreparedPlanCache> plan_cache_;
+  /// Memory-bounded cache of full query results and materialized shared
+  /// sub-patterns (docs/result-cache.md). Null when disabled
+  /// (result_cache_bytes == 0 and no injected handle).
+  std::shared_ptr<ResultCache> result_cache_;
   /// Sharded store + its communication profile for the CBO, built once at
   /// construction when opts_.partitions > 0; both immutable afterwards.
   std::shared_ptr<const PartitionedGraph> pstore_;

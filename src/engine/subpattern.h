@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/physical/physical_op.h"
+
+namespace gopt {
+
+/// A sub-plan that occurs (structurally identical, under identical
+/// effective parameter bindings) at two or more places across a batch of
+/// physical plans — the unit GOptEngine::ExecuteBatch materializes once
+/// and splices into every consumer as a kCachedScan leaf
+/// (docs/result-cache.md).
+struct SharedSubPlan {
+  /// The structural fingerprint all occurrences share (also the
+  /// result-cache key component for cross-batch reuse).
+  std::string fingerprint;
+  /// One occurrence to materialize (they are interchangeable).
+  PhysOpPtr representative;
+  /// Every occurrence: (index into the batch's plan vector, node). A plan
+  /// may contribute several occurrences.
+  std::vector<std::pair<size_t, const PhysOp*>> sites;
+};
+
+/// Injective structural serialization of the sub-plan rooted at `op`:
+/// operator kinds, aliases, type constraints, expressions, and children,
+/// recursively — plus the *bound values* of every $parameter the subtree's
+/// expressions reference, so two textually identical sub-plans under
+/// different bindings never share a materialization. Aliases are compared
+/// literally (not positionally): the multi-pattern CBO canonicalizes
+/// shared pattern shapes, so equal sub-patterns of a batch carry equal
+/// aliases and — decisively — equal out_cols, which makes splicing
+/// layout-exact by construction.
+std::string SubPlanFingerprint(const PhysOp& op, const ParamMap& bound);
+
+/// Finds the maximal sub-plans occurring >= 2 times across `roots`
+/// (bound[i] are plan i's effective parameter bindings). Maximal: chosen
+/// top-down, so no selected sub-plan is nested inside another selection.
+/// Whole plans are excluded — deduping entire queries is the result
+/// cache's job one layer up. Nodes already shared by pointer (DAG plans
+/// after ComSubPattern) count once per distinct pointer; pointer-sharing
+/// within one plan is already free and stays untouched.
+std::vector<SharedSubPlan> FindSharedSubPlans(
+    const std::vector<PhysOpPtr>& roots,
+    const std::vector<const ParamMap*>& bound);
+
+/// Returns a copy of `root` with every node in `replacements` substituted
+/// (typically by a kCachedScan leaf over its materialized bindings).
+/// Nodes on paths to replaced nodes are cloned; untouched subtrees are
+/// shared with the original, and DAG sharing among cloned nodes is
+/// preserved. `root` itself — possibly referenced by cached Prepared
+/// plans — is never mutated.
+PhysOpPtr SplicePlan(const PhysOpPtr& root,
+                     const std::map<const PhysOp*, PhysOpPtr>& replacements);
+
+/// Builds the kCachedScan leaf for a materialized sub-pattern: layout
+/// (out_cols) copied from `original`, rows shared via `rows`.
+PhysOpPtr MakeCachedScan(const PhysOp& original,
+                         std::shared_ptr<const std::vector<Row>> rows);
+
+}  // namespace gopt

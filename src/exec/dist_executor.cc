@@ -175,6 +175,17 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
       out_tag = op->alias;
       break;
     }
+    case PhysOpKind::kCachedScan: {
+      // Pre-materialized sub-pattern bindings: deal the rows round-robin
+      // over the workers. The stream is not ownership-partitioned on any
+      // vertex column (out_tag stays empty), so a later expansion stages
+      // it to the expansion source's owners like any unaligned stream.
+      const std::vector<Row>& rows = *op->cached_rows;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        (*result)[i % static_cast<size_t>(workers_)].push_back(rows[i]);
+      }
+      break;
+    }
     case PhysOpKind::kExpandEdge:
     case PhysOpKind::kExpandIntersect:
     case PhysOpKind::kPathExpand: {

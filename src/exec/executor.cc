@@ -24,6 +24,12 @@ SingleMachineExecutor::TablePtr SingleMachineExecutor::Run(
     case PhysOpKind::kScanVertices:
       *result = k_.Scan(*op);
       break;
+    case PhysOpKind::kCachedScan:
+      // Pre-materialized sub-pattern bindings, emitted as-is. The copy
+      // keeps the executor's ownership model (results_ rows are mutated
+      // downstream); zero-copy sharing happens at the result-cache layer.
+      *result = *op->cached_rows;
+      break;
     case PhysOpKind::kExpandEdge:
       *result = k_.ExpandEdge(*op, *Run(op->children[0]));
       break;

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "src/common/cache_stats.h"
 #include "src/exec/kernels.h"
 #include "src/exec/result.h"
 
@@ -56,6 +57,17 @@ struct ExecStats {
   /// (distributed runtime) or per-partition scan-source rows (morsel
   /// runtime) — the skew signal Explain surfaces.
   std::vector<uint64_t> partition_rows;
+
+  // Result-cache metrics (docs/result-cache.md), populated by the engine —
+  // not the executors — whenever a result cache is configured.
+  /// This execution was answered from the result cache: no operator ran;
+  /// rows_produced is the cached logical count of the execution that
+  /// populated the entry (runtime-invariant, so parity still holds).
+  bool result_cache_hit = false;
+  /// Snapshot of the engine's result-cache counters after this call
+  /// (hits / misses / evictions / entries / bytes). All zero when no
+  /// result cache is configured.
+  CacheStats result_cache;
 };
 
 /// The Neo4j-like backend runtime: a sequential, materialize-per-operator

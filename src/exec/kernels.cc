@@ -112,6 +112,14 @@ std::vector<ScanMorsel> Kernels::ScanMorsels(const PhysOp& op,
       out.push_back(m);
     }
   };
+  if (op.kind == PhysOpKind::kCachedScan) {
+    // The domain is the pre-materialized row vector, never the store: one
+    // global slicing regardless of partitioning (the rows are a finished
+    // sub-pattern materialization, not vertices with owners).
+    slice(true, kInvalidTypeId, -1,
+          op.cached_rows ? op.cached_rows->size() : 0);
+    return out;
+  }
   if (pstore_ != nullptr) {
     // Partition-major: each partition's morsels form one contiguous index
     // run, so the morsel queue can hand whole partitions to workers.
@@ -138,6 +146,16 @@ std::vector<ScanMorsel> Kernels::ScanMorsels(const PhysOp& op,
 
 Batch Kernels::ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker,
                          int W) const {
+  if (op.kind == PhysOpKind::kCachedScan) {
+    // Emit the morsel's slice of the cached rows verbatim. The legacy
+    // worker/W filter does not apply: the rows are a materialized stream
+    // (the distributed executor slices them round-robin itself).
+    Batch cached(op.out_cols.size());
+    for (size_t i = m.begin; i < m.end; ++i) {
+      cached.AppendRow((*op.cached_rows)[i]);
+    }
+    return cached;
+  }
   Batch out(1);
   ColMap self{{op.alias, 0}};
   Row row(1);

@@ -340,6 +340,9 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
         ps.groups += e.groups;
       }
       for (size_t i = 0; i < scan_rows.size(); ++i) {
+        // Cached-scan morsels carry partition -1 even on a sharded store
+        // (their rows are a materialized stream, not owned vertices).
+        if (scan_morsels[i].partition < 0) continue;
         stats_.partition_rows[static_cast<size_t>(
             scan_morsels[i].partition)] += scan_rows[i];
       }

@@ -105,7 +105,8 @@ PipelinePlan BuildPipelinePlan(const PhysOpPtr& root) {
           IsPipelineBreaker(node->kind) ? node->children[0].get() : node;
       while (true) {
         const bool shared = cur != node && parents[cur] > 1;
-        if (cur->kind == PhysOpKind::kScanVertices) {
+        if (cur->kind == PhysOpKind::kScanVertices ||
+            cur->kind == PhysOpKind::kCachedScan) {
           if (shared) {
             p.deps.push_back(compile(cur));
             p.source = cur;

@@ -21,6 +21,9 @@ struct Prepared;
 template <typename PlanT>
 class SharedPlanCache;
 using SharedPreparedPlanCache = SharedPlanCache<Prepared>;
+/// The memory-bounded query-result cache (src/engine/result_cache.h;
+/// forward-declared here for the same layering reason as the plan cache).
+class ResultCache;
 
 /// Planner behavior presets used throughout the experiments:
 ///  - kGOpt:       the full pipeline (RBO -> type inference -> CBO).
@@ -138,6 +141,23 @@ struct EngineOptions {
   /// GLogue statistics never cross-serve entries. When null the engine
   /// creates a private cache of plan_cache_capacity entries.
   std::shared_ptr<SharedPreparedPlanCache> plan_cache;
+
+  /// Result cache (src/engine/result_cache.h, docs/result-cache.md):
+  /// byte budget of the per-engine cache of materialized query answers,
+  /// keyed on (parameterized plan key, bound parameter values, graph
+  /// identity, statistics epoch, options fingerprint). 0 (default)
+  /// disables result caching entirely. Like the plan-cache knobs this
+  /// never changes what a query *returns* (hits are differential-tested
+  /// bit-identical to cold executions), so it is excluded from
+  /// OptionsFingerprint. Read once at engine construction.
+  size_t result_cache_bytes = 0;
+
+  /// Injected shared result cache, analogous to `plan_cache`: engines
+  /// constructed with the same ResultCache handle share answers (the key's
+  /// scope components keep different graphs / options / epochs apart).
+  /// When null and result_cache_bytes > 0, the engine creates a private
+  /// cache of that budget; when set, it overrides result_cache_bytes.
+  std::shared_ptr<ResultCache> result_cache;
 
   /// Auto-parameterization: rewrite constant tokens of incoming queries
   /// into $__pN parameter slots before planning, so queries differing only

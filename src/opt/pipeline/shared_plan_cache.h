@@ -11,19 +11,15 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/cache_stats.h"
+
 namespace gopt {
 
-/// Counters of a SharedPlanCache, always returned as a by-value snapshot
-/// (the live counters are atomics updated concurrently; handing out a
-/// reference would expose torn reads). hits/misses/evictions are monotonic
-/// over the cache's lifetime (Clear preserves them); entries is the current
-/// size at snapshot time. Surfaced by GOptEngine::plan_cache_stats().
-struct PlanCacheStats {
-  uint64_t hits = 0;       ///< Get calls that found an entry
-  uint64_t misses = 0;     ///< Get calls that found nothing
-  uint64_t evictions = 0;  ///< entries dropped by LRU capacity pressure
-  size_t entries = 0;      ///< number of cached plans at snapshot time
-};
+/// Counters of a SharedPlanCache: the engine-wide CacheStats struct
+/// (src/common/cache_stats.h), shared with the result cache so Explain
+/// reports both in one format. `bytes` stays 0 here — this cache budgets
+/// entries, not bytes. Surfaced by GOptEngine::plan_cache_stats().
+using PlanCacheStats = CacheStats;
 
 /// Thread-safe sharded LRU cache of prepared plans, shareable across
 /// engines and threads (the concurrency tentpole; the single-threaded

@@ -5,6 +5,7 @@ namespace gopt {
 const char* PhysOpKindName(PhysOpKind k) {
   switch (k) {
     case PhysOpKind::kScanVertices: return "Scan";
+    case PhysOpKind::kCachedScan: return "CachedScan";
     case PhysOpKind::kExpandEdge: return "Expand";
     case PhysOpKind::kExpandIntersect: return "ExpandIntersect";
     case PhysOpKind::kPathExpand: return "PathExpand";
@@ -24,6 +25,9 @@ const char* PhysOpKindName(PhysOpKind k) {
 PipelineRole PhysOpPipelineRole(PhysOpKind k) {
   switch (k) {
     case PhysOpKind::kScanVertices:
+    // A cached scan is a source like any vertex scan: its domain (the
+    // materialized row vector) slices into morsels.
+    case PhysOpKind::kCachedScan:
       return PipelineRole::kSource;
     case PhysOpKind::kExpandEdge:
     case PhysOpKind::kExpandIntersect:
@@ -56,6 +60,10 @@ std::string PhysOp::ToString(const GraphSchema& schema, int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string s = pad + PhysOpKindName(kind);
   switch (kind) {
+    case PhysOpKind::kCachedScan:
+      s += " [" + std::to_string(cached_rows ? cached_rows->size() : 0) +
+           " rows]";
+      break;
     case PhysOpKind::kScanVertices:
       s += " " + alias + " (" + vtc.ToString(schema, true) + ")";
       if (!vertex_preds.empty()) {

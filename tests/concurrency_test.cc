@@ -128,7 +128,7 @@ TEST(ConcurrencyTest, ColdCacheConcurrentPreparesConverge) {
     threads.emplace_back([&] {
       for (size_t r = 0; r < rounds; ++r) {
         for (size_t i = 0; i < M; ++i) {
-          if (engine.Run(shapes[i]).table.columns.empty()) {
+          if (engine.Run(shapes[i]).table().columns.empty()) {
             failures.fetch_add(1);
           }
         }

@@ -132,8 +132,8 @@ TEST(EngineSmoke, AggregationAndOrder) {
       "RETURN p.name AS product, COUNT(a) AS buyers "
       "ORDER BY buyers DESC, product ASC LIMIT 2");
   ASSERT_EQ(result.NumRows(), 2u);
-  EXPECT_EQ(result.table.rows[0][0].AsString(), "product0");
-  EXPECT_EQ(result.table.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(result.table().rows[0][0].AsString(), "product0");
+  EXPECT_EQ(result.table().rows[0][1].AsInt(), 2);
 }
 
 TEST(EngineSmoke, InvalidPatternReturnsEmpty) {

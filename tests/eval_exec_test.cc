@@ -131,20 +131,20 @@ TEST(EndToEnd, AggregatesOverEmptyAndNulls) {
   auto r = engine.Run(
       "MATCH (a:Person) WHERE a.id > 100 RETURN COUNT(*) AS c");
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.table.rows[0][0].AsInt(), 0);
+  EXPECT_EQ(r.table().rows[0][0].AsInt(), 0);
   // COUNT(a.name) skips nulls; COUNT(*) does not.
   auto r2 = engine.Run(
       "MATCH (a:Person) RETURN COUNT(a.name) AS named, COUNT(*) AS total");
-  EXPECT_EQ(r2.table.rows[0][0].AsInt(), 2);
-  EXPECT_EQ(r2.table.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(r2.table().rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r2.table().rows[0][1].AsInt(), 3);
   // MIN/MAX/AVG/COLLECT on ids.
   auto r3 = engine.Run(
       "MATCH (a:Person) RETURN MIN(a.id) AS lo, MAX(a.id) AS hi, "
       "AVG(a.id) AS mean, COLLECT(a.id) AS ids");
-  EXPECT_EQ(r3.table.rows[0][0].AsInt(), 0);
-  EXPECT_EQ(r3.table.rows[0][1].AsInt(), 2);
-  EXPECT_DOUBLE_EQ(r3.table.rows[0][2].AsDouble(), 1.0);
-  EXPECT_EQ(r3.table.rows[0][3].AsList().size(), 3u);
+  EXPECT_EQ(r3.table().rows[0][0].AsInt(), 0);
+  EXPECT_EQ(r3.table().rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r3.table().rows[0][2].AsDouble(), 1.0);
+  EXPECT_EQ(r3.table().rows[0][3].AsList().size(), 3u);
 }
 
 TEST(EndToEnd, OrderStabilityAndMixedKinds) {
@@ -154,8 +154,8 @@ TEST(EndToEnd, OrderStabilityAndMixedKinds) {
       "MATCH (a:Person) RETURN a.name AS n ORDER BY n ASC");
   ASSERT_EQ(r.NumRows(), 3u);
   // Null name sorts first, then p0, p2.
-  EXPECT_TRUE(r.table.rows[0][0].is_null());
-  EXPECT_EQ(r.table.rows[1][0].AsString(), "p0");
+  EXPECT_TRUE(r.table().rows[0][0].is_null());
+  EXPECT_EQ(r.table().rows[1][0].AsString(), "p0");
 }
 
 TEST(EndToEnd, UnfoldCollectRoundTrip) {

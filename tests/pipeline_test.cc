@@ -386,7 +386,7 @@ TEST(AutoParamTest, DifferentLiteralValuesShareOnePlan) {
                         "}) RETURN a.id AS x");
     // The shared plan still executes under THIS query's literal binding.
     ASSERT_EQ(r.NumRows(), 1u) << i;
-    EXPECT_EQ(r.table.rows[0][0].AsInt(), i);
+    EXPECT_EQ(r.table().rows[0][0].AsInt(), i);
   }
   EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
   EXPECT_EQ(engine.plan_cache_stats().hits, 3u);
@@ -443,8 +443,8 @@ TEST(AutoParamTest, GremlinStructuralStringsAreNotParameterized) {
   auto r2 = engine.Run(q2, Language::kGremlin);
   EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
   // ...and each still counts its own person.
-  EXPECT_EQ(r1.table.rows[0][0].AsInt(), 1);
-  EXPECT_EQ(r2.table.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r1.table().rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r2.table().rows[0][0].AsInt(), 1);
   // A different label is a different plan shape.
   engine.Run("g.V().hasLabel('Product').count()", Language::kGremlin);
   EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
@@ -459,7 +459,7 @@ TEST(NamedParamTest, ExecuteBindsWithoutReplanning) {
   for (int i = 0; i < 3; ++i) {
     auto r = engine.Execute(prep, {{"pid", Value(i)}});
     ASSERT_EQ(r.NumRows(), 1u);
-    EXPECT_EQ(r.table.rows[0][0].AsInt(), i);
+    EXPECT_EQ(r.table().rows[0][0].AsInt(), i);
   }
   // One plan served all three bindings.
   EXPECT_EQ(engine.plan_cache_stats().misses, 1u);
@@ -471,14 +471,14 @@ TEST(NamedParamTest, RunWithParamsAndUserOverridesAutoBinding) {
   auto r = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
                       {{"pid", Value(2)}});
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.table.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.table().rows[0][0].AsInt(), 2);
 
   // User-supplied bindings override the auto-extracted literal.
   auto prep = engine.Prepare("MATCH (a:Person {id: 0}) RETURN a.id AS x");
   ASSERT_EQ(prep.required_params.size(), 1u);
   auto r2 = engine.Execute(prep, {{prep.required_params[0], Value(3)}});
   ASSERT_EQ(r2.NumRows(), 1u);
-  EXPECT_EQ(r2.table.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r2.table().rows[0][0].AsInt(), 3);
 }
 
 TEST(NamedParamTest, UnboundParameterFailsAtExecute) {
@@ -521,7 +521,7 @@ TEST(AutoParamTest, DisablingAutoParameterizeRestoresLiteralKeys) {
   auto r = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
                       {{"pid", Value(1)}});
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.table.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.table().rows[0][0].AsInt(), 1);
 }
 
 TEST(AutoParamTest, NoExtractionWhenCacheDisabled) {
@@ -537,12 +537,12 @@ TEST(AutoParamTest, NoExtractionWhenCacheDisabled) {
   EXPECT_EQ(prep.parameterized_query.find("$__p"), std::string::npos);
   auto r = engine.Execute(prep);
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.table.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.table().rows[0][0].AsInt(), 1);
 
   auto named = engine.Run("MATCH (a:Person) WHERE a.id = $pid RETURN a.id AS x",
                           {{"pid", Value(2)}});
   ASSERT_EQ(named.NumRows(), 1u);
-  EXPECT_EQ(named.table.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(named.table().rows[0][0].AsInt(), 2);
 }
 
 TEST(AutoParamTest, GeneratedSlotsNeverAliasUserParams) {
@@ -559,7 +559,7 @@ TEST(AutoParamTest, GeneratedSlotsNeverAliasUserParams) {
   EXPECT_EQ(prep.params.at("__p1").AsInt(), 3);
   auto r = engine.Execute(prep, {{"__p0", Value(2)}});
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_EQ(r.table.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.table().rows[0][0].AsInt(), 2);
 }
 
 TEST(AutoParamTest, ParameterizedStreamIsExposedOnPrepared) {
@@ -584,7 +584,7 @@ TEST(Pipeline, AllModesExecuteTheSameQuery) {
     GOptEngine engine(g.get(), BackendSpec::Neo4jLike(), opts);
     auto result = engine.Run(kQuery);
     if (first) {
-      reference = result.table;
+      reference = result.table();
       first = false;
     } else {
       EXPECT_TRUE(result.SameRows(reference))

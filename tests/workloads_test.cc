@@ -125,7 +125,7 @@ TEST_F(WorkloadTest, QcGremlinMatchesCypher) {
     ExecOutcome gr = engine.Run(Q(wq.gremlin), Language::kGremlin);
     ASSERT_EQ(cy.NumRows(), 1u) << wq.name;
     ASSERT_EQ(gr.NumRows(), 1u) << wq.name;
-    EXPECT_EQ(cy.table.rows[0][0].AsInt(), gr.table.rows[0][0].AsInt()) << wq.name;
+    EXPECT_EQ(cy.table().rows[0][0].AsInt(), gr.table().rows[0][0].AsInt()) << wq.name;
   }
 }
 
@@ -146,7 +146,7 @@ TEST_F(WorkloadTest, StQueryFindsPaths) {
   std::string q = StQuery(4, {1, 2, 3}, {10, 11});
   ExecOutcome r = engine.Run(q);
   ASSERT_EQ(r.NumRows(), 1u);
-  EXPECT_GE(r.table.rows[0][0].AsInt(), 0);
+  EXPECT_GE(r.table().rows[0][0].AsInt(), 0);
 }
 
 }  // namespace
