@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Runs a google-benchmark binary and distills its JSON output into a
+small committed baseline file (e.g. BENCH_8.json): one entry per
+benchmark with its real/cpu time, so perf regressions show up as a
+reviewable diff instead of living only in bench-comment prose.
+
+Usage:
+  scripts/bench_json.py <bench-binary> <out.json> [--filter REGEX]
+                        [--min-time SECONDS] [--note TEXT]
+
+The distilled file keeps the benchmark name, time unit, real and cpu
+time, iteration count, and any user counters. Host context (CPU count,
+library build type) is carried in a "context" header so a baseline
+recorded on a different machine is recognizable as such.
+"""
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", help="google-benchmark binary to run")
+    ap.add_argument("out", help="distilled JSON output path")
+    ap.add_argument("--filter", default="", help="--benchmark_filter regex")
+    ap.add_argument("--min-time", default="", help="--benchmark_min_time")
+    ap.add_argument("--note", default="", help="free-form note stored in the file")
+    args = ap.parse_args()
+
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [args.binary, "--benchmark_format=console",
+               "--benchmark_out_format=json", "--benchmark_out=" + tmp.name]
+        if args.filter:
+            cmd.append("--benchmark_filter=" + args.filter)
+        if args.min_time:
+            cmd.append("--benchmark_min_time=" + args.min_time)
+        subprocess.run(cmd, check=True)
+        with open(tmp.name, encoding="utf-8") as f:
+            raw = json.load(f)
+
+    ctx = raw.get("context", {})
+    skip = {"name", "run_name", "run_type", "repetitions",
+            "repetition_index", "threads", "family_index",
+            "per_family_instance_index", "aggregate_name", "iterations",
+            "real_time", "cpu_time", "time_unit"}
+    entries = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": b["name"],
+            "time_unit": b.get("time_unit", "ns"),
+            "real_time": round(b.get("real_time", 0.0), 4),
+            "cpu_time": round(b.get("cpu_time", 0.0), 4),
+            "iterations": b.get("iterations", 0),
+        }
+        counters = {k: v for k, v in b.items()
+                    if k not in skip and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = {k: round(v, 4) for k, v in counters.items()}
+        entries.append(entry)
+
+    doc = {
+        "context": {
+            "num_cpus": ctx.get("num_cpus"),
+            "library_build_type": ctx.get("library_build_type"),
+            "date": ctx.get("date"),
+        },
+        "benchmarks": entries,
+    }
+    if args.note:
+        doc["note"] = args.note
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print("wrote %s (%d benchmarks)" % (args.out, len(entries)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

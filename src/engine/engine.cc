@@ -1,6 +1,8 @@
 #include "src/engine/engine.h"
 
 #include <chrono>
+#include <functional>
+#include <set>
 #include <stdexcept>
 
 #include "src/common/str_format.h"
@@ -225,6 +227,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
     // simulated partitioning over backend_.num_workers.
     DistributedExecutor ex(g_, backend_.num_workers, pstore_.get());
     ex.set_params(&bound);
+    ex.set_vectorize(opts_.vectorize);
     ResultTable table = ex.Execute(root);
     *stats = ex.stats();
     return table;
@@ -240,6 +243,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
     MorselOptions mopts;
     mopts.threads = opts_.exec_threads;
     mopts.factorization = opts_.factorization;
+    mopts.vectorize = opts_.vectorize;
     MorselExecutor ex(g_, mopts, pstore_.get());
     ex.set_params(&bound);
     ResultTable table;
@@ -257,6 +261,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
   }
   SingleMachineExecutor ex(g_);
   ex.set_params(&bound);
+  ex.set_vectorize(opts_.vectorize);
   ResultTable table = ex.Execute(root);
   *stats = ex.stats();
   return table;
@@ -555,6 +560,23 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
   }
   s += "=== Physical plan (" + backend_.name + ") ===\n";
   s += prep.physical->ToString(g_->schema());
+  {
+    // Count distinct operators whose kernel has a vectorized fast path
+    // (DAG nodes once). Dispatch is still decided per call from the actual
+    // inputs; this only says which steps are eligible.
+    std::set<const PhysOp*> seen;
+    size_t eligible = 0, total = 0;
+    std::function<void(const PhysOpPtr&)> walk = [&](const PhysOpPtr& op) {
+      if (!op || !seen.insert(op.get()).second) return;
+      ++total;
+      if (HasVectorizedFastPath(op->kind)) ++eligible;
+      for (const PhysOpPtr& c : op->children) walk(c);
+    };
+    walk(prep.physical);
+    s += StrFormat(
+        "  vectorize: %s, %zu of %zu operators have a fast path\n",
+        opts_.vectorize ? "on" : "off", eligible, total);
+  }
   if (!backend_.distributed &&
       (opts_.exec_threads != 1 || pstore_ ||
        opts_.factorization == FactorizationMode::kOn)) {
@@ -588,6 +610,12 @@ std::string GOptEngine::Explain(const Prepared& prep,
         static_cast<unsigned long long>(outcome.stats.rows_produced),
         static_cast<double>(outcome.stats.rows_produced) /
             static_cast<double>(outcome.stats.tuples_materialized));
+  }
+  if (outcome.stats.vec_dispatch > 0 || outcome.stats.gen_dispatch > 0) {
+    s += StrFormat(
+        "  dispatch: %llu vectorized / %llu generic kernel calls\n",
+        static_cast<unsigned long long>(outcome.stats.vec_dispatch),
+        static_cast<unsigned long long>(outcome.stats.gen_dispatch));
   }
   if (outcome.stats.exchanges > 0 || outcome.stats.comm_rows > 0) {
     s += StrFormat("  %llu exchanges, %llu rows exchanged\n",
@@ -623,6 +651,12 @@ std::string GOptEngine::Explain(const Prepared& prep,
               : static_cast<double>(p.chain_rows) /
                     static_cast<double>(p.chain_tuples),
           p.flatten_points, p.flatten_points == 1 ? "" : "s");
+    }
+    if (p.vec_dispatch > 0 || p.gen_dispatch > 0) {
+      s += StrFormat(
+          "      dispatch: %llu vectorized / %llu generic\n",
+          static_cast<unsigned long long>(p.vec_dispatch),
+          static_cast<unsigned long long>(p.gen_dispatch));
     }
   }
   return s;

@@ -108,6 +108,47 @@ void Batch::Flatten() {
   sel_active_ = false;
 }
 
+namespace {
+
+/// Kind tag and accessor for each supported TypedView element type.
+template <typename T>
+struct TypedAccess;
+template <>
+struct TypedAccess<int64_t> {
+  static constexpr Value::Kind kKind = Value::Kind::kInt;
+  static int64_t Get(const Value& v) { return v.AsInt(); }
+};
+template <>
+struct TypedAccess<double> {
+  static constexpr Value::Kind kKind = Value::Kind::kDouble;
+  static double Get(const Value& v) { return v.AsDouble(); }
+};
+template <>
+struct TypedAccess<VertexId> {
+  static constexpr Value::Kind kKind = Value::Kind::kVertex;
+  static VertexId Get(const Value& v) { return v.AsVertex().id; }
+};
+
+}  // namespace
+
+template <typename T>
+TypedView<T> Batch::ExtractTyped(size_t c) const {
+  TypedView<T> view;
+  if (factorized_) return view;  // group columns have no per-row backing
+  const std::vector<Value>& col = cols_[c];
+  view.vals.reserve(col.size());
+  for (const Value& v : col) {
+    if (v.kind() != TypedAccess<T>::kKind) return view;  // ok stays false
+    view.vals.push_back(TypedAccess<T>::Get(v));
+  }
+  view.ok = true;
+  return view;
+}
+
+template TypedView<int64_t> Batch::ExtractTyped<int64_t>(size_t) const;
+template TypedView<double> Batch::ExtractTyped<double>(size_t) const;
+template TypedView<VertexId> Batch::ExtractTyped<VertexId>(size_t) const;
+
 Batch Batch::GatherPhys(const std::vector<uint32_t>& phys) const {
   Batch out(cols_.size());
   for (size_t c = 0; c < cols_.size(); ++c) {

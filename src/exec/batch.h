@@ -11,6 +11,18 @@ namespace gopt {
 /// Number of rows a batch-producing kernel targets per output chunk.
 inline constexpr size_t kDefaultBatchRows = 1024;
 
+/// A typed, contiguous extraction of one Batch column (the vectorized fast
+/// paths' input format, docs/vectorization.md): `vals` holds one entry per
+/// *physical* row, indexed with PhysIndex(). `ok` is false when the batch
+/// is factorized or any physical value is not of the requested type —
+/// `vals` is then partial and meaningless, and the caller falls back to
+/// the generic Value path. Supported T: int64_t, double, VertexId.
+template <typename T>
+struct TypedView {
+  bool ok = false;
+  std::vector<T> vals;
+};
+
 /// A columnar chunk of rows: the unit of data flow in the morsel-driven
 /// batch runtime (src/exec/morsel.{h,cc}). Stores one Value vector per
 /// column plus an optional *selection vector* — the list of physical row
@@ -97,6 +109,13 @@ class Batch {
   /// selection or groups — including when the installed selection is the
   /// identity permutation, which only drops the vector.
   void Flatten();
+
+  /// One-pass typed extraction of column `c` over the physical rows (all
+  /// of them, so one extraction serves any selection). See TypedView for
+  /// the contract; kernels cache the result per column per invocation
+  /// (TypedViewCache in src/exec/vectorized.h).
+  template <typename T>
+  TypedView<T> ExtractTyped(size_t c) const;
 
   /// Dense copy of the given physical row positions, in visit order —
   /// how a filter's surviving rows are lifted out of a batch that must

@@ -46,6 +46,10 @@ ResultTable DistributedExecutor::Execute(const PhysOpPtr& root) {
     CountConsumers(root, &consumers_);
   }
   PartsPtr parts = Run(root);
+  // Fresh executor per Execute, so the kernel dispatch counters started at
+  // zero: the final values are this run's totals.
+  stats_.vec_dispatch = k_.vectorized_dispatches();
+  stats_.gen_dispatch = k_.generic_dispatches();
   ResultTable out;
   out.columns = root->out_cols;
   for (auto& p : *parts) {

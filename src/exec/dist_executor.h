@@ -63,6 +63,10 @@ class DistributedExecutor {
   /// is safe because execution only ever reads it).
   void set_params(const ParamMap* params) { k_.set_params(params); }
 
+  /// Enables/disables the kernels' vectorized fast paths (bit-identical
+  /// results either way; see Kernels::set_vectorize).
+  void set_vectorize(bool on) { k_.set_vectorize(on); }
+
  private:
   /// A distributed table: one row vector per worker.
   using Parts = std::vector<std::vector<Row>>;

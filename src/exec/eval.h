@@ -37,6 +37,10 @@ class ExprEval {
   /// validates bindings before execution, so this only fires for direct
   /// kernel users).
   void set_params(const ParamMap* params) { params_ = params; }
+  /// The currently installed bindings (null when none) — read by the
+  /// predicate compiler (src/exec/vectorized.h) to resolve kParam slots at
+  /// compile time with exactly the bindings Eval would use.
+  const ParamMap* params() const { return params_; }
 
   Value Eval(const Expr& e, const Row& row, const ColMap& cols) const;
 

@@ -8,6 +8,10 @@ ResultTable SingleMachineExecutor::Execute(const PhysOpPtr& root) {
   memo_.clear();
   stats_ = ExecStats{};
   TablePtr rows = Run(root);
+  // Fresh executor per Execute, so the kernel dispatch counters started at
+  // zero: the final values are this run's totals.
+  stats_.vec_dispatch = k_.vectorized_dispatches();
+  stats_.gen_dispatch = k_.generic_dispatches();
   ResultTable out;
   out.columns = root->out_cols;
   out.rows = *rows;

@@ -26,6 +26,13 @@ struct PipelineStat {
   uint64_t chain_tuples = 0; ///< physical tuples those operators stored
   uint64_t groups = 0;       ///< prefix-group entries among the tuples
   int flatten_points = 0;    ///< plan-annotated forced-flatten count
+
+  // Vectorized-dispatch metrics (docs/vectorization.md): invocations of
+  // the fast-path-aware kernels during this pipeline, split by which path
+  // served them. Results are identical either way; these only report what
+  // dispatch chose.
+  uint64_t vec_dispatch = 0;  ///< kernel calls served by a vectorized path
+  uint64_t gen_dispatch = 0;  ///< kernel calls served by the generic path
 };
 
 /// Execution statistics shared by every runtime.
@@ -57,6 +64,11 @@ struct ExecStats {
   /// (distributed runtime) or per-partition scan-source rows (morsel
   /// runtime) — the skew signal Explain surfaces.
   std::vector<uint64_t> partition_rows;
+
+  // Vectorized-dispatch totals across the run (docs/vectorization.md),
+  // populated by every runtime.
+  uint64_t vec_dispatch = 0;
+  uint64_t gen_dispatch = 0;
 
   // Result-cache metrics (docs/result-cache.md), populated by the engine —
   // not the executors — whenever a result cache is configured.
@@ -97,6 +109,10 @@ class SingleMachineExecutor {
   /// When false (default), kExpandIntersect plans throw — the backend does
   /// not implement the operator. Tests may enable it to compare kernels.
   void set_allow_intersect(bool allow) { allow_intersect_ = allow; }
+
+  /// Enables/disables the kernels' vectorized fast paths (bit-identical
+  /// results either way; see Kernels::set_vectorize).
+  void set_vectorize(bool on) { k_.set_vectorize(on); }
 
  private:
   using TablePtr = std::shared_ptr<std::vector<Row>>;

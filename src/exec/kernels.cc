@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <queue>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "src/exec/vectorized.h"
 
 namespace gopt {
 
@@ -59,6 +63,40 @@ void CloseFactorizedRow(const Row& scratch, size_t nchild, size_t nout,
     for (size_t c = nchild; c < nout; ++c) out->gcol(c).push_back(Value());
   }
   out->CloseGroup(run);
+}
+
+/// Output-row reserve hint for an expansion kernel: input rows x the
+/// planner's estimated per-step fan-out (the est_rows ratio against the
+/// child estimate), clamped to [1, 16] per row and capped overall so a bad
+/// estimate can never balloon the allocation past one further doubling.
+size_t ExpansionReserveHint(const PhysOp& op, size_t in_rows) {
+  double ratio = 4.0;
+  if (op.est_rows > 0 && !op.children.empty() &&
+      op.children[0]->est_rows > 0) {
+    ratio = op.est_rows / op.children[0]->est_rows;
+  }
+  ratio = std::max(1.0, std::min(16.0, ratio));
+  constexpr size_t kCap = size_t{1} << 16;
+  return std::min(kCap,
+                  static_cast<size_t>(static_cast<double>(in_rows) * ratio));
+}
+
+/// Reserves an expansion's output columns: group-backed columns get one
+/// entry per input row, flat output columns the fan-out hint.
+void ReserveExpansionOutput(Batch* out, size_t nout, size_t nchild, bool fact,
+                            bool lazy, size_t in_rows, size_t hint) {
+  if (fact) {
+    for (size_t c = 0; c < nchild; ++c) out->gcol(c).reserve(in_rows);
+    for (size_t c = nchild; c < nout; ++c) {
+      if (lazy) {
+        out->gcol(c).reserve(in_rows);
+      } else {
+        out->col(c).reserve(hint);
+      }
+    }
+    return;
+  }
+  for (size_t c = 0; c < nout; ++c) out->col(c).reserve(hint);
 }
 
 }  // namespace
@@ -149,19 +187,76 @@ Batch Kernels::ScanBatch(const PhysOp& op, const ScanMorsel& m, int worker,
   if (op.kind == PhysOpKind::kCachedScan) {
     // Emit the morsel's slice of the cached rows verbatim. The legacy
     // worker/W filter does not apply: the rows are a materialized stream
-    // (the distributed executor slices them round-robin itself).
+    // (the distributed executor slices them round-robin itself). Counts as
+    // neither dispatch: there is no vectorized-vs-generic choice to make.
     Batch cached(op.out_cols.size());
+    for (size_t c = 0; c < op.out_cols.size(); ++c) {
+      cached.col(c).reserve(m.end - m.begin);
+    }
     for (size_t i = m.begin; i < m.end; ++i) {
       cached.AppendRow((*op.cached_rows)[i]);
     }
     return cached;
   }
   Batch out(1);
-  ColMap self{{op.alias, 0}};
-  Row row(1);
+  const size_t domain = m.end - m.begin;
   // The id % W filter is the legacy simulated partitioning; partitioned
   // morsels carry real ownership, so it must never drop their vertices.
   const bool simulated = m.partition < 0 && W > 1;
+
+  // Vectorized path: when every pushed predicate compiles (trivially when
+  // there are none), collect the candidate ids, filter the id list through
+  // the compiled terms, and emit through the typed appender — no per-row
+  // expression walk, one reserve.
+  if (vectorize_) {
+    std::vector<std::unique_ptr<CompiledPredicate>> preds;
+    bool compiled = true;
+    for (const auto& p : op.vertex_preds) {
+      auto cp = CompiledPredicate::Compile(*p, ColMap{{op.alias, 0}},
+                                           eval_.params(), g_,
+                                           /*allow_property=*/pstore_ == nullptr);
+      if (cp == nullptr) {
+        compiled = false;
+        break;
+      }
+      preds.push_back(std::move(cp));
+    }
+    if (compiled) {
+      vec_dispatch_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<VertexId> vids;
+      vids.reserve(domain);
+      auto push = [&](VertexId v) {
+        if (simulated &&
+            static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
+          return;
+        }
+        vids.push_back(v);
+      };
+      if (m.partition >= 0) {
+        auto span = m.all ? pstore_->Vertices(m.partition)
+                          : pstore_->VerticesOfType(m.partition, m.type);
+        for (size_t i = m.begin; i < m.end; ++i) push(span[i]);
+      } else if (m.all) {
+        for (size_t i = m.begin; i < m.end; ++i) {
+          push(static_cast<VertexId>(i));
+        }
+      } else {
+        auto span = g_->VerticesOfType(m.type);
+        for (size_t i = m.begin; i < m.end; ++i) push(span[i]);
+      }
+      // Applying the predicates list-at-a-time (instead of all predicates
+      // per vertex) selects the same final set: predicates have no side
+      // effects and AND commutes with filtering.
+      for (const auto& cp : preds) cp->FilterVertexIds(&vids);
+      TypedVertexAppender app(&out.col(0), vids.size());
+      for (VertexId v : vids) app.Append(v);
+      return out;
+    }
+  }
+  gen_dispatch_.fetch_add(1, std::memory_order_relaxed);
+  out.col(0).reserve(domain);
+  ColMap self{{op.alias, 0}};
+  Row row(1);
   auto try_vertex = [&](VertexId v) {
     if (simulated &&
         static_cast<int>(v % static_cast<VertexId>(W)) != worker) {
@@ -244,6 +339,8 @@ Batch Kernels::ExpandEdgeBatch(const PhysOp& op, const Batch& in,
 
   Batch out(nout);
   if (fact) out.InitFactorized(FactorizedLayout(nout, nchild, lazy));
+  ReserveExpansionOutput(&out, nout, nchild, fact, lazy, in.size(),
+                         ExpansionReserveHint(op, in.size()));
   Row scratch;
   uint32_t run = 0;  // fan-out of the current input row (fact mode)
   auto emit = [&](const AdjEntry& a, VertexId v) {
@@ -343,13 +440,35 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in,
   ColMap smap = cmap;
   const int vpos = static_cast<int>(child_cols.size());
   smap[op.alias] = vpos;
+  const size_t narms = op.arms.size();
 
-  // Scratch buffers reused across rows: (neighbor, multiplicity) lists.
-  std::vector<std::pair<VertexId, uint64_t>> cur, next, arm_list;
+  const bool vec = vectorize_;
+  (vec ? vec_dispatch_ : gen_dispatch_)
+      .fetch_add(1, std::memory_order_relaxed);
 
-  // Collects one arm's qualifying neighbors as a sorted multiplicity list.
-  auto collect_arm = [&](const IntersectArm& arm, VertexId u,
-                         std::vector<std::pair<VertexId, uint64_t>>* outv) {
+  // Typed from-vertex reads: one extraction per arm column shared across
+  // all rows; columns that don't extract (factorized input) read per row
+  // through At().
+  TypedViewCache views(&in);
+  std::vector<const TypedView<VertexId>*> fview(narms, nullptr);
+  if (vec) {
+    for (size_t k = 0; k < narms; ++k) {
+      fview[k] = views.Vertex(static_cast<size_t>(from_idx[k]));
+    }
+  }
+  auto from_v = [&](size_t ri, size_t k) -> VertexId {
+    if (fview[k] != nullptr) return fview[k]->vals[in.PhysIndex(ri)];
+    return in.At(ri, static_cast<size_t>(from_idx[k])).AsVertex().id;
+  };
+
+  // Scratch buffers reused across rows: (neighbor, multiplicity) lists and
+  // the per-arm hit counters of the span-direct intersection.
+  NbrList cur, next, arm_list;
+  std::vector<uint64_t> hit_counts;
+
+  // Generic fallback: materialize one arm's qualifying neighbors, sort,
+  // compress parallel edges.
+  auto collect_arm = [&](const IntersectArm& arm, VertexId u, NbrList* outv) {
     outv->clear();
     ForEachAdj(u, arm.dir, arm.etc_, [&](const AdjEntry& a, bool) {
       if (!op.vtc.Matches(g_->VertexType(a.nbr))) return;
@@ -369,36 +488,137 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in,
     outv->resize(w);
   };
 
+  // Vectorized collect: enumerate each arm's neighbor-sorted CSR sub-spans
+  // (per type and direction — the sort contract both stores guarantee) and
+  // k-way merge them sort-free, folding parallel-edge multiplicity during
+  // the merge. The vertex-type filter runs once per unique neighbor after
+  // the merge — its verdict depends only on the neighbor, so this equals
+  // the generic per-edge filter.
+  std::vector<std::vector<Span<const AdjEntry>>> aspans(narms);
+  std::vector<size_t> arm_size(narms, 0);
+  std::vector<size_t> order(narms);
+  auto gather_spans = [&](size_t k, VertexId u) {
+    auto& spans = aspans[k];
+    spans.clear();
+    const IntersectArm& arm = op.arms[k];
+    auto add_dir = [&](bool out_dir) {
+      if (arm.etc_.IsAll()) {
+        SplitTypeSubSpans(Adj(u, out_dir), &spans);
+      } else {
+        for (TypeId t : arm.etc_.types()) {
+          auto s = Adj(u, out_dir, t);
+          if (!s.empty()) spans.push_back(s);
+        }
+      }
+    };
+    if (arm.dir == Direction::kOut || arm.dir == Direction::kBoth) {
+      add_dir(true);
+    }
+    if (arm.dir == Direction::kIn || arm.dir == Direction::kBoth) {
+      add_dir(false);
+    }
+    size_t sz = 0;
+    for (const auto& s : spans) sz += s.size();
+    arm_size[k] = sz;
+  };
+  // Hoisted vertex-type verdicts: one Matches call per type per
+  // invocation instead of one per merged neighbor.
+  std::vector<uint8_t> vtc_ok;
+  bool vtc_all = op.vtc.IsAll();
+  if (vec && !vtc_all) {
+    const size_t ntypes = g_->schema().NumVertexTypes();
+    vtc_ok.resize(ntypes);
+    bool all = true;
+    for (size_t t = 0; t < ntypes; ++t) {
+      vtc_ok[t] = op.vtc.Matches(static_cast<TypeId>(t));
+      all = all && vtc_ok[t] != 0;
+    }
+    // The constraint covers every type in the schema: same as IsAll.
+    vtc_all = all;
+  }
+  auto merged_collect = [&](size_t k, NbrList* outv) {
+    MergeAdjSpans(aspans[k], outv);
+    if (!vtc_all) {
+      size_t w = 0;
+      for (size_t r = 0; r < outv->size(); ++r) {
+        if (vtc_ok[g_->VertexType((*outv)[r].first)]) {
+          (*outv)[w++] = (*outv)[r];
+        }
+      }
+      outv->resize(w);
+    }
+  };
+
   Batch out(nout);
   if (fact) out.InitFactorized(FactorizedLayout(nout, nchild, lazy));
+  ReserveExpansionOutput(&out, nout, nchild, fact, lazy, in.size(),
+                         ExpansionReserveHint(op, in.size()));
+  // Fact mode emits the intersected vertex straight from its id — the one
+  // per-row output column goes through the typed appender.
+  std::optional<TypedVertexAppender> vapp;
+  if (fact && !lazy) {
+    vapp.emplace(&out.col(static_cast<size_t>(vpos)), 0);
+  }
   Row scratch;
   for (size_t ri = 0; ri < in.size(); ++ri) {
     // WCOJ-style sorted intersection, multiplicity-preserving: the result
     // multiplicity is the product of parallel-edge counts per arm
     // (flatten-equivalent, so both backends agree exactly).
-    in.GatherRow(ri, &scratch);
-    scratch.resize(child_cols.size() + 1);
-    collect_arm(op.arms[0],
-                scratch[static_cast<size_t>(from_idx[0])].AsVertex().id, &cur);
-    for (size_t i = 1; i < op.arms.size() && !cur.empty(); ++i) {
-      collect_arm(op.arms[i],
-                  scratch[static_cast<size_t>(from_idx[i])].AsVertex().id,
-                  &arm_list);
-      next.clear();
-      size_t a = 0, b = 0;
-      while (a < cur.size() && b < arm_list.size()) {
-        if (cur[a].first < arm_list[b].first) {
-          ++a;
-        } else if (cur[a].first > arm_list[b].first) {
-          ++b;
-        } else {
-          next.emplace_back(cur[a].first, cur[a].second * arm_list[b].second);
-          ++a;
-          ++b;
+    if (vec) {
+      bool empty_arm = false;
+      for (size_t k = 0; k < narms; ++k) {
+        gather_spans(k, from_v(ri, k));
+        if (arm_size[k] == 0) {
+          empty_arm = true;
+          break;
         }
       }
-      std::swap(cur, next);
+      cur.clear();
+      if (!empty_arm) {
+        // Seed from the smallest arm (by span-length upper bound): every
+        // later intersection is bounded by the running result, and the
+        // skew gallop kicks in where it pays.
+        for (size_t k = 0; k < narms; ++k) order[k] = k;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return arm_size[a] != arm_size[b] ? arm_size[a] < arm_size[b]
+                                            : a < b;
+        });
+        merged_collect(order[0], &cur);
+        // Later arms never merge: the running result intersects straight
+        // against their raw sub-spans (galloping on hub spans). The
+        // vertex-type filter is already baked into the seed — intersection
+        // only shrinks it — so later arms skip the filter too.
+        for (size_t oi = 1; oi < narms && !cur.empty(); ++oi) {
+          IntersectWithSpans(cur, aspans[order[oi]], &hit_counts, &next);
+          std::swap(cur, next);
+        }
+      }
+    } else {
+      collect_arm(op.arms[0], from_v(ri, 0), &cur);
+      for (size_t i = 1; i < narms && !cur.empty(); ++i) {
+        collect_arm(op.arms[i], from_v(ri, i), &arm_list);
+        next.clear();
+        size_t a = 0, b = 0;
+        while (a < cur.size() && b < arm_list.size()) {
+          if (cur[a].first < arm_list[b].first) {
+            ++a;
+          } else if (cur[a].first > arm_list[b].first) {
+            ++b;
+          } else {
+            next.emplace_back(cur[a].first,
+                              cur[a].second * arm_list[b].second);
+            ++a;
+            ++b;
+          }
+        }
+        std::swap(cur, next);
+      }
     }
+    // Empty intersection: nothing to emit, so skip gathering the input row
+    // entirely (a zero-run group close is a no-op in fact mode).
+    if (cur.empty()) continue;
+    in.GatherRow(ri, &scratch);
+    scratch.resize(nchild + 1);
     uint32_t run = 0;
     for (auto [v, mult] : cur) {
       scratch[static_cast<size_t>(vpos)] = Value(VertexRef{v});
@@ -411,12 +631,7 @@ Batch Kernels::ExpandIntersectBatch(const PhysOp& op, const Batch& in,
       }
       if (!ok) continue;
       if (fact) {
-        if (!lazy) {
-          for (uint64_t k = 0; k < mult; ++k) {
-            out.col(static_cast<size_t>(vpos))
-                .push_back(scratch[static_cast<size_t>(vpos)]);
-          }
-        }
+        if (!lazy) vapp->AppendN(v, mult);
         run += static_cast<uint32_t>(mult);
         continue;
       }
@@ -471,6 +686,8 @@ Batch Kernels::PathExpandBatch(const PhysOp& op, const Batch& in,
 
   Batch out(nout);
   if (fact) out.InitFactorized(FactorizedLayout(nout, nchild, lazy));
+  ReserveExpansionOutput(&out, nout, nchild, fact, lazy, in.size(),
+                         ExpansionReserveHint(op, in.size()));
   Row scratch;
   std::vector<VertexId> path_v;
   std::vector<EdgeId> path_e;
@@ -578,6 +795,22 @@ std::vector<uint32_t> Kernels::FilterSelection(const PhysOp& op,
                                                const Batch& in) const {
   ColMap cmap = MakeColMap(op.children[0]->out_cols);
   std::vector<uint32_t> sel;
+  // Vectorized path: a flat batch whose predicate compiles to
+  // column-vs-constant terms evaluates branch-free over the typed columns
+  // (src/exec/vectorized.h), no per-row gather or expression walk.
+  // Property terms stay generic when a sharded store is attached so the
+  // owner-routed property reads keep going through ExprEval.
+  if (vectorize_ && !in.factorized() && op.predicate != nullptr) {
+    auto cp = CompiledPredicate::Compile(*op.predicate, cmap, eval_.params(),
+                                         g_,
+                                         /*allow_property=*/pstore_ == nullptr);
+    if (cp != nullptr) {
+      vec_dispatch_.fetch_add(1, std::memory_order_relaxed);
+      cp->Select(in, &sel);
+      return sel;
+    }
+  }
+  gen_dispatch_.fetch_add(1, std::memory_order_relaxed);
   sel.reserve(in.size());
   Row scratch;
   if (in.factorized() && op.predicate &&
@@ -704,6 +937,8 @@ Batch Kernels::ProjectBatch(const PhysOp& op, const Batch& in) const {
     }
   }
   Batch out(nout);
+  // Exactly one output row per input row: reserve the exact size.
+  for (size_t c = 0; c < nout; ++c) out.col(c).reserve(in.size());
   Row scratch;
   for (size_t i = 0; i < in.size(); ++i) {
     in.GatherRow(i, &scratch);
@@ -744,6 +979,10 @@ Batch Kernels::UnfoldBatch(const PhysOp& op, const Batch& in,
   const bool fact = factorize && op.out_cols.size() == nchild + 1;
   Batch out(op.out_cols.size());
   if (fact) out.InitFactorized(FactorizedLayout(nchild + 1, nchild, false));
+  // Floor reserve: at least one output row per input row with a non-empty
+  // list (list fan-out is unknown up front).
+  ReserveExpansionOutput(&out, op.out_cols.size(), nchild, fact,
+                         /*lazy=*/false, in.size(), in.size());
   Row scratch;
   for (size_t i = 0; i < in.size(); ++i) {
     const Value& v = in.At(i, static_cast<size_t>(idx));
@@ -1109,6 +1348,10 @@ Batch Kernels::JoinProbeBatch(const PhysOp& op, const Batch& left,
                               const JoinHashTable& ht) const {
   const size_t nlcols = op.children[0]->out_cols.size();
   Batch out(op.out_cols.size());
+  // Floor reserve: joins commonly emit about one row per probe row.
+  for (size_t c = 0; c < op.out_cols.size(); ++c) {
+    out.col(c).reserve(left.size());
+  }
   Row scratch;
   std::vector<Value> key;
   auto emit_left = [&](const Row& l) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <unordered_map>
 
 #include "src/exec/batch.h"
@@ -194,6 +196,28 @@ class Kernels {
   /// ExprEval::set_params). The map must outlive kernel execution.
   void set_params(const ParamMap* params) { eval_.set_params(params); }
 
+  /// Enables/disables the vectorized fast paths (docs/vectorization.md):
+  /// sort-free CSR-span intersection in ExpandIntersectBatch, compiled
+  /// branch-free predicates in FilterSelection/ScanBatch, typed column
+  /// views and appenders. On by default; per call the kernel falls back to
+  /// the generic path when the inputs don't qualify, and results are
+  /// bit-identical either way — the choice is observable only through the
+  /// dispatch counters below.
+  void set_vectorize(bool on) { vectorize_ = on; }
+  bool vectorize() const { return vectorize_; }
+
+  /// Dispatch counters of the fast-path-aware kernels (ScanBatch,
+  /// ExpandIntersectBatch, FilterSelection): one count per invocation,
+  /// split by which path served it. Atomic (relaxed) because one Kernels
+  /// instance serves every morsel worker concurrently; executors snapshot
+  /// deltas per pipeline into ExecStats.
+  uint64_t vectorized_dispatches() const {
+    return vec_dispatch_.load(std::memory_order_relaxed);
+  }
+  uint64_t generic_dispatches() const {
+    return gen_dispatch_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Adjacency of `u`, served from the sharded store's partition-local
   /// CSR when one is attached (owner resolved through the ownership map),
@@ -211,6 +235,9 @@ class Kernels {
   const PropertyGraph* g_;
   const PartitionedGraph* pstore_ = nullptr;
   ExprEval eval_;
+  bool vectorize_ = true;
+  mutable std::atomic<uint64_t> vec_dispatch_{0};
+  mutable std::atomic<uint64_t> gen_dispatch_{0};
 };
 
 /// Returns true if all aggregate functions support two-phase (local +

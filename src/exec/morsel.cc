@@ -86,7 +86,9 @@ MorselExecutor::MorselExecutor(const PropertyGraph* g, MorselOptions opts,
       opts_(opts),
       threads_(opts.threads > 0
                    ? opts.threads
-                   : std::max(1u, std::thread::hardware_concurrency())) {}
+                   : std::max(1u, std::thread::hardware_concurrency())) {
+  k_.set_vectorize(opts.vectorize);
+}
 
 ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
                                     const PipelinePlan* plan) {
@@ -107,6 +109,10 @@ ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
     plan = &local;
   }
   for (const Pipeline& p : plan->pipelines) RunPipeline(p);
+  // One executor instance per Execute, so the kernel counters started at
+  // zero: the final values are this run's totals.
+  stats_.vec_dispatch = k_.vectorized_dispatches();
+  stats_.gen_dispatch = k_.generic_dispatches();
   ResultTable out;
   out.columns = root->out_cols;
   out.rows = RowsFromBatches(results_.at(root.get()));
@@ -212,6 +218,11 @@ void MorselExecutor::RunUnionSink(const Pipeline& p) {
 
 void MorselExecutor::RunPipeline(const Pipeline& p) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Pipelines run sequentially, so the counter deltas over this call are
+  // exactly this pipeline's dispatches (workers within the pipeline have
+  // joined before the snapshot below).
+  const uint64_t vec0 = k_.vectorized_dispatches();
+  const uint64_t gen0 = k_.generic_dispatches();
   PipelineStat ps;
   ps.id = p.id;
   ps.desc = p.ToString();
@@ -386,6 +397,8 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
   }
 
   ps.rows_out = TotalBatchRows(results_[p.sink]);
+  ps.vec_dispatch = k_.vectorized_dispatches() - vec0;
+  ps.gen_dispatch = k_.generic_dispatches() - gen0;
   const auto t1 = std::chrono::steady_clock::now();
   ps.ms =
       std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /

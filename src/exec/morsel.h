@@ -26,6 +26,10 @@ struct MorselOptions {
   /// pipeline plan itself (no prebuilt plan passed). A prebuilt plan
   /// carries its own frozen per-pipeline decisions and wins.
   FactorizationMode factorization = FactorizationMode::kAuto;
+  /// Kernel vectorized fast paths (docs/vectorization.md). Results are
+  /// bit-identical on or off; off forces every kernel through the generic
+  /// path (the differential suite's baseline).
+  bool vectorize = true;
 };
 
 /// Work-stealing distribution of morsel indices [0, total) over workers.

@@ -120,6 +120,17 @@ Span<const AdjEntry> AdjTypeRange(Span<const AdjEntry> all, TypeId t) {
   return {&*lo, static_cast<size_t>(hi - lo)};
 }
 
+void SplitTypeSubSpans(Span<const AdjEntry> all,
+                       std::vector<Span<const AdjEntry>>* out) {
+  size_t begin = 0;
+  for (size_t i = 1; i <= all.size(); ++i) {
+    if (i == all.size() || all[i].etype != all[begin].etype) {
+      out->push_back(all.subspan(begin, i - begin));
+      begin = i;
+    }
+  }
+}
+
 Span<const AdjEntry> PropertyGraph::OutEdges(VertexId v, TypeId t) const {
   return AdjTypeRange(OutEdges(v), t);
 }

@@ -27,6 +27,14 @@ struct AdjEntry {
 /// lookups so the two can never diverge on the sort contract.
 Span<const AdjEntry> AdjTypeRange(Span<const AdjEntry> all, TypeId t);
 
+/// Splits a (type, nbr)-sorted adjacency span into its per-type sub-spans
+/// (each sorted by neighbor) and appends them to `*out` — one linear pass,
+/// no per-type binary searches. The span iteration primitive feeding the
+/// vectorized sort-free intersection (src/exec/vectorized.h) when an arm
+/// has no type constraint.
+void SplitTypeSubSpans(Span<const AdjEntry> all,
+                       std::vector<Span<const AdjEntry>>* out);
+
 /// In-memory property graph store (the data substrate both simulated
 /// backends execute against).
 ///

@@ -128,6 +128,13 @@ struct EngineOptions {
   /// cached prepared plan — so it is part of OptionsFingerprint.
   FactorizationMode factorization = FactorizationMode::kAuto;
 
+  /// Kernel vectorized fast paths (docs/vectorization.md): sort-free
+  /// CSR-span intersection, compiled branch-free filter predicates, typed
+  /// column views. Applies to every runtime. Never changes query results
+  /// (the differential suite holds off bit-identical to on), so like the
+  /// thread knobs it is excluded from OptionsFingerprint.
+  bool vectorize = true;
+
   /// Prepared-plan cache (sharded thread-safe LRU over the parameterized
   /// query stream): repeated Run / Prepare calls on the same query shape
   /// skip planning entirely. Capacity is read once at engine construction.

@@ -56,6 +56,17 @@ bool IsPipelineBreaker(PhysOpKind k) {
   return PhysOpPipelineRole(k) == PipelineRole::kBreaker;
 }
 
+bool HasVectorizedFastPath(PhysOpKind k) {
+  switch (k) {
+    case PhysOpKind::kScanVertices:
+    case PhysOpKind::kSelect:
+    case PhysOpKind::kExpandIntersect:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string PhysOp::ToString(const GraphSchema& schema, int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string s = pad + PhysOpKindName(kind);

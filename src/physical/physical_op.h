@@ -127,4 +127,11 @@ PipelineRole PhysOpPipelineRole(PhysOpKind k);
 /// True for operators that end a pipeline (PipelineRole::kBreaker).
 bool IsPipelineBreaker(PhysOpKind k);
 
+/// True for operators whose kernel has a vectorized fast path
+/// (docs/vectorization.md): compiled-predicate scans and filters, and the
+/// sort-free CSR-span intersection. Purely informational — Explain uses it
+/// to annotate the physical plan; dispatch itself is decided per call from
+/// the actual inputs.
+bool HasVectorizedFastPath(PhysOpKind k);
+
 }  // namespace gopt

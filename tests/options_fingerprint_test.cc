@@ -17,7 +17,7 @@
 namespace gopt {
 namespace {
 
-/// Compile-time arity check: exactly 24 fields. If this line fails to
+/// Compile-time arity check: exactly 25 fields. If this line fails to
 /// compile, EngineOptions changed shape — update the binding AND add the
 /// new field to either ChangesFingerprint or LeavesFingerprintAlone below.
 void StaticFieldCountGuard() {
@@ -26,7 +26,7 @@ void StaticFieldCountGuard() {
          high_order_stats, enable_agg_pushdown, greedy_only, semantics,
          glogue_k, glogue_sample_rate, random_plan_seed, planning_backend,
          rbo_rule_filter, cbo_pattern_threads, exec_threads, partitions,
-         partition_policy, factorization, enable_plan_cache,
+         partition_policy, factorization, vectorize, enable_plan_cache,
          plan_cache_capacity, plan_cache, result_cache_bytes, result_cache,
          auto_parameterize] = o;
   (void)mode;
@@ -47,6 +47,7 @@ void StaticFieldCountGuard() {
   (void)partitions;
   (void)partition_policy;
   (void)factorization;
+  (void)vectorize;
   (void)enable_plan_cache;
   (void)plan_cache_capacity;
   (void)plan_cache;
@@ -114,6 +115,7 @@ TEST(OptionsFingerprintTest, NonPlanAffectingKnobsLeaveFingerprintAlone) {
   EXPECT_EQ(FP([](EngineOptions* o) { o->cbo_pattern_threads = 7; }),
             kDefaultFp);
   EXPECT_EQ(FP([](EngineOptions* o) { o->exec_threads = 8; }), kDefaultFp);
+  EXPECT_EQ(FP([](EngineOptions* o) { o->vectorize = false; }), kDefaultFp);
   EXPECT_EQ(FP([](EngineOptions* o) { o->enable_plan_cache = false; }),
             kDefaultFp);
   EXPECT_EQ(FP([](EngineOptions* o) { o->plan_cache_capacity = 1; }),
