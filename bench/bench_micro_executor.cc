@@ -132,11 +132,15 @@ BENCHMARK(BM_ExecMorsel)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
-std::shared_ptr<const PartitionedGraph> SharedStore(int partitions) {
+std::shared_ptr<const PartitionedGraph> SharedStore(
+    int partitions, PartitionPolicy policy = PartitionPolicy::kHash) {
   static auto p4 = PartitionedGraph::Build(SharedGraph().graph.get(),
                                            PartitionPolicy::kHash, 4);
   static auto p8 = PartitionedGraph::Build(SharedGraph().graph.get(),
                                            PartitionPolicy::kHash, 8);
+  static auto ec4 = PartitionedGraph::Build(SharedGraph().graph.get(),
+                                            PartitionPolicy::kEdgeCut, 4);
+  if (policy == PartitionPolicy::kEdgeCut) return ec4;
   return partitions == 8 ? p8 : p4;
 }
 
@@ -189,11 +193,14 @@ BENCHMARK(BM_PartitionedScan)
 void BM_ExecPartitioned(benchmark::State& state) {
   const auto& g = *SharedGraph().graph;
   const int P = static_cast<int>(state.range(0));
+  const PartitionPolicy policy = state.range(2) == 1
+                                     ? PartitionPolicy::kEdgeCut
+                                     : PartitionPolicy::kHash;
   std::shared_ptr<const PartitionedGraph> store;
   if (P == 1) {
-    store = PartitionedGraph::Build(&g, PartitionPolicy::kHash, 1);
+    store = PartitionedGraph::Build(&g, policy, 1);
   } else if (P > 1) {
-    store = SharedStore(P);
+    store = SharedStore(P, policy);
   }
   GOptEngine engine(&g, BackendSpec::Neo4jLike());
   engine.SetGlogue(SharedGlogue());
@@ -217,11 +224,13 @@ void BM_ExecPartitioned(benchmark::State& state) {
       static_cast<double>(ex.Execute(prep.physical, pplan).NumRows());
 }
 BENCHMARK(BM_ExecPartitioned)
-    ->ArgNames({"partitions", "threads"})
-    ->Args({0, 4})
-    ->Args({1, 4})
-    ->Args({4, 1})
-    ->Args({4, 4})
+    ->ArgNames({"partitions", "threads", "policy"})  // policy: 0=hash 1=edgecut
+    ->Args({0, 4, 0})
+    ->Args({1, 4, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 4, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 4, 1})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

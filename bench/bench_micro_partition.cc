@@ -1,0 +1,104 @@
+// Partition-policy micro benchmarks (google-benchmark): edge-cut label
+// propagation vs. hash — build cost and resulting cut quality on the LDBC
+// social graph and the power-law fraud transfer graph — plus the
+// end-to-end payoff the cut buys: distributed comm_rows on the 2-hop
+// chain and fraud transfer-chain workloads at P=4. Counters carry the
+// acceptance metrics (total cut edges, cut fraction, vertex balance,
+// comm_rows), so BENCH_9.json records the hash-vs-edgecut deltas as data
+// rather than prose.
+#include <benchmark/benchmark.h>
+
+#include "src/engine/engine.h"
+#include "src/ldbc/ldbc.h"
+#include "src/store/partitioned_graph.h"
+#include "src/store/partitioner.h"
+#include "src/workloads/queries.h"
+
+namespace {
+
+using namespace gopt;
+
+const LdbcGraph& SharedLdbc() {
+  static LdbcGraph g = GenerateLdbc(0.3, 42);
+  return g;
+}
+
+const FraudGraph& SharedFraud() {
+  static FraudGraph g = GenerateFraud(20000, 8.0, 7);
+  return g;
+}
+
+const PropertyGraph* GraphArg(int64_t which) {
+  return which == 0 ? SharedLdbc().graph.get() : SharedFraud().graph.get();
+}
+
+PartitionPolicy PolicyArg(int64_t which) {
+  return which == 0 ? PartitionPolicy::kHash : PartitionPolicy::kEdgeCut;
+}
+
+/// Build cost and cut quality of a policy at P=4. Hash is the baseline
+/// the edge-cut rows must beat on cut_edges (never worse by construction:
+/// label propagation starts from the hash seed and only applies moves
+/// that strictly reduce the cut).
+void BM_PartitionEdgeCut(benchmark::State& state) {
+  const PropertyGraph* g = GraphArg(state.range(0));
+  const PartitionPolicy policy = PolicyArg(state.range(1));
+  std::shared_ptr<const PartitionedGraph> store;
+  for (auto _ : state) {
+    store = PartitionedGraph::Build(g, policy, 4);
+    benchmark::DoNotOptimize(store->total_cut_edges());
+  }
+  state.counters["cut_edges"] =
+      static_cast<double>(store->total_cut_edges());
+  state.counters["cut_pct"] = 100.0 * store->CutFraction();
+  state.counters["vertex_balance"] = store->VertexBalance();
+}
+BENCHMARK(BM_PartitionEdgeCut)
+    ->ArgNames({"graph", "policy"})  // graph: 0=ldbc 1=fraud; policy: 0=hash 1=edgecut
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Distributed execution at P=4 under each policy: comm_rows is what the
+/// cut ratio prices (CommProfile feeds the CBO's exchange costing and the
+/// lazy exchange placement), so the counter is the tentpole's acceptance
+/// metric. Workload 0 is the 2-hop KNOWS chain on LDBC (hash baseline:
+/// 161 comm_rows), workload 1 the fraud transfer chain.
+void BM_DistCommRows(benchmark::State& state) {
+  const int64_t workload = state.range(0);
+  const PartitionPolicy policy = PolicyArg(state.range(1));
+  const PropertyGraph* g = GraphArg(workload);
+  const char* query =
+      workload == 0
+          ? "MATCH (p:Person)-[:KNOWS]->(q:Person)-[:KNOWS]->(r:Person) "
+            "WHERE r.id <> p.id RETURN COUNT(r) AS c"
+          : "MATCH (a:Account)-[:TRANSFER]->(b:Account)-[:TRANSFER]->"
+            "(c:Account) WHERE c.id <> a.id RETURN COUNT(c) AS c";
+  EngineOptions opts;
+  opts.partitions = 4;
+  opts.partition_policy = policy;
+  GOptEngine engine(g, BackendSpec::GraphScopeLike(4), opts);
+  auto prep = engine.Prepare(SubstituteParams(query, DefaultParams()));
+  ExecOutcome out;
+  for (auto _ : state) {
+    out = engine.Execute(prep);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.counters["comm_rows"] = static_cast<double>(out.stats.comm_rows);
+  state.counters["cut_edges"] =
+      static_cast<double>(out.stats.store_cut_edges);
+  state.counters["rows"] = static_cast<double>(out.NumRows());
+}
+BENCHMARK(BM_DistCommRows)
+    ->ArgNames({"workload", "policy"})  // workload: 0=ldbc-2hop 1=fraud-2hop
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Runs a google-benchmark binary and distills its JSON output into a
-small committed baseline file (e.g. BENCH_8.json): one entry per
-benchmark with its real/cpu time, so perf regressions show up as a
-reviewable diff instead of living only in bench-comment prose.
+"""Runs one or more google-benchmark binaries and distills their JSON
+output into a single committed baseline file (e.g. BENCH_9.json): one
+entry per benchmark with its real/cpu time, so perf regressions show up
+as a reviewable diff instead of living only in bench-comment prose.
 
 Usage:
-  scripts/bench_json.py <bench-binary> <out.json> [--filter REGEX]
+  scripts/bench_json.py <bench-binary>... <out.json> [--filter REGEX]
                         [--min-time SECONDS] [--note TEXT]
+
+The last positional argument is the output path; every one before it is
+a benchmark binary to run. All binaries get the same --filter/--min-time
+flags, and their benchmark lists are concatenated in the order given —
+one baseline file per PR, even when the benches of interest live in
+different binaries. Duplicate benchmark names across binaries are an
+error (they would make the baseline ambiguous).
 
 The distilled file keeps the benchmark name, time unit, real and cpu
 time, iteration count, and any user counters. Host context (CPU count,
 library build type) is carried in a "context" header so a baseline
-recorded on a different machine is recognizable as such.
+recorded on a different machine is recognizable as such; it comes from
+the first binary, and a differing library_build_type in a later one
+fails the run rather than silently mixing debug and release numbers.
 """
 import argparse
 import json
@@ -20,48 +29,69 @@ import sys
 import tempfile
 
 
+def run_one(binary, bench_filter, min_time):
+    """Runs one binary, returns its parsed google-benchmark JSON doc."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [binary, "--benchmark_format=console",
+               "--benchmark_out_format=json", "--benchmark_out=" + tmp.name]
+        if bench_filter:
+            cmd.append("--benchmark_filter=" + bench_filter)
+        if min_time:
+            cmd.append("--benchmark_min_time=" + min_time)
+        subprocess.run(cmd, check=True)
+        with open(tmp.name, encoding="utf-8") as f:
+            return json.load(f)
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("binary", help="google-benchmark binary to run")
-    ap.add_argument("out", help="distilled JSON output path")
+    ap.add_argument("paths", nargs="+",
+                    help="benchmark binaries, then the output JSON path")
     ap.add_argument("--filter", default="", help="--benchmark_filter regex")
     ap.add_argument("--min-time", default="", help="--benchmark_min_time")
     ap.add_argument("--note", default="", help="free-form note stored in the file")
     args = ap.parse_args()
+    if len(args.paths) < 2:
+        ap.error("need at least one benchmark binary and an output path")
+    binaries, out_path = args.paths[:-1], args.paths[-1]
 
-    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
-        cmd = [args.binary, "--benchmark_format=console",
-               "--benchmark_out_format=json", "--benchmark_out=" + tmp.name]
-        if args.filter:
-            cmd.append("--benchmark_filter=" + args.filter)
-        if args.min_time:
-            cmd.append("--benchmark_min_time=" + args.min_time)
-        subprocess.run(cmd, check=True)
-        with open(tmp.name, encoding="utf-8") as f:
-            raw = json.load(f)
-
-    ctx = raw.get("context", {})
+    ctx = None
+    entries = []
+    seen = set()
     skip = {"name", "run_name", "run_type", "repetitions",
             "repetition_index", "threads", "family_index",
             "per_family_instance_index", "aggregate_name", "iterations",
             "real_time", "cpu_time", "time_unit"}
-    entries = []
-    for b in raw.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        entry = {
-            "name": b["name"],
-            "time_unit": b.get("time_unit", "ns"),
-            "real_time": round(b.get("real_time", 0.0), 4),
-            "cpu_time": round(b.get("cpu_time", 0.0), 4),
-            "iterations": b.get("iterations", 0),
-        }
-        counters = {k: v for k, v in b.items()
-                    if k not in skip and isinstance(v, (int, float))}
-        if counters:
-            entry["counters"] = {k: round(v, 4) for k, v in counters.items()}
-        entries.append(entry)
+    for binary in binaries:
+        raw = run_one(binary, args.filter, args.min_time)
+        bctx = raw.get("context", {})
+        if ctx is None:
+            ctx = bctx
+        elif bctx.get("library_build_type") != ctx.get("library_build_type"):
+            sys.exit("error: %s built %s but baseline context is %s" %
+                     (binary, bctx.get("library_build_type"),
+                      ctx.get("library_build_type")))
+        for b in raw.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            if b["name"] in seen:
+                sys.exit("error: duplicate benchmark name %r (from %s)" %
+                         (b["name"], binary))
+            seen.add(b["name"])
+            entry = {
+                "name": b["name"],
+                "time_unit": b.get("time_unit", "ns"),
+                "real_time": round(b.get("real_time", 0.0), 4),
+                "cpu_time": round(b.get("cpu_time", 0.0), 4),
+                "iterations": b.get("iterations", 0),
+            }
+            counters = {k: v for k, v in b.items()
+                        if k not in skip and isinstance(v, (int, float))}
+            if counters:
+                entry["counters"] = {k: round(v, 4) for k, v in counters.items()}
+            entries.append(entry)
 
+    ctx = ctx or {}
     doc = {
         "context": {
             "num_cpus": ctx.get("num_cpus"),
@@ -72,10 +102,11 @@ def main():
     }
     if args.note:
         doc["note"] = args.note
-    with open(args.out, "w", encoding="utf-8") as f:
+    with open(out_path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print("wrote %s (%d benchmarks)" % (args.out, len(entries)))
+    print("wrote %s (%d benchmarks from %d binaries)" %
+          (out_path, len(entries), len(binaries)))
     return 0
 
 

@@ -1,5 +1,6 @@
 #include "src/engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <set>
@@ -33,20 +34,136 @@ GOptEngine::GOptEngine(const PropertyGraph* g, BackendSpec backend,
                         ? std::make_shared<ResultCache>(opts.result_cache_bytes)
                         : nullptr) {
   if (opts_.partitions > 0) {
-    pstore_ = PartitionedGraph::Build(g_, opts_.partition_policy,
-                                      opts_.partitions);
-    // The store's measured cut ratios become the CBO's communication
-    // profile: partition-local expansions price cheaper than
-    // cross-partition ones (docs/storage.md).
-    const int P = pstore_->num_partitions();
-    comm_profile_.rehash =
-        P <= 1 ? 0.0 : static_cast<double>(P - 1) / static_cast<double>(P);
-    comm_profile_.all_cut = pstore_->CutFraction();
-    comm_profile_.cut_by_etype.resize(g_->schema().NumEdgeTypes());
-    for (TypeId t = 0; t < comm_profile_.cut_by_etype.size(); ++t) {
-      comm_profile_.cut_by_etype[t] = pstore_->CutFraction(t);
-    }
+    PartitionerOptions popts;
+    popts.refine_sweeps = opts_.partition_refine_sweeps;
+    popts.balance_cap = opts_.partition_balance_cap;
+    store_state_ = MakeStoreState(
+        PartitionedGraph::Build(g_, opts_.partition_policy, opts_.partitions,
+                                popts),
+        *g_);
+    observed_rows_.assign(static_cast<size_t>(opts_.partitions), 0);
   }
+}
+
+std::shared_ptr<const GOptEngine::StoreState> GOptEngine::MakeStoreState(
+    std::shared_ptr<const PartitionedGraph> store, const PropertyGraph& g) {
+  auto ss = std::make_shared<StoreState>();
+  // The store's measured cut ratios become the CBO's communication
+  // profile: partition-local expansions price cheaper than
+  // cross-partition ones (docs/storage.md). Recomputed per generation, so
+  // a rebalanced map re-prices exchanges with its own cut.
+  const int P = store->num_partitions();
+  ss->comm.rehash =
+      P <= 1 ? 0.0 : static_cast<double>(P - 1) / static_cast<double>(P);
+  ss->comm.all_cut = store->CutFraction();
+  ss->comm.cut_by_etype.resize(g.schema().NumEdgeTypes());
+  for (TypeId t = 0; t < ss->comm.cut_by_etype.size(); ++t) {
+    ss->comm.cut_by_etype[t] = store->CutFraction(t);
+  }
+  ss->store = std::move(store);
+  return ss;
+}
+
+std::shared_ptr<const GOptEngine::StoreState> GOptEngine::SnapshotStore()
+    const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_state_;
+}
+
+std::shared_ptr<const PartitionedGraph> GOptEngine::partitioned_store() const {
+  std::shared_ptr<const StoreState> ss = SnapshotStore();
+  return ss ? ss->store : nullptr;
+}
+
+void GOptEngine::ObservePartitionRows(const ExecStats& stats) const {
+  if (stats.partition_rows.empty()) return;
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (observed_rows_.size() < stats.partition_rows.size()) {
+    observed_rows_.resize(stats.partition_rows.size(), 0);
+  }
+  for (size_t p = 0; p < stats.partition_rows.size(); ++p) {
+    observed_rows_[p] += stats.partition_rows[p];
+  }
+}
+
+std::vector<uint64_t> GOptEngine::observed_partition_rows() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return observed_rows_;
+}
+
+RebalanceReport GOptEngine::RebalancePartitions(const RebalanceOptions& opts) {
+  RebalanceReport rep;
+  std::shared_ptr<const StoreState> ss = SnapshotStore();
+  if (!ss) {
+    rep.reason = "unpartitioned engine (EngineOptions::partitions == 0)";
+    return rep;
+  }
+  const PartitionedGraph& cur = *ss->store;
+  rep.old_epoch = rep.new_epoch = cur.epoch();
+  rep.old_version = rep.new_version = cur.version();
+  rep.old_cut_edges = rep.new_cut_edges = cur.total_cut_edges();
+
+  RebalancePlan plan = PlanRebalance(cur, observed_partition_rows(), opts);
+  rep.rows_balance_before = plan.rows_balance;
+  if (plan.moves == 0) {
+    rep.reason = (!opts.force && plan.rows_balance <= opts.overload_ratio)
+                     ? "observed skew below overload_ratio"
+                     : "no beneficial move under the balance cap";
+    return rep;
+  }
+
+  std::shared_ptr<const PartitionedGraph> next =
+      PartitionedGraph::BuildRebalanced(cur, std::move(plan.ownership));
+  rep.rebalanced = true;
+  rep.vertices_moved = plan.moves;
+  rep.new_epoch = next->epoch();
+  rep.new_version = next->version();
+  rep.new_cut_edges = next->total_cut_edges();
+  rep.reason = "migrated";
+
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    store_state_ = MakeStoreState(std::move(next), *g_);
+  }
+  // In-flight executions keep the old generation alive through their
+  // snapshots and complete on it; everything from here on sees the new one.
+
+  // Reset the observation stream: the old counters described the old map.
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    observed_rows_.assign(static_cast<size_t>(cur.num_partitions()), 0);
+  }
+
+  // Precise cache invalidation, mirroring SetGlogue's epoch bump: plans of
+  // the old partition epoch were priced against the old cut ratios and
+  // their keys just became unreachable for this engine — drop exactly this
+  // graph's entries of that epoch. Result-cache entries are dropped by the
+  // same (graph, partition epoch) scope across all glogue epochs; peer
+  // graphs, live epochs, and the partition-invariant sub-pattern entries
+  // (scoped with partition_epoch 0 under '\x01sub' keys that never embed a
+  // partition epoch) are untouched except on the first rebalance, where
+  // the old epoch IS 0 — the same first-bump collateral SetGlogue accepts.
+  const std::string graph_tag = std::to_string(g_->instance_id());
+  const std::string pepoch_tag = std::to_string(rep.old_epoch);
+  plan_cache_->EraseIf([&graph_tag, &pepoch_tag](const std::string& key) {
+    // Keys end "\x1f<graph>\x1f<glogue epoch>\x1f<partition epoch>".
+    const size_t pepoch_sep = key.rfind('\x1f');
+    if (pepoch_sep == std::string::npos || pepoch_sep == 0) return false;
+    if (key.compare(pepoch_sep + 1, std::string::npos, pepoch_tag) != 0) {
+      return false;
+    }
+    const size_t gepoch_sep = key.rfind('\x1f', pepoch_sep - 1);
+    if (gepoch_sep == std::string::npos || gepoch_sep == 0) return false;
+    const size_t graph_sep = key.rfind('\x1f', gepoch_sep - 1);
+    if (graph_sep == std::string::npos) return false;
+    return key.compare(graph_sep + 1, gepoch_sep - graph_sep - 1,
+                       graph_tag) == 0;
+  });
+  if (result_cache_) {
+    result_cache_->EraseScope(g_->instance_id(), ResultCache::kAnyEpoch,
+                              rep.old_epoch);
+  }
+  return rep;
 }
 
 void GOptEngine::SetGlogue(std::shared_ptr<const Glogue> gl) {
@@ -82,16 +199,19 @@ std::shared_ptr<const Glogue> GOptEngine::glogue() const {
 }
 
 void GOptEngine::ClearPlanCache() {
-  // Keys end with "\x1f<graph>\x1f<epoch>" (PlanCacheKeyFromCanonical);
-  // match the graph segment exactly — parsed from the key's tail, so a
-  // \x1f byte inside the query text can't fake a scope boundary.
+  // Keys end with "\x1f<graph>\x1f<glogue epoch>\x1f<partition epoch>"
+  // (PlanCacheKeyFromCanonical); match the graph segment exactly — parsed
+  // from the key's tail, so a \x1f byte inside the query text can't fake a
+  // scope boundary.
   const std::string graph_tag = std::to_string(g_->instance_id());
   plan_cache_->EraseIf([&graph_tag](const std::string& key) {
-    const size_t epoch_sep = key.rfind('\x1f');
-    if (epoch_sep == std::string::npos || epoch_sep == 0) return false;
-    const size_t graph_sep = key.rfind('\x1f', epoch_sep - 1);
+    const size_t pepoch_sep = key.rfind('\x1f');
+    if (pepoch_sep == std::string::npos || pepoch_sep == 0) return false;
+    const size_t gepoch_sep = key.rfind('\x1f', pepoch_sep - 1);
+    if (gepoch_sep == std::string::npos || gepoch_sep == 0) return false;
+    const size_t graph_sep = key.rfind('\x1f', gepoch_sep - 1);
     if (graph_sep == std::string::npos) return false;
-    return key.compare(graph_sep + 1, epoch_sep - graph_sep - 1,
+    return key.compare(graph_sep + 1, gepoch_sep - graph_sep - 1,
                        graph_tag) == 0;
   });
 }
@@ -119,7 +239,8 @@ GOptEngine::StatsSnapshot GOptEngine::SnapshotStats() const {
 }
 
 Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
-                               const StatsSnapshot& stats) const {
+                               const StatsSnapshot& stats,
+                               const StoreState* store) const {
   PassManager pipeline = BuildPipeline(opts_);
 
   PlanContext ctx;
@@ -130,7 +251,7 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
   ctx.glogue = stats.glogue.get();
   ctx.gq_high = stats.gq_high.get();
   ctx.gq_low = stats.gq_low.get();
-  ctx.comm = pstore_ ? &comm_profile_ : nullptr;
+  ctx.comm = store ? &store->comm : nullptr;
 
   pipeline.Run(ctx);
 
@@ -154,9 +275,12 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
 }
 
 Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
-  // Snapshot the statistics handles up front: the whole Prepare plans
-  // against one consistent Glogue even if SetGlogue lands concurrently.
+  // Snapshot the statistics handles and the store generation up front: the
+  // whole Prepare plans against one consistent Glogue and one ownership
+  // map even if SetGlogue or RebalancePartitions lands concurrently.
   StatsSnapshot stats = SnapshotStats();
+  std::shared_ptr<const StoreState> store = SnapshotStore();
+  const uint64_t pepoch = store ? store->store->epoch() : 0;
   // Split the query into a canonical parameterized stream (the plan shape)
   // and this call's literal bindings; planning and the cache only ever see
   // the stream. With the cache disabled there is no sharing to gain, so
@@ -165,7 +289,7 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
       query, lang, opts_.auto_parameterize && opts_.enable_plan_cache);
   auto plan_parameterized = [&]() {
     try {
-      return PlanQuery(pq.text, lang, stats);
+      return PlanQuery(pq.text, lang, stats, store.get());
     } catch (const std::exception& e) {
       if (pq.text == query) throw;
       // Parse errors carry token positions into the canonical stream, not
@@ -181,6 +305,7 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
   PlanCacheScope scope;
   scope.graph = g_->instance_id();
   scope.glogue_epoch = stats.epoch;
+  scope.partition_epoch = pepoch;
   const std::string key =
       PlanCacheKeyFromCanonical(pq.text, lang, opts_, scope);
   if (!opts_.enable_plan_cache) {
@@ -189,6 +314,7 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
     prep.lang = lang;
     prep.plan_key = key;
     prep.glogue_epoch = stats.epoch;
+    prep.partition_epoch = pepoch;
     prep.required_params = std::move(pq.required_params);
     prep.params = std::move(pq.bindings);
     return prep;
@@ -205,6 +331,7 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
   prep.lang = lang;
   prep.plan_key = key;
   prep.glogue_epoch = stats.epoch;
+  prep.partition_epoch = pepoch;
   prep.required_params = std::move(pq.required_params);
   // Cache the binding-independent plan; this call's extracted literals are
   // attached only to the returned copy. A concurrent Prepare of the same
@@ -217,22 +344,27 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
 ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
                                     const PipelinePlan* pipelines,
                                     const ParamMap& bound,
+                                    const StoreState* store,
                                     ExecStats* stats) const {
   // A fresh executor per call: all execution state (operator memo, stats)
   // is call-local, so any number of Execute calls may run concurrently on
-  // one engine.
+  // one engine. The caller's store snapshot pins one ownership-map
+  // generation for the whole call (a concurrent rebalance cannot pull it
+  // out from under the executor).
+  const PartitionedGraph* pstore = store ? store->store.get() : nullptr;
   if (backend_.distributed) {
     // With a sharded store the executor runs one worker per partition
     // (ownership-map exchanges); otherwise the legacy per-operator
     // simulated partitioning over backend_.num_workers.
-    DistributedExecutor ex(g_, backend_.num_workers, pstore_.get());
+    DistributedExecutor ex(g_, backend_.num_workers, pstore);
     ex.set_params(&bound);
     ex.set_vectorize(opts_.vectorize);
     ResultTable table = ex.Execute(root);
     *stats = ex.stats();
+    ObservePartitionRows(*stats);
     return table;
   }
-  if (opts_.exec_threads != 1 || pstore_ != nullptr ||
+  if (opts_.exec_threads != 1 || pstore != nullptr ||
       opts_.factorization == FactorizationMode::kOn) {
     // The morsel-driven batch runtime (see docs/executor.md). Results are
     // differential-tested equal to the sequential executor below. A
@@ -244,7 +376,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
     mopts.threads = opts_.exec_threads;
     mopts.factorization = opts_.factorization;
     mopts.vectorize = opts_.vectorize;
-    MorselExecutor ex(g_, mopts, pstore_.get());
+    MorselExecutor ex(g_, mopts, pstore);
     ex.set_params(&bound);
     ResultTable table;
     if (pipelines) {
@@ -257,6 +389,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
       table = ex.Execute(root, &pp);
     }
     *stats = ex.stats();
+    ObservePartitionRows(*stats);
     return table;
   }
   SingleMachineExecutor ex(g_);
@@ -301,10 +434,13 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
       return out;
     }
   }
+  // One store snapshot for the whole execution: the in-flight-query
+  // guarantee of RebalancePartitions.
+  std::shared_ptr<const StoreState> store = SnapshotStore();
   auto t0 = std::chrono::steady_clock::now();
   auto table = std::make_shared<ResultTable>(
       RunPhysical(prep.physical, prep.exec_pipelines.get(), bound,
-                  &out.stats));
+                  store.get(), &out.stats));
   out.table_ptr = table;
   auto t1 = std::chrono::steady_clock::now();
   out.ms =
@@ -314,8 +450,9 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
     CachedResult entry;
     entry.table = table;
     entry.rows_produced = out.stats.rows_produced;
-    result_cache_->Put(rkey, PlanCacheScope{g_->instance_id(),
-                                            prep.glogue_epoch},
+    result_cache_->Put(rkey,
+                       PlanCacheScope{g_->instance_id(), prep.glogue_epoch,
+                                      prep.partition_epoch},
                        std::move(entry));
     out.stats.result_cache = result_cache_->stats();
   }
@@ -376,6 +513,11 @@ std::vector<ExecOutcome> GOptEngine::ExecuteBatch(
     }
   }
 
+  // One store snapshot for the whole batch: every shared sub-pattern and
+  // consumer plan executes on one ownership-map generation even if a
+  // rebalance lands mid-batch.
+  std::shared_ptr<const StoreState> store = SnapshotStore();
+
   // Phase 2: find sub-plans shared across the remaining (miss) plans.
   std::vector<PhysOpPtr> roots(n);
   std::vector<const ParamMap*> boundp(n);
@@ -411,7 +553,8 @@ std::vector<ExecOutcome> GOptEngine::ExecuteBatch(
     } else {
       ExecStats sub_stats;
       auto sub_table = std::make_shared<ResultTable>(RunPhysical(
-          sp.representative, nullptr, bounds[owner], &sub_stats));
+          sp.representative, nullptr, bounds[owner], store.get(),
+          &sub_stats));
       rows = std::shared_ptr<const std::vector<Row>>(sub_table,
                                                      &sub_table->rows);
       sub_rows_produced = sub_stats.rows_produced;
@@ -448,11 +591,12 @@ std::vector<ExecOutcome> GOptEngine::ExecuteBatch(
     if (splices[i].empty()) {
       table = std::make_shared<ResultTable>(
           RunPhysical(prep.physical, prep.exec_pipelines.get(), bounds[i],
-                      &out[i].stats));
+                      store.get(), &out[i].stats));
     } else {
       PhysOpPtr spliced = SplicePlan(prep.physical, splices[i]);
       table = std::make_shared<ResultTable>(
-          RunPhysical(spliced, nullptr, bounds[i], &out[i].stats));
+          RunPhysical(spliced, nullptr, bounds[i], store.get(),
+                      &out[i].stats));
       out[i].stats.rows_produced += extra_rows[i];
     }
     out[i].table_ptr = table;
@@ -466,8 +610,8 @@ std::vector<ExecOutcome> GOptEngine::ExecuteBatch(
       entry.table = table;
       entry.rows_produced = out[i].stats.rows_produced;
       result_cache_->Put(rkeys[i],
-                         PlanCacheScope{g_->instance_id(),
-                                        prep.glogue_epoch},
+                         PlanCacheScope{g_->instance_id(), prep.glogue_epoch,
+                                        prep.partition_epoch},
                          std::move(entry));
       out[i].stats.result_cache = result_cache_->stats();
     }
@@ -531,9 +675,10 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
       s += "  result cache: disabled\n";
     }
   }
-  if (pstore_) {
+  std::shared_ptr<const StoreState> store = SnapshotStore();
+  if (store) {
     s += "=== Partitions ===\n";
-    std::string desc = pstore_->Describe();
+    std::string desc = store->store->Describe();
     // Indent the store description under the section header.
     size_t pos = 0;
     while (pos < desc.size()) {
@@ -578,7 +723,7 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
         opts_.vectorize ? "on" : "off", eligible, total);
   }
   if (!backend_.distributed &&
-      (opts_.exec_threads != 1 || pstore_ ||
+      (opts_.exec_threads != 1 || store ||
        opts_.factorization == FactorizationMode::kOn)) {
     s += "=== Pipelines (morsel runtime) ===\n";
     s += prep.exec_pipelines
@@ -623,14 +768,27 @@ std::string GOptEngine::Explain(const Prepared& prep,
                    static_cast<unsigned long long>(outcome.stats.comm_rows));
   }
   if (outcome.stats.partitions > 0) {
-    s += StrFormat("  %d partitions, store edge-cut %llu\n",
+    s += StrFormat("  %d partitions, store edge-cut %llu, vertex balance "
+                   "%.2f (max/mean)\n",
                    outcome.stats.partitions,
                    static_cast<unsigned long long>(
-                       outcome.stats.store_cut_edges));
+                       outcome.stats.store_cut_edges),
+                   outcome.stats.store_vertex_balance);
+    uint64_t total_rows = 0, max_rows = 0;
     for (size_t p = 0; p < outcome.stats.partition_rows.size(); ++p) {
+      total_rows += outcome.stats.partition_rows[p];
+      max_rows = std::max(max_rows, outcome.stats.partition_rows[p]);
       s += StrFormat("  p%zu: %llu rows\n", p,
                      static_cast<unsigned long long>(
                          outcome.stats.partition_rows[p]));
+    }
+    if (total_rows > 0) {
+      // Per-run row skew: max/mean rows per partition — the observation
+      // stream RebalancePartitions acts on.
+      s += StrFormat(
+          "  rows balance %.2f (max/mean)\n",
+          static_cast<double>(max_rows) * outcome.stats.partition_rows.size() /
+              static_cast<double>(total_rows));
     }
   }
   for (const PipelineStat& p : outcome.stats.pipelines) {

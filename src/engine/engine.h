@@ -14,6 +14,7 @@
 #include "src/opt/pipeline/shared_plan_cache.h"
 #include "src/physical/converter.h"
 #include "src/store/partitioned_graph.h"
+#include "src/store/rebalancer.h"
 
 namespace gopt {
 
@@ -56,6 +57,11 @@ struct Prepared {
   /// every result-cache entry it populates, so a later SetGlogue can evict
   /// exactly this generation's results.
   uint64_t glogue_epoch = 0;
+  /// The ownership-map generation this plan was prepared under
+  /// (PartitionedGraph::epoch(); 0 on an unpartitioned or policy-built
+  /// store) — the partition-side scope tag of its result-cache entries, so
+  /// RebalancePartitions can evict exactly the pre-migration generation.
+  uint64_t partition_epoch = 0;
   /// Every parameter slot the plan references: auto-extracted $__pN slots
   /// plus user-written $name parameters, in first-occurrence order.
   /// Execute throws if any of them is unbound.
@@ -137,10 +143,11 @@ struct BatchQuery {
 /// Explain are const and re-entrant — one engine may serve any number of
 /// threads, and several engines may share one plan cache (inject it via
 /// EngineOptions::plan_cache) and one Glogue (SetGlogue). Control-plane
-/// calls — SetGlogue, ClearPlanCache, mutable_options() — must not run
-/// concurrently with mutable_options() writes; SetGlogue is itself safe
-/// against in-flight Prepare/Execute calls (they finish against the
-/// statistics they snapshotted).
+/// calls — SetGlogue, RebalancePartitions, ClearPlanCache,
+/// mutable_options() — must not run concurrently with mutable_options()
+/// writes; SetGlogue and RebalancePartitions are themselves safe against
+/// in-flight Prepare/Execute calls (they finish against the statistics
+/// and store generation they snapshotted).
 class GOptEngine {
  public:
   using Prepared = gopt::Prepared;
@@ -249,12 +256,35 @@ class GOptEngine {
 
   const BackendSpec& backend() const { return backend_; }
   const PropertyGraph& graph() const { return *g_; }
-  /// The sharded store built when EngineOptions::partitions > 0 (null on
-  /// the unpartitioned legacy store). Immutable and shareable: another
-  /// engine over the same graph may be handed the same shared_ptr.
-  const std::shared_ptr<const PartitionedGraph>& partitioned_store() const {
-    return pstore_;
-  }
+  /// The engine's current sharded store (null when
+  /// EngineOptions::partitions == 0). Returned by value: the engine's
+  /// reference may be swapped by a concurrent RebalancePartitions, and the
+  /// snapshot you hold stays valid (each store generation is immutable).
+  std::shared_ptr<const PartitionedGraph> partitioned_store() const;
+
+  /// Adaptive skew-aware rebalancing (docs/storage.md): consults the
+  /// accumulated per-partition row observations of past executions
+  /// (observed_partition_rows) and, when the max/mean skew exceeds
+  /// `opts.overload_ratio` (or `opts.force`), migrates hot vertices to an
+  /// updated ownership map via PlanRebalance + BuildRebalanced and swaps
+  /// the engine's store to the new generation. The swap is epoch-versioned:
+  /// in-flight Prepare/Execute calls finish on the old store (their
+  /// snapshot keeps it alive), new calls see the new one, and the plan /
+  /// result caches are invalidated precisely — only this graph's entries
+  /// of the *old* partition epoch are dropped; other graphs, other
+  /// engines' epochs, and partition-invariant sub-pattern entries survive.
+  /// Observed row counters reset on a successful migration. Results are
+  /// never affected (ownership is results-invariant; differential-tested).
+  /// Control-plane call like SetGlogue: safe against concurrent
+  /// Prepare/Execute, but external callers must serialize it against other
+  /// control-plane calls.
+  RebalanceReport RebalancePartitions(const RebalanceOptions& opts = {});
+
+  /// Accumulated per-partition rows over every execution since
+  /// construction or the last successful rebalance (empty when
+  /// unpartitioned) — the observation stream RebalancePartitions consults.
+  std::vector<uint64_t> observed_partition_rows() const;
+
   /// NOT thread-safe: option writes must be externally serialized against
   /// every concurrent use of the engine.
   EngineOptions* mutable_options() { return &opts_; }
@@ -269,16 +299,42 @@ class GOptEngine {
     uint64_t epoch = 0;
   };
   StatsSnapshot SnapshotStats() const;
-  /// Runs the full planning pipeline (no cache).
+
+  /// One immutable generation of the engine's sharded store: the
+  /// PartitionedGraph plus the communication profile the CBO prices its
+  /// measured cut ratios with. Held by shared_ptr and swapped atomically
+  /// (under store_mu_) by RebalancePartitions, so const re-entrant
+  /// Prepare/Execute snapshot one consistent (store, comm, epoch) even
+  /// while a migration lands — the in-flight-queries-finish-on-the-old-
+  /// epoch guarantee (docs/storage.md).
+  struct StoreState {
+    std::shared_ptr<const PartitionedGraph> store;
+    CommProfile comm;
+  };
+  /// Builds the CommProfile for `store` and wraps both into a StoreState.
+  static std::shared_ptr<const StoreState> MakeStoreState(
+      std::shared_ptr<const PartitionedGraph> store, const PropertyGraph& g);
+  /// The current store generation (null when unpartitioned).
+  std::shared_ptr<const StoreState> SnapshotStore() const;
+  /// Folds one run's per-partition row counts into the engine's
+  /// observation accumulator (no-op for unpartitioned runs).
+  void ObservePartitionRows(const ExecStats& stats) const;
+
+  /// Runs the full planning pipeline (no cache). `store` is the store
+  /// generation this plan prices communication against (may be null).
   Prepared PlanQuery(const std::string& query, Language lang,
-                     const StatsSnapshot& stats) const;
+                     const StatsSnapshot& stats,
+                     const StoreState* store) const;
   /// Runs one physical plan on the configured backend with `bound`
   /// parameter bindings, accumulating metrics into *stats. `pipelines` is
   /// the plan's prebuilt decomposition for the morsel runtime (null: built
-  /// on the fly — the spliced-plan path of ExecuteBatch). The shared
-  /// backend-dispatch of Execute and ExecuteBatch.
+  /// on the fly — the spliced-plan path of ExecuteBatch). `store` is the
+  /// store generation snapshotted by the caller (one snapshot per
+  /// Execute/ExecuteBatch, so a whole call executes on one generation).
+  /// The shared backend-dispatch of Execute and ExecuteBatch.
   ResultTable RunPhysical(const PhysOpPtr& root, const PipelinePlan* pipelines,
-                          const ParamMap& bound, ExecStats* stats) const;
+                          const ParamMap& bound, const StoreState* store,
+                          ExecStats* stats) const;
 
   const PropertyGraph* g_;
   BackendSpec backend_;
@@ -288,10 +344,16 @@ class GOptEngine {
   /// sub-patterns (docs/result-cache.md). Null when disabled
   /// (result_cache_bytes == 0 and no injected handle).
   std::shared_ptr<ResultCache> result_cache_;
-  /// Sharded store + its communication profile for the CBO, built once at
-  /// construction when opts_.partitions > 0; both immutable afterwards.
-  std::shared_ptr<const PartitionedGraph> pstore_;
-  CommProfile comm_profile_;
+
+  /// Guards store_state_ swaps; mutable so const readers can snapshot.
+  mutable std::mutex store_mu_;
+  /// Current store generation (null when opts_.partitions == 0); replaced
+  /// wholesale by RebalancePartitions.
+  std::shared_ptr<const StoreState> store_state_;
+  /// Accumulated per-partition row observations feeding the rebalancer;
+  /// guarded by obs_mu_, reset on successful migration.
+  mutable std::mutex obs_mu_;
+  mutable std::vector<uint64_t> observed_rows_;
 
   /// Guards the lazily built statistics handles and the epoch; mutable so
   /// const Prepare can build them on first use.

@@ -42,6 +42,7 @@ ResultTable DistributedExecutor::Execute(const PhysOpPtr& root) {
   if (pg_ != nullptr) {
     stats_.partitions = workers_;
     stats_.store_cut_edges = pg_->total_cut_edges();
+    stats_.store_vertex_balance = pg_->VertexBalance();
     stats_.partition_rows.assign(static_cast<size_t>(workers_), 0);
     CountConsumers(root, &consumers_);
   }

@@ -60,9 +60,15 @@ struct ExecStats {
   // executed against a PartitionedGraph.
   int partitions = 0;           ///< partition count of the store (0 = none)
   uint64_t store_cut_edges = 0; ///< the partitioning's total edge-cut
+  /// Ownership-map balance of the store this run executed against: max/mean
+  /// owned vertices per partition (PartitionedGraph::VertexBalance; 1.0 =
+  /// perfectly balanced).
+  double store_vertex_balance = 0;
   /// Rows produced per partition: per worker-partition operator emissions
   /// (distributed runtime) or per-partition scan-source rows (morsel
-  /// runtime) — the skew signal Explain surfaces.
+  /// runtime) — the skew signal Explain surfaces and the engine accumulates
+  /// for RebalancePartitions (docs/storage.md). Its max/mean is the
+  /// per-run rows balance Explain reports next to the vertex balance.
   std::vector<uint64_t> partition_rows;
 
   // Vectorized-dispatch totals across the run (docs/vectorization.md),

@@ -99,6 +99,7 @@ ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
   if (pg_ != nullptr) {
     stats_.partitions = pg_->num_partitions();
     stats_.store_cut_edges = pg_->total_cut_edges();
+    stats_.store_vertex_balance = pg_->VertexBalance();
     stats_.partition_rows.assign(
         static_cast<size_t>(pg_->num_partitions()), 0);
   }

@@ -68,6 +68,8 @@ uint64_t OptionsFingerprint(const EngineOptions& opts) {
   // scaled by the partitioning's measured edge-cut (see CommProfile).
   h = HashCombine(h, static_cast<size_t>(opts.partitions));
   h = HashCombine(h, static_cast<size_t>(opts.partition_policy));
+  h = HashCombine(h, static_cast<size_t>(opts.partition_refine_sweeps));
+  h = HashCombine(h, HashDouble(opts.partition_balance_cap));
   // Factorization decisions are frozen into the cached pipeline plan.
   h = HashCombine(h, static_cast<size_t>(opts.factorization));
   return static_cast<uint64_t>(h);
@@ -86,6 +88,8 @@ std::string PlanCacheKeyFromCanonical(const std::string& canonical_text,
   key += std::to_string(scope.graph);
   key.push_back('\x1f');
   key += std::to_string(scope.glogue_epoch);
+  key.push_back('\x1f');
+  key += std::to_string(scope.partition_epoch);
   return key;
 }
 

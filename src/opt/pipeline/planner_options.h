@@ -119,9 +119,19 @@ struct EngineOptions {
   /// communication with the store's measured edge-cut, so it is part of
   /// OptionsFingerprint.
   int partitions = 0;
-  /// Vertex-partitioning policy of the sharded store (hash or range);
-  /// plan-affecting for the same reason as `partitions`.
+  /// Vertex-partitioning policy of the sharded store (hash, range or
+  /// edgecut); plan-affecting for the same reason as `partitions`.
   PartitionPolicy partition_policy = PartitionPolicy::kHash;
+  /// kEdgeCut refinement: maximum label-propagation sweeps (0 degenerates
+  /// to the hash seed). Shapes the ownership map and hence the measured cut
+  /// ratios the CBO prices communication with, so it is plan-affecting and
+  /// part of OptionsFingerprint. Ignored by hash/range.
+  int partition_refine_sweeps = 5;
+  /// kEdgeCut balance cap: no partition may own more than
+  /// `partition_balance_cap * ceil(|V| / partitions)` vertices (values
+  /// below 1.0 are clamped to 1.0). Plan-affecting like
+  /// partition_refine_sweeps. Ignored by hash/range.
+  double partition_balance_cap = 1.1;
 
   /// Factorized intermediate batches (docs/factorization.md). Plan-affecting
   /// — the per-pipeline factorize/flatten decisions are frozen into the
@@ -203,9 +213,17 @@ uint64_t OptionsFingerprint(const EngineOptions& opts);
 ///    while SetGlogue on one engine re-keys only that engine's lookups
 ///    (peers keep hitting their epoch's entries; the stale ones age out
 ///    of the LRU).
+///  - `partition_epoch`: the engine's ownership-map generation
+///    (PartitionedGraph::epoch()). 0 for any policy-built store — its
+///    content is fully determined by the fingerprinted options, so engines
+///    over the same graph still share plans — and a process-unique nonzero
+///    id after Engine::RebalancePartitions migrates the map, so post-
+///    migration lookups never hit plans priced against the old cut ratios
+///    (docs/storage.md).
 struct PlanCacheScope {
   uint64_t graph = 0;
   uint64_t glogue_epoch = 0;
+  uint64_t partition_epoch = 0;
 };
 
 /// The full prepared-plan cache key (normalizes `query` first).

@@ -1,5 +1,9 @@
 #include "src/store/partitioner.h"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 namespace gopt {
 
 const char* PartitionPolicyName(PartitionPolicy policy) {
@@ -8,6 +12,8 @@ const char* PartitionPolicyName(PartitionPolicy policy) {
       return "hash";
     case PartitionPolicy::kRange:
       return "range";
+    case PartitionPolicy::kEdgeCut:
+      return "edgecut";
   }
   return "unknown";
 }
@@ -36,14 +42,105 @@ int RangePartitioner::OwnerOf(VertexId v) const {
   return static_cast<int>(p);
 }
 
-std::unique_ptr<GraphPartitioner> MakePartitioner(PartitionPolicy policy,
-                                                  int partitions,
-                                                  const PropertyGraph& g) {
+EdgeCutPartitioner::EdgeCutPartitioner(int partitions, const PropertyGraph& g,
+                                       PartitionerOptions opts)
+    : GraphPartitioner(partitions) {
+  if (!g.finalized()) {
+    throw std::logic_error(
+        "EdgeCutPartitioner: the graph must be finalized (refinement reads "
+        "its CSR adjacency)");
+  }
+  const size_t n = g.NumVertices();
+  const size_t P = static_cast<size_t>(partitions_);
+  owner_.resize(n);
+
+  // Seed from the hash policy, so the refinement below can only improve on
+  // it and zero sweeps reproduce it exactly.
+  HashPartitioner seed(partitions_);
+  std::vector<size_t> sizes(P, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const int p = seed.OwnerOf(v);
+    owner_[v] = p;
+    sizes[static_cast<size_t>(p)]++;
+  }
+  if (P <= 1 || n == 0) return;
+
+  // Per-partition balance cap on owned vertices. Clamped so the cap is
+  // never below the perfectly balanced ceil(n/P) — a cap the seed itself
+  // can violate would deadlock refinement into no-ops.
+  const double cap_factor = std::max(1.0, opts.balance_cap);
+  const size_t even = (n + P - 1) / P;
+  const size_t cap = std::max(
+      even, static_cast<size_t>(std::ceil(cap_factor *
+                                          static_cast<double>(even))));
+
+  // Greedy label propagation: visit vertices in ascending id order; move a
+  // vertex to the partition owning the strict majority of its adjacency
+  // (out + in, each incident edge counted once from this side) when the
+  // target has cap headroom. Each applied move strictly decreases the
+  // total edge-cut — the moved vertex's incident cut drops from
+  // deg - cnt[cur] to deg - cnt[best] with cnt[best] > cnt[cur], and no
+  // other vertex's incident cut changes mid-visit because moves are
+  // applied immediately and later visits read the updated map. The
+  // sequential order and the lowest-partition-id tie-break make the result
+  // deterministic.
+  std::vector<size_t> cnt(P, 0);
+  std::vector<int> touched;
+  touched.reserve(64);
+  for (int sweep = 0; sweep < opts.refine_sweeps; ++sweep) {
+    size_t sweep_moves = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      for (const AdjEntry& a : g.OutEdges(v)) {
+        const int p = owner_[a.nbr];
+        if (cnt[static_cast<size_t>(p)]++ == 0) touched.push_back(p);
+      }
+      for (const AdjEntry& a : g.InEdges(v)) {
+        const int p = owner_[a.nbr];
+        if (cnt[static_cast<size_t>(p)]++ == 0) touched.push_back(p);
+      }
+      if (touched.empty()) continue;
+      const int cur = owner_[v];
+      int best = cur;
+      size_t best_cnt = cnt[static_cast<size_t>(cur)];
+      // Ascending partition-id scan => ties keep the lowest id.
+      std::sort(touched.begin(), touched.end());
+      for (const int p : touched) {
+        if (p == cur) continue;
+        const size_t c = cnt[static_cast<size_t>(p)];
+        if (c > best_cnt && sizes[static_cast<size_t>(p)] + 1 <= cap) {
+          best = p;
+          best_cnt = c;
+        }
+      }
+      if (best != cur) {
+        owner_[v] = best;
+        sizes[static_cast<size_t>(cur)]--;
+        sizes[static_cast<size_t>(best)]++;
+        sweep_moves++;
+        moves_++;
+      }
+      for (const int p : touched) cnt[static_cast<size_t>(p)] = 0;
+      touched.clear();
+    }
+    sweeps_run_ = sweep + 1;
+    if (sweep_moves == 0) break;  // converged
+  }
+}
+
+std::string EdgeCutPartitioner::Name() const {
+  return "edgecut(" + std::to_string(partitions_) + ")";
+}
+
+std::unique_ptr<GraphPartitioner> MakePartitioner(
+    PartitionPolicy policy, int partitions, const PropertyGraph& g,
+    const PartitionerOptions& opts) {
   switch (policy) {
     case PartitionPolicy::kHash:
       return std::make_unique<HashPartitioner>(partitions);
     case PartitionPolicy::kRange:
       return std::make_unique<RangePartitioner>(partitions, g.NumVertices());
+    case PartitionPolicy::kEdgeCut:
+      return std::make_unique<EdgeCutPartitioner>(partitions, g, opts);
   }
   return std::make_unique<HashPartitioner>(partitions);
 }

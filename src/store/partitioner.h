@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/graph/property_graph.h"
 
@@ -13,11 +15,31 @@ namespace gopt {
 /// partition-local and the cross-partition edges are exactly the edge-cut
 /// the distributed cost model charges communication for.
 enum class PartitionPolicy {
-  kHash,   ///< owner = mix(vertex id) mod P — balanced, locality-free
-  kRange,  ///< contiguous id ranges of near-equal size — locality-friendly
+  kHash,     ///< owner = mix(vertex id) mod P — balanced, locality-free
+  kRange,    ///< contiguous id ranges of near-equal size — locality-friendly
+  kEdgeCut,  ///< greedy label propagation minimizing the edge-cut
 };
 
 const char* PartitionPolicyName(PartitionPolicy policy);
+
+/// Structure-aware knobs of the kEdgeCut policy (ignored by hash/range).
+/// Both shape the produced ownership map and therefore the store's measured
+/// cut ratios the CBO prices communication with, so the engine carries them
+/// in OptionsFingerprint (EngineOptions::partition_refine_sweeps /
+/// partition_balance_cap).
+struct PartitionerOptions {
+  /// Maximum label-propagation refinement sweeps over the vertex domain.
+  /// Each sweep visits vertices in ascending id order and moves a vertex to
+  /// its neighbor-majority partition when that strictly reduces the cut;
+  /// refinement stops early once a sweep makes no move. 0 degenerates to
+  /// the hash seed.
+  int refine_sweeps = 5;
+  /// Balance cap: no partition may own more than
+  /// `balance_cap * ceil(|V| / P)` vertices (a move that would overflow the
+  /// target partition is skipped). Must be >= 1.0; values below are
+  /// clamped to 1.0.
+  double balance_cap = 1.1;
+};
 
 /// Maps every vertex of a finalized graph onto one of `num_partitions()`
 /// partitions. Implementations must be total (every valid vertex id has
@@ -62,6 +84,65 @@ class HashPartitioner : public GraphPartitioner {
   }
 };
 
+/// Edge-cut policy: greedy label propagation. Ownership is seeded from the
+/// hash policy (so with zero sweeps it IS the hash partitioning), then a
+/// bounded number of refinement sweeps move each vertex toward the
+/// partition owning the majority of its neighbors (out- plus in-adjacency),
+/// under the per-partition balance cap. A move happens only when the
+/// neighbor count strictly improves, so the total edge-cut is monotonically
+/// non-increasing — never worse than hash — and the sweep visits vertices
+/// in ascending id order with lowest-partition-id tie-breaking, so the
+/// result is deterministic (two independently built partitioners agree).
+/// The whole ownership map is precomputed at construction; OwnerOf is an
+/// O(1) array read.
+class EdgeCutPartitioner : public GraphPartitioner {
+ public:
+  EdgeCutPartitioner(int partitions, const PropertyGraph& g,
+                     PartitionerOptions opts = {});
+
+  std::string Name() const override;
+  PartitionPolicy policy() const override { return PartitionPolicy::kEdgeCut; }
+  int OwnerOf(VertexId v) const override {
+    return owner_[static_cast<size_t>(v)];
+  }
+
+  /// Refinement sweeps actually performed (< refine_sweeps when a sweep
+  /// converged early).
+  int sweeps_run() const { return sweeps_run_; }
+  /// Vertices moved off their hash seed by refinement.
+  size_t moves() const { return moves_; }
+
+ private:
+  std::vector<int32_t> owner_;
+  int sweeps_run_ = 0;
+  size_t moves_ = 0;
+};
+
+/// Explicit policy: wraps a precomputed ownership vector — the rebalancer's
+/// way of constructing a PartitionedGraph from a migrated map
+/// (src/store/rebalancer.h). Reports the policy of the store it was derived
+/// from; `label` names the generation (e.g. "rebalanced(edgecut(4),v2)").
+class ExplicitPartitioner : public GraphPartitioner {
+ public:
+  ExplicitPartitioner(int partitions, PartitionPolicy derived_from,
+                      std::string label, std::vector<int32_t> ownership)
+      : GraphPartitioner(partitions),
+        derived_from_(derived_from),
+        label_(std::move(label)),
+        owner_(std::move(ownership)) {}
+
+  std::string Name() const override { return label_; }
+  PartitionPolicy policy() const override { return derived_from_; }
+  int OwnerOf(VertexId v) const override {
+    return owner_[static_cast<size_t>(v)];
+  }
+
+ private:
+  PartitionPolicy derived_from_;
+  std::string label_;
+  std::vector<int32_t> owner_;
+};
+
 /// Range policy: partition p owns the contiguous id range
 /// [p*n/P, (p+1)*n/P). Preserves id locality (neighbors created together
 /// stay together under loaders that emit communities contiguously) and
@@ -79,9 +160,10 @@ class RangePartitioner : public GraphPartitioner {
 };
 
 /// Factory over the policy enum (`g` supplies the domain size the range
-/// policy needs).
-std::unique_ptr<GraphPartitioner> MakePartitioner(PartitionPolicy policy,
-                                                  int partitions,
-                                                  const PropertyGraph& g);
+/// policy needs and the adjacency the edge-cut policy refines over;
+/// `opts` only affects kEdgeCut).
+std::unique_ptr<GraphPartitioner> MakePartitioner(
+    PartitionPolicy policy, int partitions, const PropertyGraph& g,
+    const PartitionerOptions& opts = {});
 
 }  // namespace gopt

@@ -1,0 +1,152 @@
+#include "src/store/rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gopt {
+
+namespace {
+
+/// max/mean of a non-negative load vector; 0 when the total is 0.
+double Balance(const std::vector<double>& load) {
+  if (load.empty()) return 0.0;
+  double total = 0.0, mx = 0.0;
+  for (double l : load) {
+    total += l;
+    mx = std::max(mx, l);
+  }
+  if (total <= 0.0) return 0.0;
+  return mx / (total / static_cast<double>(load.size()));
+}
+
+}  // namespace
+
+RebalancePlan PlanRebalance(const PartitionedGraph& store,
+                            const std::vector<uint64_t>& observed_rows,
+                            const RebalanceOptions& opts) {
+  RebalancePlan plan;
+  const size_t P = static_cast<size_t>(store.num_partitions());
+  const size_t n = store.base().NumVertices();
+  if (P <= 1 || n == 0) return plan;
+
+  // Per-partition load: the observed executor rows when available,
+  // otherwise the owned vertex counts (pure structural balancing).
+  std::vector<double> load(P, 0.0);
+  bool any = false;
+  if (observed_rows.size() == P) {
+    for (size_t p = 0; p < P; ++p) {
+      load[p] = static_cast<double>(observed_rows[p]);
+      any |= observed_rows[p] != 0;
+    }
+  }
+  if (!any) {
+    for (size_t p = 0; p < P; ++p) {
+      load[p] = static_cast<double>(store.stats(static_cast<int>(p)).num_vertices);
+    }
+  }
+  plan.rows_balance = Balance(load);
+  if (!opts.force && plan.rows_balance <= opts.overload_ratio) return plan;
+
+  // Apportion each partition's load to its owned vertices proportionally to
+  // 1 + degree: the adjacency size drives scan and expansion rows, so a
+  // partition's hottest vertices are its heaviest adjacency lists.
+  const PropertyGraph& g = store.base();
+  std::vector<double> vload(n, 0.0);
+  std::vector<size_t> deg(n, 0);
+  for (size_t p = 0; p < P; ++p) {
+    Span<const VertexId> owned = store.Vertices(static_cast<int>(p));
+    double weight = 0.0;
+    for (VertexId v : owned) {
+      deg[v] = g.OutEdges(v).size() + g.InEdges(v).size();
+      weight += 1.0 + static_cast<double>(deg[v]);
+    }
+    if (weight <= 0.0) continue;
+    for (VertexId v : owned) {
+      vload[v] = load[p] * (1.0 + static_cast<double>(deg[v])) / weight;
+    }
+  }
+
+  // Working state: current ownership, per-partition projected load and
+  // vertex counts, and the vertex balance cap (same formula as the edge-cut
+  // partitioner's, clamped to at least the even share).
+  std::vector<int32_t> owner(n);
+  std::vector<size_t> vcount(P, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    owner[v] = static_cast<int32_t>(store.OwnerOf(v));
+    vcount[static_cast<size_t>(owner[v])]++;
+  }
+  const size_t even = (n + P - 1) / P;
+  const double cap_factor = std::max(1.0, opts.balance_cap);
+  const size_t cap = std::max(
+      even,
+      static_cast<size_t>(std::ceil(cap_factor * static_cast<double>(even))));
+  const double total_load = std::accumulate(load.begin(), load.end(), 0.0);
+  const double mean = total_load / static_cast<double>(P);
+  size_t budget = static_cast<size_t>(
+      std::floor(opts.max_move_fraction * static_cast<double>(n)));
+
+  // Candidates: every vertex of an overloaded partition, hottest first
+  // (descending degree, ascending id on ties) — a global deterministic
+  // order, so two engines with the same observations plan the same moves.
+  std::vector<VertexId> cand;
+  for (VertexId v = 0; v < n; ++v) {
+    if (load[static_cast<size_t>(owner[v])] > mean) cand.push_back(v);
+  }
+  std::sort(cand.begin(), cand.end(), [&](VertexId a, VertexId b) {
+    if (deg[a] != deg[b]) return deg[a] > deg[b];
+    return a < b;
+  });
+
+  std::vector<size_t> nbr_cnt(P, 0);
+  for (VertexId v : cand) {
+    if (budget == 0) break;
+    const size_t src = static_cast<size_t>(owner[v]);
+    // Shed only while the source is still projected above the mean, and
+    // never below it: moving past the mean just relocates the hotspot.
+    if (load[src] - vload[v] < mean) continue;
+
+    // Count the vertex's neighbors per partition (used as the tie-break
+    // that keeps the migration's edge-cut price low).
+    std::fill(nbr_cnt.begin(), nbr_cnt.end(), 0);
+    for (const AdjEntry& a : g.OutEdges(v)) {
+      nbr_cnt[static_cast<size_t>(owner[a.nbr])]++;
+    }
+    for (const AdjEntry& a : g.InEdges(v)) {
+      nbr_cnt[static_cast<size_t>(owner[a.nbr])]++;
+    }
+
+    // Target: the least projected load with cap headroom; ties prefer the
+    // partition owning more of v's neighbors, then the lowest id.
+    int tgt = -1;
+    for (size_t p = 0; p < P; ++p) {
+      if (p == src || vcount[p] + 1 > cap) continue;
+      if (tgt < 0) {
+        tgt = static_cast<int>(p);
+        continue;
+      }
+      const size_t t = static_cast<size_t>(tgt);
+      if (load[p] < load[t] ||
+          (load[p] == load[t] && nbr_cnt[p] > nbr_cnt[t])) {
+        tgt = static_cast<int>(p);
+      }
+    }
+    if (tgt < 0) continue;
+    const size_t t = static_cast<size_t>(tgt);
+    // A move must help: never push the target above the source.
+    if (load[t] + vload[v] >= load[src]) continue;
+
+    owner[v] = static_cast<int32_t>(tgt);
+    load[src] -= vload[v];
+    load[t] += vload[v];
+    vcount[src]--;
+    vcount[t]++;
+    plan.moves++;
+    budget--;
+  }
+
+  if (plan.moves > 0) plan.ownership = std::move(owner);
+  return plan;
+}
+
+}  // namespace gopt

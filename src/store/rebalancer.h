@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/store/partitioned_graph.h"
+
+namespace gopt {
+
+/// Knobs of the skew-aware online rebalancer (docs/storage.md). Execution-
+/// side only: rebalancing never changes query answers (ownership is
+/// results-invariant, differential-tested), so none of these are part of
+/// OptionsFingerprint — the migrated map itself is keyed by the store's
+/// partition epoch instead.
+struct RebalanceOptions {
+  /// Trigger: rebalance only when max/mean observed per-partition rows
+  /// exceeds this ratio (ignored with `force`).
+  double overload_ratio = 1.2;
+  /// No partition may end up owning more than
+  /// `balance_cap * ceil(|V| / P)` vertices after migration.
+  double balance_cap = 1.1;
+  /// At most this fraction of all vertices moves in one rebalance — an
+  /// incremental migration, not a re-partitioning from scratch.
+  double max_move_fraction = 0.25;
+  /// Migrate even when the observed skew is below overload_ratio (used by
+  /// tests and by operators forcing a rebalance after a workload shift).
+  bool force = false;
+};
+
+/// What a rebalance decided and did. `rebalanced == false` means the
+/// ownership map was left untouched (reason says why) — the engine then
+/// keeps its current store and epoch.
+struct RebalanceReport {
+  bool rebalanced = false;
+  std::string reason;
+  /// Observed max/mean per-partition rows that triggered (or failed to
+  /// trigger) the migration; 0 when nothing was observed.
+  double rows_balance_before = 0.0;
+  size_t vertices_moved = 0;
+  /// Store epochs across the swap (old == new when not rebalanced).
+  uint64_t old_epoch = 0;
+  uint64_t new_epoch = 0;
+  int old_version = 0;
+  int new_version = 0;
+  /// Edge-cut before/after, so the cut cost of a balance-driven migration
+  /// is visible.
+  size_t old_cut_edges = 0;
+  size_t new_cut_edges = 0;
+};
+
+/// A planned migration: the full new ownership map plus the number of
+/// vertices it moves. Empty `ownership` (moves == 0) means "don't".
+struct RebalancePlan {
+  std::vector<int32_t> ownership;
+  size_t moves = 0;
+  double rows_balance = 0.0;
+};
+
+/// Plans a skew-aware incremental migration of `store`'s ownership map.
+///
+/// `observed_rows` is the accumulated per-partition row counters the
+/// executors surfaced in ExecOutcome.stats.partition_rows (the engine sums
+/// them across calls); empty or all-zero falls back to the store's owned
+/// row counts — i.e. pure vertex-count balancing.
+///
+/// The heuristic: partitions whose observed load exceeds the mean shed
+/// their hottest owned vertices — hottest = largest adjacency, the scan
+/// and expansion row driver — to the currently least-loaded partition,
+/// preferring (on load ties) the partition owning the plurality of the
+/// vertex's neighbors so migration pays the smallest edge-cut price.
+/// Per-vertex load is apportioned from the partition's observed rows
+/// proportionally to (1 + degree). Moves stop when the source's projected
+/// load reaches the mean, the per-partition vertex balance cap would be
+/// violated, or max_move_fraction is exhausted. Deterministic: vertices
+/// are considered in (descending degree, ascending id) order and all
+/// tie-breaks are by lowest partition id.
+RebalancePlan PlanRebalance(const PartitionedGraph& store,
+                            const std::vector<uint64_t>& observed_rows,
+                            const RebalanceOptions& opts = {});
+
+}  // namespace gopt

@@ -17,7 +17,7 @@
 namespace gopt {
 namespace {
 
-/// Compile-time arity check: exactly 25 fields. If this line fails to
+/// Compile-time arity check: exactly 27 fields. If this line fails to
 /// compile, EngineOptions changed shape — update the binding AND add the
 /// new field to either ChangesFingerprint or LeavesFingerprintAlone below.
 void StaticFieldCountGuard() {
@@ -26,8 +26,9 @@ void StaticFieldCountGuard() {
          high_order_stats, enable_agg_pushdown, greedy_only, semantics,
          glogue_k, glogue_sample_rate, random_plan_seed, planning_backend,
          rbo_rule_filter, cbo_pattern_threads, exec_threads, partitions,
-         partition_policy, factorization, vectorize, enable_plan_cache,
-         plan_cache_capacity, plan_cache, result_cache_bytes, result_cache,
+         partition_policy, partition_refine_sweeps, partition_balance_cap,
+         factorization, vectorize, enable_plan_cache, plan_cache_capacity,
+         plan_cache, result_cache_bytes, result_cache,
          auto_parameterize] = o;
   (void)mode;
   (void)enable_rbo;
@@ -46,6 +47,8 @@ void StaticFieldCountGuard() {
   (void)exec_threads;
   (void)partitions;
   (void)partition_policy;
+  (void)partition_refine_sweeps;
+  (void)partition_balance_cap;
   (void)factorization;
   (void)vectorize;
   (void)enable_plan_cache;
@@ -101,6 +104,16 @@ TEST(OptionsFingerprintTest, EveryPlanAffectingFieldChangesFingerprint) {
   EXPECT_NE(FP([](EngineOptions* o) {
               o->partition_policy = PartitionPolicy::kRange;
             }),
+            kDefaultFp);
+  EXPECT_NE(FP([](EngineOptions* o) {
+              o->partition_policy = PartitionPolicy::kEdgeCut;
+            }),
+            kDefaultFp);
+  // The edge-cut refinement knobs shape the ownership map and the measured
+  // cut ratios the CBO prices communication with.
+  EXPECT_NE(FP([](EngineOptions* o) { o->partition_refine_sweeps = 2; }),
+            kDefaultFp);
+  EXPECT_NE(FP([](EngineOptions* o) { o->partition_balance_cap = 1.5; }),
             kDefaultFp);
   EXPECT_NE(FP([](EngineOptions* o) {
               o->factorization = FactorizationMode::kOn;

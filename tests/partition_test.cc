@@ -8,7 +8,10 @@
 // merge, and the partition metrics surfaced in ExecOutcome/Explain.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "src/engine/engine.h"
 #include "src/exec/morsel.h"
@@ -53,9 +56,12 @@ class PartitionTest : public ::testing::Test {
   }
 
   static std::unique_ptr<GOptEngine> MakeDistEngine(int partitions,
-                                                    int workers = 4) {
+                                                    int workers = 4,
+                                                    PartitionPolicy policy =
+                                                        PartitionPolicy::kHash) {
     EngineOptions opts;
     opts.partitions = partitions;
+    opts.partition_policy = policy;
     auto e = std::make_unique<GOptEngine>(
         ldbc_->graph.get(), BackendSpec::GraphScopeLike(workers), opts);
     e->SetGlogue(*glogue_);
@@ -76,7 +82,8 @@ std::shared_ptr<const Glogue>* PartitionTest::glogue_ = nullptr;
 TEST_F(PartitionTest, OwnershipIsTotalAndDeterministic) {
   const PropertyGraph& g = *ldbc_->graph;
   for (PartitionPolicy policy :
-       {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+       {PartitionPolicy::kHash, PartitionPolicy::kRange,
+        PartitionPolicy::kEdgeCut}) {
     for (int P : {1, 3, 4}) {
       auto a = MakePartitioner(policy, P, g);
       auto b = MakePartitioner(policy, P, g);
@@ -118,13 +125,79 @@ TEST_F(PartitionTest, HashPolicyBalances) {
 }
 
 // ---------------------------------------------------------------------------
+// Edge-cut policy (greedy label propagation)
+// ---------------------------------------------------------------------------
+
+TEST_F(PartitionTest, EdgeCutNeverWorseThanHashAndRespectsBalanceCap) {
+  // Property pair of the refinement: (a) every applied move strictly
+  // decreases the cut, so the refined cut can never exceed the hash seed's;
+  // (b) no partition ever exceeds balance_cap * ceil(n/P) owned vertices.
+  // Checked on the structured LDBC graph and the random fraud graph.
+  FraudGraph fraud = GenerateFraud(2000, 8.0, 7);
+  const PropertyGraph* graphs[] = {ldbc_->graph.get(), fraud.graph.get()};
+  for (const PropertyGraph* g : graphs) {
+    for (int P : {2, 4, 8}) {
+      auto hash = PartitionedGraph::Build(g, PartitionPolicy::kHash, P);
+      for (double cap : {1.05, 1.1, 1.5}) {
+        PartitionerOptions popts;
+        popts.balance_cap = cap;
+        auto ec =
+            PartitionedGraph::Build(g, PartitionPolicy::kEdgeCut, P, popts);
+        EXPECT_LE(ec->total_cut_edges(), hash->total_cut_edges())
+            << "P=" << P << " cap=" << cap;
+        const size_t even = (g->NumVertices() + P - 1) / P;
+        const size_t max_owned = std::max(
+            even, static_cast<size_t>(
+                      std::ceil(cap * static_cast<double>(even))));
+        for (int p = 0; p < P; ++p) {
+          EXPECT_LE(ec->stats(p).num_vertices, max_owned)
+              << "P=" << P << " cap=" << cap << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PartitionTest, EdgeCutRefinementActuallyReducesCutOnLdbc) {
+  // The acceptance bar of the policy: on the structured LDBC graph (reply
+  // trees, forum membership) label propagation must find a strictly
+  // smaller cut than hash at P=4, and it must have moved vertices to get
+  // there.
+  const PropertyGraph* g = ldbc_->graph.get();
+  auto hash = PartitionedGraph::Build(g, PartitionPolicy::kHash, 4);
+  auto ec = PartitionedGraph::Build(g, PartitionPolicy::kEdgeCut, 4);
+  EXPECT_LT(ec->total_cut_edges(), hash->total_cut_edges());
+  EdgeCutPartitioner part(4, *g);
+  EXPECT_GT(part.moves(), 0u);
+  EXPECT_GE(part.sweeps_run(), 1);
+}
+
+TEST_F(PartitionTest, EdgeCutZeroSweepsReproducesHashSeed) {
+  const PropertyGraph& g = *ldbc_->graph;
+  PartitionerOptions popts;
+  popts.refine_sweeps = 0;
+  EdgeCutPartitioner ec(4, g, popts);
+  HashPartitioner hash(4);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(ec.OwnerOf(v), hash.OwnerOf(v)) << "v=" << v;
+  }
+  EXPECT_EQ(ec.moves(), 0u);
+}
+
+TEST_F(PartitionTest, EdgeCutRequiresFinalizedGraph) {
+  PropertyGraph g(ldbc_->graph->schema());  // never finalized
+  EXPECT_THROW(EdgeCutPartitioner(2, g), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
 // PartitionedGraph construction
 // ---------------------------------------------------------------------------
 
 TEST_F(PartitionTest, PartitionsCoverEveryVertexExactlyOnce) {
   const PropertyGraph& g = *ldbc_->graph;
   for (PartitionPolicy policy :
-       {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+       {PartitionPolicy::kHash, PartitionPolicy::kRange,
+        PartitionPolicy::kEdgeCut}) {
     auto pg = PartitionedGraph::Build(ldbc_->graph.get(), policy, 4);
     std::set<VertexId> seen;
     size_t total = 0;
@@ -198,7 +271,8 @@ TEST_F(PartitionTest, LocalCsrAndPropertySlicesMatchGlobalStore) {
 TEST_F(PartitionTest, EdgeCutAccountingMatchesBruteForce) {
   const PropertyGraph& g = *ldbc_->graph;
   for (PartitionPolicy policy :
-       {PartitionPolicy::kHash, PartitionPolicy::kRange}) {
+       {PartitionPolicy::kHash, PartitionPolicy::kRange,
+        PartitionPolicy::kEdgeCut}) {
     auto pg = PartitionedGraph::Build(ldbc_->graph.get(), policy, 4);
     size_t want_cut = 0;
     std::vector<size_t> want_by_type(g.schema().NumEdgeTypes(), 0);
@@ -265,9 +339,10 @@ TEST_F(PartitionTest, DifferentialAllWorkloadsAcrossPartitionCounts) {
     PartitionPolicy policy;
   };
   const Config configs[] = {
-      {1, 1, PartitionPolicy::kHash}, {4, 1, PartitionPolicy::kHash},
-      {1, 4, PartitionPolicy::kHash}, {4, 4, PartitionPolicy::kHash},
-      {4, 4, PartitionPolicy::kRange}};
+      {1, 1, PartitionPolicy::kHash},    {4, 1, PartitionPolicy::kHash},
+      {1, 4, PartitionPolicy::kHash},    {4, 4, PartitionPolicy::kHash},
+      {4, 4, PartitionPolicy::kRange},   {4, 1, PartitionPolicy::kEdgeCut},
+      {4, 4, PartitionPolicy::kEdgeCut}};
   for (const Config& cfg : configs) {
     auto cand = MakeEngine(cfg.partitions, cfg.threads, cfg.policy);
     for (const auto* set : {&IcQueries(), &BiQueries(), &QrQueries(),
@@ -297,6 +372,12 @@ TEST_F(PartitionTest, DifferentialDistributedAcrossPartitionCounts) {
     ExpectSameResults(*legacy, *sharded, Q(IcQueries()[0].cypher), "IC1");
     ExpectSameResults(*legacy, *sharded, Q(IcQueries()[5].cypher), "IC6");
   }
+  // The edge-cut policy changes ownership, never answers.
+  auto edgecut = MakeDistEngine(4, 4, PartitionPolicy::kEdgeCut);
+  for (const auto& wq : QcQueries()) {
+    ExpectSameResults(*legacy, *edgecut, Q(wq.cypher),
+                      wq.name + " [dist P=4 edgecut]");
+  }
 }
 
 TEST_F(PartitionTest, CommRowsBecomeEdgeCutOnMultiHopChain) {
@@ -317,6 +398,25 @@ TEST_F(PartitionTest, CommRowsBecomeEdgeCutOnMultiHopChain) {
   EXPECT_LT(b.stats.comm_rows, a.stats.comm_rows)
       << "lazy partition-aware exchange must ship fewer rows than the "
          "per-operator re-hash";
+}
+
+TEST_F(PartitionTest, EdgeCutPolicyReducesCommRowsVersusHash) {
+  // Exchanged rows on the sharded store are exactly the bindings whose
+  // next expansion crosses an ownership boundary, so a smaller edge-cut
+  // must show up as fewer comm_rows on the same plan (the tentpole's
+  // acceptance metric; BENCH_9.json records the same comparison).
+  const std::string q = Q(
+      "MATCH (p:Person)-[:KNOWS]->(q:Person)-[:KNOWS]->(r:Person) "
+      "WHERE r.id <> p.id RETURN COUNT(r) AS c");
+  auto hash = MakeDistEngine(/*partitions=*/4);
+  auto edgecut = MakeDistEngine(4, 4, PartitionPolicy::kEdgeCut);
+  ExecOutcome a = hash->Run(q);
+  ExecOutcome b = edgecut->Run(q);
+  EXPECT_TRUE(a.SameRows(b));
+  EXPECT_GT(a.stats.comm_rows, 0u);
+  EXPECT_LT(b.stats.comm_rows, a.stats.comm_rows)
+      << "hash=" << a.stats.comm_rows << " edgecut=" << b.stats.comm_rows;
+  EXPECT_LT(b.stats.store_cut_edges, a.stats.store_cut_edges);
 }
 
 // ---------------------------------------------------------------------------
@@ -436,12 +536,36 @@ TEST_F(PartitionTest, OutcomeCarriesPartitionStats) {
 }
 
 TEST_F(PartitionTest, PartitionKnobsAreCacheKeyed) {
-  EngineOptions a, b, c;
+  EngineOptions a, b, c, d, e;
   b.partitions = 4;
   c.partitions = 4;
   c.partition_policy = PartitionPolicy::kRange;
+  d.partitions = 4;
+  d.partition_policy = PartitionPolicy::kEdgeCut;
+  e = d;
+  e.partition_refine_sweeps = 1;
   EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
   EXPECT_NE(OptionsFingerprint(b), OptionsFingerprint(c));
+  EXPECT_NE(OptionsFingerprint(c), OptionsFingerprint(d));
+  EXPECT_NE(OptionsFingerprint(d), OptionsFingerprint(e));
+}
+
+TEST_F(PartitionTest, OutcomeCarriesBalanceMetrics) {
+  auto eng = MakeEngine(/*partitions=*/4, /*exec_threads=*/1,
+                        PartitionPolicy::kEdgeCut);
+  auto prep = eng->Prepare(Q(
+      "MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN COUNT(f) AS c"));
+  ExecOutcome out = eng->Execute(prep);
+  ASSERT_NE(eng->partitioned_store(), nullptr);
+  EXPECT_DOUBLE_EQ(out.stats.store_vertex_balance,
+                   eng->partitioned_store()->VertexBalance());
+  EXPECT_GE(out.stats.store_vertex_balance, 1.0);
+  std::string explain = eng->Explain(prep);
+  EXPECT_NE(explain.find("vertex balance"), std::string::npos);
+  EXPECT_NE(explain.find("epoch"), std::string::npos);
+  std::string exec_explain = eng->Explain(prep, out);
+  EXPECT_NE(exec_explain.find("vertex balance"), std::string::npos);
+  EXPECT_NE(exec_explain.find("rows balance"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,341 @@
+// Adaptive rebalancing suite (docs/storage.md): PlanRebalance planning
+// properties (determinism, balance caps, move budget), the engine's
+// epoch-versioned store swap — in-flight executions finish on the old
+// ownership map while fresh Prepare/Execute see the new one — and the
+// precise plan/result-cache invalidation that comes with the epoch bump
+// (only this graph's old-partition-epoch entries drop; peer graphs and
+// live epochs survive). Also runs under TSan in CI: queries race against
+// forced rebalances on one engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/ldbc/ldbc.h"
+#include "src/store/rebalancer.h"
+#include "src/workloads/queries.h"
+
+namespace gopt {
+namespace {
+
+class RebalanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ldbc_ = new LdbcGraph(GenerateLdbc(0.05, 123));
+    glogue_ = new std::shared_ptr<const Glogue>(
+        std::make_shared<Glogue>(Glogue::Build(*ldbc_->graph)));
+  }
+  static void TearDownTestSuite() {
+    delete glogue_;
+    delete ldbc_;
+    ldbc_ = nullptr;
+    glogue_ = nullptr;
+  }
+
+  static std::string Q(const std::string& text) {
+    return SubstituteParams(text, DefaultParams());
+  }
+
+  /// A partitioned engine under the RANGE policy: LDBC emits vertex ids
+  /// grouped by type, so range ownership concentrates each type in few
+  /// partitions and any per-type workload produces genuinely skewed
+  /// observed rows — the situation rebalancing exists for.
+  static std::unique_ptr<GOptEngine> MakeSkewedEngine(
+      EngineOptions opts = {}) {
+    opts.partitions = 4;
+    opts.partition_policy = PartitionPolicy::kRange;
+    auto e = std::make_unique<GOptEngine>(ldbc_->graph.get(),
+                                          BackendSpec::Neo4jLike(), opts);
+    e->SetGlogue(*glogue_);
+    return e;
+  }
+
+  static const std::string& SkewQuery() {
+    static const std::string q =
+        Q("MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN COUNT(f) AS c");
+    return q;
+  }
+
+  static LdbcGraph* ldbc_;
+  static std::shared_ptr<const Glogue>* glogue_;
+};
+
+LdbcGraph* RebalanceTest::ldbc_ = nullptr;
+std::shared_ptr<const Glogue>* RebalanceTest::glogue_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// PlanRebalance (planning only)
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceTest, PlanIsDeterministicAndRespectsCaps) {
+  auto store = PartitionedGraph::Build(ldbc_->graph.get(),
+                                       PartitionPolicy::kRange, 4);
+  // A heavily skewed synthetic observation: partition 0 does all the work.
+  std::vector<uint64_t> rows = {100000, 10, 10, 10};
+  RebalanceOptions opts;
+  opts.force = true;
+  RebalancePlan a = PlanRebalance(*store, rows, opts);
+  RebalancePlan b = PlanRebalance(*store, rows, opts);
+  ASSERT_GT(a.moves, 0u);
+  EXPECT_GT(a.rows_balance, 1.0);
+  ASSERT_EQ(a.ownership.size(), ldbc_->graph->NumVertices());
+  EXPECT_EQ(a.ownership, b.ownership) << "planning must be deterministic";
+  EXPECT_EQ(a.moves, b.moves);
+
+  // Move budget: at most max_move_fraction of all vertices moved, and the
+  // produced map stays total.
+  size_t moved = 0;
+  std::vector<size_t> owned(4, 0);
+  for (VertexId v = 0; v < a.ownership.size(); ++v) {
+    ASSERT_GE(a.ownership[v], 0);
+    ASSERT_LT(a.ownership[v], 4);
+    owned[static_cast<size_t>(a.ownership[v])]++;
+    if (a.ownership[v] != store->OwnerOf(v)) moved++;
+  }
+  EXPECT_EQ(moved, a.moves);
+  EXPECT_LE(moved, static_cast<size_t>(
+                       opts.max_move_fraction *
+                       static_cast<double>(ldbc_->graph->NumVertices())));
+  // Vertex balance cap on the result (same formula as the planner's).
+  const size_t even = (ldbc_->graph->NumVertices() + 3) / 4;
+  const size_t cap = std::max(
+      even, static_cast<size_t>(
+                std::ceil(opts.balance_cap * static_cast<double>(even))));
+  for (size_t p = 0; p < 4; ++p) EXPECT_LE(owned[p], cap) << "p=" << p;
+}
+
+TEST_F(RebalanceTest, PlanDeclinesBalancedLoadWithoutForce) {
+  auto store = PartitionedGraph::Build(ldbc_->graph.get(),
+                                       PartitionPolicy::kHash, 4);
+  std::vector<uint64_t> rows = {1000, 1001, 999, 1000};
+  RebalancePlan plan = PlanRebalance(*store, rows, RebalanceOptions{});
+  EXPECT_EQ(plan.moves, 0u);
+  EXPECT_TRUE(plan.ownership.empty());
+  EXPECT_LE(plan.rows_balance, 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: trigger, epoch bump, observation stream
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceTest, SkewedWorkloadTriggersMigrationAndBumpsEpoch) {
+  auto eng = MakeSkewedEngine();
+  auto store0 = eng->partitioned_store();
+  ASSERT_NE(store0, nullptr);
+  EXPECT_EQ(store0->epoch(), 0u) << "policy-built stores share epoch 0";
+  EXPECT_EQ(store0->version(), 1);
+
+  // Drive the Person-heavy workload a few times: range ownership puts all
+  // Person vertices in few partitions, so observed rows skew hard.
+  for (int i = 0; i < 3; ++i) eng->Run(SkewQuery());
+  std::vector<uint64_t> observed = eng->observed_partition_rows();
+  ASSERT_EQ(observed.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t r : observed) total += r;
+  ASSERT_GT(total, 0u);
+
+  RebalanceReport rep = eng->RebalancePartitions();
+  ASSERT_TRUE(rep.rebalanced)
+      << rep.reason << " (rows balance " << rep.rows_balance_before << ")";
+  EXPECT_GT(rep.rows_balance_before, 1.2);
+  EXPECT_GT(rep.vertices_moved, 0u);
+  EXPECT_EQ(rep.old_epoch, 0u);
+  EXPECT_NE(rep.new_epoch, 0u);
+  EXPECT_EQ(rep.old_version, 1);
+  EXPECT_EQ(rep.new_version, 2);
+
+  auto store1 = eng->partitioned_store();
+  EXPECT_EQ(store1->epoch(), rep.new_epoch);
+  EXPECT_EQ(store1->version(), 2);
+  EXPECT_NE(store1->partitioner_name().find("rebalanced"), std::string::npos);
+  // Observation stream reset for the new generation.
+  std::vector<uint64_t> after = eng->observed_partition_rows();
+  for (uint64_t r : after) EXPECT_EQ(r, 0u);
+}
+
+TEST_F(RebalanceTest, BalancedEngineDeclinesAndUnpartitionedRefuses) {
+  auto eng = MakeSkewedEngine();
+  // No observations at all: the structural fallback sees near-even vertex
+  // counts, so the default trigger declines.
+  RebalanceReport rep = eng->RebalancePartitions();
+  EXPECT_FALSE(rep.rebalanced);
+  EXPECT_EQ(rep.old_epoch, rep.new_epoch);
+  EXPECT_FALSE(rep.reason.empty());
+
+  EngineOptions plain_opts;
+  GOptEngine plain(ldbc_->graph.get(), BackendSpec::Neo4jLike(), plain_opts);
+  RebalanceOptions forced;
+  forced.force = true;
+  RebalanceReport none = plain.RebalancePartitions(forced);
+  EXPECT_FALSE(none.rebalanced);
+  EXPECT_NE(none.reason.find("unpartitioned"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch protocol: in-flight queries, fresh runs, precise cache eviction
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceTest, InFlightQueryCompletesOnOldMapFreshRunSeesNewMap) {
+  EngineOptions opts;
+  opts.result_cache_bytes = 1 << 20;
+  auto eng = MakeSkewedEngine(opts);
+  const std::string q = SkewQuery();
+
+  // "In-flight": this Prepared and store snapshot were taken on epoch 0,
+  // exactly what a concurrently executing query holds when the swap lands.
+  Prepared old_prep = eng->Prepare(q);
+  auto old_store = eng->partitioned_store();
+  ExecOutcome baseline = eng->Execute(old_prep);
+  EXPECT_EQ(old_prep.partition_epoch, 0u);
+
+  for (int i = 0; i < 3; ++i) eng->Run(q);
+  RebalanceReport rep = eng->RebalancePartitions();
+  ASSERT_TRUE(rep.rebalanced) << rep.reason;
+
+  // The old generation is still alive and readable through the snapshot —
+  // an in-flight executor would be reading exactly this object.
+  EXPECT_EQ(old_store->epoch(), 0u);
+  size_t total = 0;
+  for (int p = 0; p < old_store->num_partitions(); ++p) {
+    total += old_store->Vertices(p).size();
+  }
+  EXPECT_EQ(total, ldbc_->graph->NumVertices());
+
+  // Executing the old Prepared still answers correctly (it runs on the
+  // current store — ownership is results-invariant — and its result-cache
+  // writes stay tagged with the old epoch, never served to new plans).
+  ExecOutcome via_old_prep = eng->Execute(old_prep);
+  EXPECT_TRUE(baseline.SameRows(via_old_prep));
+
+  // A fresh Prepare sees the new epoch, executes on the migrated map, and
+  // returns identical rows.
+  Prepared new_prep = eng->Prepare(q);
+  EXPECT_EQ(new_prep.partition_epoch, rep.new_epoch);
+  EXPECT_NE(new_prep.plan_key, old_prep.plan_key);
+  ExecOutcome fresh = eng->Execute(new_prep);
+  EXPECT_TRUE(baseline.SameRows(fresh));
+  EXPECT_EQ(fresh.stats.store_cut_edges, rep.new_cut_edges);
+}
+
+TEST_F(RebalanceTest, PlanCacheInvalidationIsScopedToThisGraphAndEpoch) {
+  // Engine A (partitioned LDBC) shares one plan cache with engine B over a
+  // different graph: A's rebalance must drop only A's entries.
+  FraudGraph fraud = GenerateFraud(1000, 6.0, 7);
+  EngineOptions aopts;
+  auto a = MakeSkewedEngine(aopts);
+  EngineOptions bopts;
+  bopts.plan_cache = a->plan_cache();
+  GOptEngine b(fraud.graph.get(), BackendSpec::Neo4jLike(), bopts);
+
+  const std::string aq = SkewQuery();
+  const std::string bq = "MATCH (x:Account)-[:TRANSFER]->(y:Account) "
+                         "RETURN COUNT(y) AS c";
+  EXPECT_FALSE(a->Prepare(aq).from_cache);
+  EXPECT_TRUE(a->Prepare(aq).from_cache);
+  EXPECT_FALSE(b.Prepare(bq).from_cache);
+  EXPECT_TRUE(b.Prepare(bq).from_cache);
+
+  for (int i = 0; i < 3; ++i) a->Run(aq);
+  RebalanceReport rep = a->RebalancePartitions();
+  ASSERT_TRUE(rep.rebalanced) << rep.reason;
+
+  // A's entry was planned under the old partition epoch: dropped. B's
+  // entry (other graph, same shared cache) must survive.
+  EXPECT_FALSE(a->Prepare(aq).from_cache)
+      << "old-epoch plan must not be served after migration";
+  EXPECT_TRUE(a->Prepare(aq).from_cache) << "new-epoch entry caches normally";
+  EXPECT_TRUE(b.Prepare(bq).from_cache) << "peer graph entry must survive";
+}
+
+TEST_F(RebalanceTest, ResultCacheInvalidationIsScopedToThisGraphAndEpoch) {
+  FraudGraph fraud = GenerateFraud(1000, 6.0, 7);
+  auto shared = std::make_shared<ResultCache>(1 << 20);
+  EngineOptions aopts;
+  aopts.result_cache = shared;
+  auto a = MakeSkewedEngine(aopts);
+  EngineOptions bopts;
+  bopts.result_cache = shared;
+  GOptEngine b(fraud.graph.get(), BackendSpec::Neo4jLike(), bopts);
+
+  const std::string aq = SkewQuery();
+  const std::string bq = "MATCH (x:Account)-[:TRANSFER]->(y:Account) "
+                         "RETURN COUNT(y) AS c";
+  // First rebalance to land on a nonzero epoch, so the eviction check below
+  // is the steady-state one (epoch e1 -> e2), not the first-bump from 0.
+  for (int i = 0; i < 3; ++i) a->Run(aq);
+  RebalanceReport first = a->RebalancePartitions();
+  ASSERT_TRUE(first.rebalanced) << first.reason;
+  ASSERT_NE(first.new_epoch, 0u);
+
+  // Populate: A's answer under epoch e1, B's under its own scope.
+  EXPECT_FALSE(a->Run(aq).stats.result_cache_hit);
+  EXPECT_TRUE(a->Run(aq).stats.result_cache_hit);
+  ASSERT_FALSE(b.Run(bq).stats.result_cache_hit);
+  ASSERT_TRUE(b.Run(bq).stats.result_cache_hit);
+
+  // Second migration: exactly A's epoch-e1 results drop.
+  RebalanceOptions forced;
+  forced.force = true;
+  RebalanceReport second = a->RebalancePartitions(forced);
+  ASSERT_TRUE(second.rebalanced) << second.reason;
+  EXPECT_EQ(second.old_epoch, first.new_epoch);
+  EXPECT_FALSE(a->Run(aq).stats.result_cache_hit)
+      << "old-epoch result must not be served after migration";
+  EXPECT_TRUE(a->Run(aq).stats.result_cache_hit);
+  EXPECT_TRUE(b.Run(bq).stats.result_cache_hit)
+      << "peer graph results must survive A's migration";
+}
+
+// ---------------------------------------------------------------------------
+// Differential + concurrency
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceTest, AllWorkloadsIdenticalAcrossMigrations) {
+  EngineOptions plain_opts;
+  GOptEngine baseline(ldbc_->graph.get(), BackendSpec::Neo4jLike(),
+                      plain_opts);
+  baseline.SetGlogue(*glogue_);
+  auto eng = MakeSkewedEngine();
+  for (int i = 0; i < 3; ++i) eng->Run(SkewQuery());
+  ASSERT_TRUE(eng->RebalancePartitions().rebalanced);
+  for (const auto* set : {&IcQueries(), &QrQueries(), &QcQueries()}) {
+    for (const auto& wq : *set) {
+      ExecOutcome want, got;
+      ASSERT_NO_THROW(want = baseline.Run(Q(wq.cypher))) << wq.name;
+      ASSERT_NO_THROW(got = eng->Run(Q(wq.cypher))) << wq.name;
+      EXPECT_TRUE(want.SameRows(got)) << wq.name << " after migration";
+    }
+  }
+}
+
+TEST_F(RebalanceTest, QueriesRaceRebalanceSafely) {
+  // TSan-targeted: readers snapshot the store while the control plane
+  // swaps generations. Every outcome must equal the pre-migration answer.
+  auto eng = MakeSkewedEngine();
+  const std::string q = SkewQuery();
+  const ExecOutcome want = eng->Run(q);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        ExecOutcome out = eng->Run(q);
+        EXPECT_TRUE(want.SameRows(out)) << "iteration " << i;
+      }
+    });
+  }
+  RebalanceOptions forced;
+  forced.force = true;
+  for (int i = 0; i < 5; ++i) eng->RebalancePartitions(forced);
+  for (std::thread& t : readers) t.join();
+  // One last migration after the dust settles still answers identically.
+  eng->RebalancePartitions(forced);
+  EXPECT_TRUE(want.SameRows(eng->Run(q)));
+}
+
+}  // namespace
+}  // namespace gopt

@@ -164,10 +164,12 @@ class ResultCacheTest : public ::testing::Test {
       int exec_threads = 1, int partitions = 0,
       FactorizationMode fact = FactorizationMode::kOff,
       size_t cache_bytes = 0, std::shared_ptr<ResultCache> shared = nullptr,
-      const PropertyGraph* graph = nullptr) {
+      const PropertyGraph* graph = nullptr,
+      PartitionPolicy policy = PartitionPolicy::kHash) {
     EngineOptions opts;
     opts.exec_threads = exec_threads;
     opts.partitions = partitions;
+    opts.partition_policy = policy;
     opts.factorization = fact;
     opts.result_cache_bytes = cache_bytes;
     opts.result_cache = std::move(shared);
@@ -475,24 +477,32 @@ TEST_F(ResultCacheTest, RandomizedDifferential) {
     int threads;
     int partitions;
     FactorizationMode fact;
+    PartitionPolicy policy = PartitionPolicy::kHash;
   };
   const std::vector<Config> configs = {
       {1, 0, FactorizationMode::kOff}, {1, 0, FactorizationMode::kAuto},
       {4, 0, FactorizationMode::kOff}, {4, 0, FactorizationMode::kAuto},
       {1, 4, FactorizationMode::kOff}, {1, 4, FactorizationMode::kAuto},
       {4, 4, FactorizationMode::kOff}, {4, 4, FactorizationMode::kAuto},
+      {1, 4, FactorizationMode::kOff, PartitionPolicy::kEdgeCut},
+      {4, 4, FactorizationMode::kAuto, PartitionPolicy::kEdgeCut},
   };
   const int kTrialsPerConfig = 4;
   size_t runs = 0;
   for (const Config& c : configs) {
     SCOPED_TRACE(testing::Message()
                  << "threads=" << c.threads << " partitions=" << c.partitions
-                 << " fact=" << static_cast<int>(c.fact));
-    auto off = MakeEngine(c.threads, c.partitions, c.fact, 0);
-    auto on = MakeEngine(c.threads, c.partitions, c.fact, 8 << 20);
+                 << " fact=" << static_cast<int>(c.fact)
+                 << " policy=" << static_cast<int>(c.policy));
+    auto off = MakeEngine(c.threads, c.partitions, c.fact, 0, nullptr,
+                          nullptr, c.policy);
+    auto on = MakeEngine(c.threads, c.partitions, c.fact, 8 << 20, nullptr,
+                         nullptr, c.policy);
     auto handle = std::make_shared<ResultCache>(8 << 20);
-    auto sa = MakeEngine(c.threads, c.partitions, c.fact, 0, handle);
-    auto sb = MakeEngine(c.threads, c.partitions, c.fact, 0, handle);
+    auto sa = MakeEngine(c.threads, c.partitions, c.fact, 0, handle, nullptr,
+                         c.policy);
+    auto sb = MakeEngine(c.threads, c.partitions, c.fact, 0, handle, nullptr,
+                         c.policy);
     for (int t = 0; t < kTrialsPerConfig && !out_of_time(); ++t) {
       const WorkloadQuery& wq =
           pool[std::uniform_int_distribution<size_t>(0, pool.size() - 1)(
