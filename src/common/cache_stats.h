@@ -24,4 +24,17 @@ struct CacheStats {
   size_t bytes = 0;        ///< estimated bytes held (byte-budgeted caches)
 };
 
+/// Hit ratio in [0, 1] derived from ONE CacheStats snapshot. Consumers
+/// that surface several series of the same cache (hits, misses, ratio —
+/// e.g. MetricsRegistry collectors, Explain) must take a single stats()
+/// snapshot and derive everything from it, never re-read the live atomic
+/// counters per series: field-by-field reads interleave with concurrent
+/// updates and can yield ratios > 1 or hit/miss pairs no moment ever had.
+inline double CacheHitRatio(const CacheStats& s) {
+  const uint64_t lookups = s.hits + s.misses;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(s.hits) / static_cast<double>(lookups);
+}
+
 }  // namespace gopt

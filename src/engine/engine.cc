@@ -240,7 +240,8 @@ GOptEngine::StatsSnapshot GOptEngine::SnapshotStats() const {
 
 Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
                                const StatsSnapshot& stats,
-                               const StoreState* store) const {
+                               const StoreState* store,
+                               const CancelToken& cancel) const {
   PassManager pipeline = BuildPipeline(opts_);
 
   PlanContext ctx;
@@ -252,6 +253,7 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
   ctx.gq_high = stats.gq_high.get();
   ctx.gq_low = stats.gq_low.get();
   ctx.comm = store ? &store->comm : nullptr;
+  ctx.cancel = cancel;
 
   pipeline.Run(ctx);
 
@@ -274,7 +276,8 @@ Prepared GOptEngine::PlanQuery(const std::string& query, Language lang,
   return prep;
 }
 
-Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
+Prepared GOptEngine::Prepare(const std::string& query, Language lang,
+                             CancelToken cancel) const {
   // Snapshot the statistics handles and the store generation up front: the
   // whole Prepare plans against one consistent Glogue and one ownership
   // map even if SetGlogue or RebalancePartitions lands concurrently.
@@ -289,7 +292,9 @@ Prepared GOptEngine::Prepare(const std::string& query, Language lang) const {
       query, lang, opts_.auto_parameterize && opts_.enable_plan_cache);
   auto plan_parameterized = [&]() {
     try {
-      return PlanQuery(pq.text, lang, stats, store.get());
+      return PlanQuery(pq.text, lang, stats, store.get(), cancel);
+    } catch (const CancelledError&) {
+      throw;  // typed cancellation, not a parse/plan error — keep it as-is
     } catch (const std::exception& e) {
       if (pq.text == query) throw;
       // Parse errors carry token positions into the canonical stream, not
@@ -345,7 +350,8 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
                                     const PipelinePlan* pipelines,
                                     const ParamMap& bound,
                                     const StoreState* store,
-                                    ExecStats* stats) const {
+                                    ExecStats* stats,
+                                    const CancelToken& cancel) const {
   // A fresh executor per call: all execution state (operator memo, stats)
   // is call-local, so any number of Execute calls may run concurrently on
   // one engine. The caller's store snapshot pins one ownership-map
@@ -359,6 +365,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
     DistributedExecutor ex(g_, backend_.num_workers, pstore);
     ex.set_params(&bound);
     ex.set_vectorize(opts_.vectorize);
+    ex.set_cancel(cancel);
     ResultTable table = ex.Execute(root);
     *stats = ex.stats();
     ObservePartitionRows(*stats);
@@ -378,6 +385,7 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
     mopts.vectorize = opts_.vectorize;
     MorselExecutor ex(g_, mopts, pstore);
     ex.set_params(&bound);
+    ex.set_cancel(cancel);
     ResultTable table;
     if (pipelines) {
       table = ex.Execute(root, pipelines);
@@ -395,13 +403,14 @@ ResultTable GOptEngine::RunPhysical(const PhysOpPtr& root,
   SingleMachineExecutor ex(g_);
   ex.set_params(&bound);
   ex.set_vectorize(opts_.vectorize);
+  ex.set_cancel(cancel);
   ResultTable table = ex.Execute(root);
   *stats = ex.stats();
   return table;
 }
 
-ExecOutcome GOptEngine::Execute(const Prepared& prep,
-                                const ParamMap& params) const {
+ExecOutcome GOptEngine::Execute(const Prepared& prep, const ParamMap& params,
+                                CancelToken cancel) const {
   // Resolve the effective bindings (user-supplied over auto-extracted) and
   // reject unbound slots before any operator runs.
   ParamMap bound = prep.params;
@@ -438,9 +447,34 @@ ExecOutcome GOptEngine::Execute(const Prepared& prep,
   // guarantee of RebalancePartitions.
   std::shared_ptr<const StoreState> store = SnapshotStore();
   auto t0 = std::chrono::steady_clock::now();
-  auto table = std::make_shared<ResultTable>(
-      RunPhysical(prep.physical, prep.exec_pipelines.get(), bound,
-                  store.get(), &out.stats));
+  std::shared_ptr<ResultTable> table;
+  try {
+    // An already-tripped token (e.g. the budget expired while queued or
+    // during planning) aborts before any operator runs.
+    cancel.Check();
+    table = std::make_shared<ResultTable>(
+        RunPhysical(prep.physical, prep.exec_pipelines.get(), bound,
+                    store.get(), &out.stats, cancel));
+    // A row budget can trip on the final operator's own output, after the
+    // runtime's last boundary check — the run "finished" but violated its
+    // budget, so it types as cancelled like any other trip.
+    cancel.Check();
+  } catch (const CancelledError& e) {
+    // Typed outcome: the partial stats are discarded (a half-run's counts
+    // would poison skew observations and parity checks), the table is
+    // empty, and the result cache is never populated from a cancelled run.
+    out.stats = ExecStats{};
+    if (result_cache_) out.stats.result_cache = result_cache_->stats();
+    out.status = e.status();
+    auto empty = std::make_shared<ResultTable>();
+    empty->columns = prep.output_columns;
+    out.table_ptr = std::move(empty);
+    auto tc = std::chrono::steady_clock::now();
+    out.ms = std::chrono::duration_cast<std::chrono::microseconds>(tc - t0)
+                 .count() /
+             1000.0;
+    return out;
+  }
   out.table_ptr = table;
   auto t1 = std::chrono::steady_clock::now();
   out.ms =
@@ -640,7 +674,6 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
   }
   {
     const PlanCacheStats stats = plan_cache_stats();
-    const uint64_t lookups = stats.hits + stats.misses;
     s += "=== Cache ===\n";
     s += StrFormat("  this plan: %s\n",
                    prep.from_cache ? "plan cache hit" : "cold planning");
@@ -654,12 +687,11 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
         static_cast<unsigned long long>(stats.hits),
         static_cast<unsigned long long>(stats.misses),
         static_cast<unsigned long long>(stats.evictions),
-        lookups == 0 ? 0.0
-                     : 100.0 * static_cast<double>(stats.hits) /
-                           static_cast<double>(lookups));
+        // One snapshot, all series derived from it — the consistency rule
+        // CacheHitRatio documents.
+        100.0 * CacheHitRatio(stats));
     if (result_cache_) {
       const CacheStats rs = result_cache_->stats();
-      const uint64_t rlookups = rs.hits + rs.misses;
       s += StrFormat(
           "  result cache (%s): %zu entries, %zu / %zu bytes, %llu hits / "
           "%llu misses / %llu evictions (hit rate %.1f%%)\n",
@@ -668,9 +700,7 @@ std::string GOptEngine::Explain(const Prepared& prep) const {
           static_cast<unsigned long long>(rs.hits),
           static_cast<unsigned long long>(rs.misses),
           static_cast<unsigned long long>(rs.evictions),
-          rlookups == 0 ? 0.0
-                        : 100.0 * static_cast<double>(rs.hits) /
-                              static_cast<double>(rlookups));
+          100.0 * CacheHitRatio(rs));
     } else {
       s += "  result cache: disabled\n";
     }
@@ -740,6 +770,17 @@ std::string GOptEngine::Explain(const Prepared& prep,
   s += StrFormat("  %zu rows returned, %.3f ms, %llu rows produced\n",
                  outcome.table().NumRows(), outcome.ms,
                  static_cast<unsigned long long>(outcome.stats.rows_produced));
+  if (outcome.queue_ms > 0) {
+    // Admission wait of the serving layer (docs/serving.md), reported
+    // apart from `ms` so execution time stays comparable across queued
+    // and direct calls.
+    s += StrFormat("  queued %.3f ms before execution (admission wait)\n",
+                   outcome.queue_ms);
+  }
+  if (outcome.status != ExecStatus::kOk) {
+    s += StrFormat("  status: %s — no rows, partial stats discarded\n",
+                   ExecStatusName(outcome.status));
+  }
   if (outcome.stats.result_cache_hit) {
     s += "  result cache hit: served zero-copy, no operator ran\n";
   }

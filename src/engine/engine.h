@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "src/common/cancel.h"
 #include "src/engine/result_cache.h"
 #include "src/exec/dist_executor.h"
 #include "src/exec/executor.h"
@@ -84,6 +85,16 @@ struct ExecOutcome {
   std::shared_ptr<const ResultTable> table_ptr;
   ExecStats stats;
   double ms = 0;  ///< wall-clock milliseconds of this execution
+  /// Typed completion status (docs/serving.md). kOk for every blocking
+  /// call without a token; a cancelled/timed-out execution returns
+  /// kCancelled/kTimeout with an empty table and discarded partial stats;
+  /// kRejected is produced only by the serving layer's admission control
+  /// (the engine itself never runs a rejected query).
+  ExecStatus status = ExecStatus::kOk;
+  /// Milliseconds the query waited in the serving layer's admission queue
+  /// before a worker picked it up (0 for direct engine calls). Reported
+  /// separately from `ms`, which remains pure execution time.
+  double queue_ms = 0;
 
   /// The rows (an empty table when the query was invalid-by-types and
   /// produced none). Reference is valid as long as this outcome — or any
@@ -160,15 +171,28 @@ class GOptEngine {
   /// bindings extracted from this exact query text, so Execute(prep) runs
   /// it as written; re-Execute with explicit params rebinds without
   /// replanning. Const and re-entrant.
-  Prepared Prepare(const std::string& query,
-                   Language lang = Language::kCypher) const;
+  ///
+  /// `cancel` (optional) cooperatively cancels planning: the pass manager
+  /// checks it between passes and the CBO's per-pattern tasks check it per
+  /// pattern. Unlike Execute there is no partial result to type, so a trip
+  /// throws CancelledError (status() tells timeout from cancel) — the
+  /// serving layer converts it into a typed ExecOutcome.
+  Prepared Prepare(const std::string& query, Language lang = Language::kCypher,
+                   CancelToken cancel = {}) const;
 
   /// Executes a prepared plan. `params` (user-supplied $name bindings) are
   /// merged over the auto-extracted literals of `prep`; a $param required
   /// by the plan but bound by neither throws std::runtime_error before any
   /// operator runs. Const and re-entrant: a fresh executor is constructed
   /// per call and all metrics are returned in the ExecOutcome.
-  ExecOutcome Execute(const Prepared& prep, const ParamMap& params = {}) const;
+  ///
+  /// `cancel` (optional) cooperatively cancels execution: the runtimes
+  /// check it at morsel/operator boundaries and charge produced rows
+  /// against its row budget. A tripped token yields a *typed* outcome —
+  /// status kCancelled/kTimeout, empty table, partial stats discarded —
+  /// and the result cache is never populated from a cancelled run.
+  ExecOutcome Execute(const Prepared& prep, const ParamMap& params = {},
+                      CancelToken cancel = {}) const;
 
   /// Prepare + Execute (Prepare hits the plan cache on repeated queries).
   ExecOutcome Run(const std::string& query,
@@ -321,10 +345,11 @@ class GOptEngine {
   void ObservePartitionRows(const ExecStats& stats) const;
 
   /// Runs the full planning pipeline (no cache). `store` is the store
-  /// generation this plan prices communication against (may be null).
+  /// generation this plan prices communication against (may be null);
+  /// `cancel` is checked between passes and per CBO pattern task.
   Prepared PlanQuery(const std::string& query, Language lang,
-                     const StatsSnapshot& stats,
-                     const StoreState* store) const;
+                     const StatsSnapshot& stats, const StoreState* store,
+                     const CancelToken& cancel) const;
   /// Runs one physical plan on the configured backend with `bound`
   /// parameter bindings, accumulating metrics into *stats. `pipelines` is
   /// the plan's prebuilt decomposition for the morsel runtime (null: built
@@ -334,7 +359,7 @@ class GOptEngine {
   /// The shared backend-dispatch of Execute and ExecuteBatch.
   ResultTable RunPhysical(const PhysOpPtr& root, const PipelinePlan* pipelines,
                           const ParamMap& bound, const StoreState* store,
-                          ExecStats* stats) const;
+                          ExecStats* stats, const CancelToken& cancel = {}) const;
 
   const PropertyGraph* g_;
   BackendSpec backend_;

@@ -161,6 +161,12 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
   auto it = memo_.find(op.get());
   if (it != memo_.end()) return it->second;
 
+  // Operator-boundary cancellation check: every dataflow step of the
+  // simulator starts on the control thread, so checking here (never inside
+  // the per-partition worker threads, which must not throw) bounds the
+  // overrun to one operator.
+  cancel_.Check();
+
   // The vertex tag this node's output is ownership-partitioned by
   // (sharded mode only; "" = none).
   std::string out_tag;
@@ -401,10 +407,15 @@ DistributedExecutor::PartsPtr DistributedExecutor::Run(const PhysOpPtr& op) {
   // rows_produced counts the rows emitted per operator node, once per node
   // (intermediate partials, exchanged copies and two-phase local results
   // are not emissions) — the definition all runtimes share; see ExecStats.
+  uint64_t emitted = 0;
   for (size_t w = 0; w < result->size(); ++w) {
+    emitted += (*result)[w].size();
     stats_.rows_produced += (*result)[w].size();
     if (pg_ != nullptr) stats_.partition_rows[w] += (*result)[w].size();
   }
+  // Charge this operator's emissions against the row budget; the next
+  // operator's Check observes a trip.
+  cancel_.AddRows(emitted);
   memo_[op.get()] = result;
   if (pg_ != nullptr) owner_tag_[op.get()] = out_tag;
   return result;

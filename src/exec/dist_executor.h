@@ -67,6 +67,12 @@ class DistributedExecutor {
   /// results either way; see Kernels::set_vectorize).
   void set_vectorize(bool on) { k_.set_vectorize(on); }
 
+  /// Cooperative cancellation (docs/serving.md): the control thread checks
+  /// the token before every operator (the dataflow steps of this
+  /// simulator), so a trip aborts between exchanges/operators by throwing
+  /// CancelledError out of Execute.
+  void set_cancel(CancelToken cancel) { cancel_ = std::move(cancel); }
+
  private:
   /// A distributed table: one row vector per worker.
   using Parts = std::vector<std::vector<Row>>;
@@ -105,6 +111,7 @@ class DistributedExecutor {
   Kernels k_;
   const PartitionedGraph* pg_;
   int workers_;
+  CancelToken cancel_;
   ExecStats stats_;
   std::map<const PhysOp*, PartsPtr> memo_;
   /// Sharded mode: the vertex tag each memoized stream is currently

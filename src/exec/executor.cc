@@ -23,6 +23,11 @@ SingleMachineExecutor::TablePtr SingleMachineExecutor::Run(
   auto it = memo_.find(op.get());
   if (it != memo_.end()) return it->second;
 
+  // Cooperative cancellation at operator granularity: this executor
+  // materializes per operator, so between-operator checks are its batch
+  // boundaries (docs/serving.md).
+  cancel_.Check();
+
   TablePtr result = std::make_shared<std::vector<Row>>();
   switch (op->kind) {
     case PhysOpKind::kScanVertices:
@@ -87,6 +92,9 @@ SingleMachineExecutor::TablePtr SingleMachineExecutor::Run(
   // above returns without re-counting, so DAG-shared subtrees never
   // double-count (the parity contract of ExecStats::rows_produced).
   stats_.rows_produced += result->size();
+  // Charge the same count against the row budget; the next operator's
+  // Check observes a trip.
+  cancel_.AddRows(result->size());
   memo_[op.get()] = result;
   return result;
 }

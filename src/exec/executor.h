@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/common/cache_stats.h"
+#include "src/common/cancel.h"
 #include "src/exec/kernels.h"
 #include "src/exec/result.h"
 
@@ -120,12 +121,18 @@ class SingleMachineExecutor {
   /// results either way; see Kernels::set_vectorize).
   void set_vectorize(bool on) { k_.set_vectorize(on); }
 
+  /// Cooperative cancellation (docs/serving.md): the token is checked
+  /// before every operator node, so a tripped budget or explicit Cancel
+  /// aborts between operators by throwing CancelledError out of Execute.
+  void set_cancel(CancelToken cancel) { cancel_ = std::move(cancel); }
+
  private:
   using TablePtr = std::shared_ptr<std::vector<Row>>;
   TablePtr Run(const PhysOpPtr& op);
 
   Kernels k_;
   ExecStats stats_;
+  CancelToken cancel_;
   bool allow_intersect_ = false;
   std::map<const PhysOp*, TablePtr> memo_;  // DAG-shared results
 };

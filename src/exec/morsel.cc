@@ -109,7 +109,13 @@ ResultTable MorselExecutor::Execute(const PhysOpPtr& root,
     ChooseFactorization(&local, opts_.factorization);
     plan = &local;
   }
-  for (const Pipeline& p : plan->pipelines) RunPipeline(p);
+  for (const Pipeline& p : plan->pipelines) {
+    // Cancellation check between pipelines (workers also check before
+    // every morsel inside RunPipeline): a breaker-heavy plan cannot run
+    // a whole extra pipeline after its budget tripped.
+    cancel_.Check();
+    RunPipeline(p);
+  }
   // One executor instance per Execute, so the kernel counters started at
   // zero: the final values are this run's totals.
   stats_.vec_dispatch = k_.vectorized_dispatches();
@@ -312,6 +318,11 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
         ChainStats& acc = emitted[static_cast<size_t>(w)];
         size_t idx;
         while (queue.Next(w, &idx)) {
+          // The morsel-boundary cancellation check: a tripped budget stops
+          // each worker before its next morsel. The throw is captured by
+          // the pool's exception_ptr below exactly like a kernel error.
+          cancel_.Check();
+          const uint64_t rows0 = acc.rows;
           if (p.source_is_scan) {
             Batch b = k_.ScanBatch(*p.source, scan_morsels[idx]);
             acc.rows += b.size();
@@ -322,6 +333,9 @@ void MorselExecutor::RunPipeline(const Pipeline& p) {
           } else {
             out[idx] = ApplyChain(p, (*src)[idx], &acc);
           }
+          // Charge this morsel's produced rows against the row budget; the
+          // next morsel's Check (any worker) observes a trip.
+          cancel_.AddRows(acc.rows - rows0);
         }
       };
       if (T <= 1) {

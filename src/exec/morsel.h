@@ -105,6 +105,14 @@ class MorselExecutor {
   /// outlive Execute (read concurrently by workers — safe, read-only).
   void set_params(const ParamMap* params) { k_.set_params(params); }
 
+  /// Cooperative cancellation (docs/serving.md): workers check the token
+  /// before every morsel (and the control thread between pipelines), so a
+  /// trip aborts within one morsel's worth of work per worker. The
+  /// CancelledError a worker throws rides the runtime's existing
+  /// exception capture and is rethrown out of Execute after the pool
+  /// joins.
+  void set_cancel(CancelToken cancel) { cancel_ = std::move(cancel); }
+
   int threads() const { return threads_; }
 
  private:
@@ -144,6 +152,7 @@ class MorselExecutor {
   const PartitionedGraph* pg_;
   MorselOptions opts_;
   int threads_;
+  CancelToken cancel_;
   ExecStats stats_;
   /// Materialized sink outputs, keyed by operator node (the DAG memo).
   std::map<const PhysOp*, std::vector<Batch>> results_;

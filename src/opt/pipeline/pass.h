@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/gir/logical_op.h"
 #include "src/opt/cbo.h"
 #include "src/opt/pipeline/planner_options.h"
@@ -74,6 +75,11 @@ struct PlanContext {
   /// the CBO scales its exchange costs by the measured edge-cut. Null =
   /// unpartitioned store, every exchanged row charged.
   const CommProfile* comm = nullptr;
+  /// Cooperative cancellation of planning (docs/serving.md): the
+  /// PassManager checks it between passes and the CBO's per-pattern worker
+  /// tasks check it before planning each pattern, so a timed-out query
+  /// does not plan all remaining patterns. Default token: never cancelled.
+  CancelToken cancel;
 
   // ---- evolving plan state ----
   LogicalOpPtr logical;

@@ -69,6 +69,10 @@ void PassManager::Run(PlanContext& ctx) const {
       entry.skipped = true;
       entry.note = r.skip_note;
     } else {
+      // Between-pass cancellation boundary: a budget that trips mid-plan
+      // stops the pipeline before the next pass (CancelledError propagates
+      // to the Prepare caller like any pass error).
+      ctx.cancel.Check();
       auto t0 = Clock::now();
       r.pass->Run(ctx);
       auto t1 = Clock::now();

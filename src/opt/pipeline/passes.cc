@@ -134,6 +134,11 @@ void CboPass::Run(PlanContext& ctx) {
   auto plan_one = [&](size_t i) {
     auto t0 = std::chrono::steady_clock::now();
     try {
+      // Per-pattern cancellation check (satellite of docs/serving.md): a
+      // query whose budget tripped while earlier patterns planned skips
+      // every remaining pattern instead of planning them all. The throw
+      // lands in errors[i] and is rethrown after the pool joins.
+      ctx.cancel.Check();
       GraphOptimizer optimizer(gq, backend, ctx.comm);
       const Pattern& p = matches[i]->pattern;
       switch (cfg_.strategy) {

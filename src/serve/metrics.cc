@@ -1,0 +1,203 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/str_format.h"
+
+namespace gopt {
+
+namespace {
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Serializes a sorted label set as `{a="x",b="y"}` ("" when empty).
+std::string LabelString(MetricLabels labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string s = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) s += ",";
+    s += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  s += "}";
+  return s;
+}
+
+/// Label string with one extra label appended (the histogram `le`).
+std::string LabelStringWith(MetricLabels labels, const std::string& k,
+                            const std::string& v) {
+  labels.emplace_back(k, v);
+  return LabelString(std::move(labels));
+}
+
+/// A double rendered the way Prometheus expects: `+Inf`, integers without
+/// exponent noise, everything else shortest-round-trip-ish via %g.
+std::string NumberString(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return StrFormat("%g", v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("Histogram: bucket bounds must ascend");
+    }
+  }
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; past the last = +Inf slot.
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::LatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000, 30000, 60000};
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name,
+                                                    Type type,
+                                                    const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  } else if (it->second.type != type) {
+    throw std::logic_error("MetricsRegistry: metric '" + name +
+                           "' re-registered with a different type");
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, Type::kCounter, help);
+  Series& s = fam->series[LabelString(labels)];
+  if (!s.counter) {
+    s.labels = labels;
+    s.counter = std::make_unique<Counter>();
+  }
+  return s.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, Type::kGauge, help);
+  Series& s = fam->series[LabelString(labels)];
+  if (!s.gauge) {
+    s.labels = labels;
+    s.gauge = std::make_unique<Gauge>();
+  }
+  return s.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, Type::kHistogram, help);
+  Series& s = fam->series[LabelString(labels)];
+  if (!s.histogram) {
+    s.labels = labels;
+    s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return s.histogram.get();
+}
+
+void MetricsRegistry::AddCollector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+std::string MetricsRegistry::Render() const {
+  // Snapshot the collector list, then run the collectors unlocked: they
+  // update instruments (atomic) and may even register new series.
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors = collectors_;
+  }
+  for (const auto& fn : collectors) fn();
+
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += fam.type == Type::kCounter   ? "counter"
+           : fam.type == Type::kGauge   ? "gauge"
+                                        : "histogram";
+    out += "\n";
+    for (const auto& [lbl, series] : fam.series) {
+      switch (fam.type) {
+        case Type::kCounter:
+          out += name + lbl + " " +
+                 std::to_string(series.counter->value()) + "\n";
+          break;
+        case Type::kGauge:
+          out += name + lbl + " " + NumberString(series.gauge->value()) +
+                 "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *series.histogram;
+          uint64_t cum = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cum += h.bucket(i);
+            out += name + "_bucket" +
+                   LabelStringWith(series.labels, "le",
+                                   NumberString(h.bounds()[i])) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          cum += h.bucket(h.bounds().size());
+          out += name + "_bucket" +
+                 LabelStringWith(series.labels, "le", "+Inf") + " " +
+                 std::to_string(cum) + "\n";
+          out += name + "_sum" + lbl + " " + NumberString(h.sum()) + "\n";
+          // _count must equal the +Inf bucket — render from the same
+          // accumulation, not the separate count_ atomic, so a concurrent
+          // Observe can never make the exposition internally inconsistent.
+          out += name + "_count" + lbl + " " + std::to_string(cum) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gopt

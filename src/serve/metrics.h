@@ -1,0 +1,137 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gopt {
+
+/// Label set of one metric series, e.g. {{"status", "ok"}}. Labels are
+/// rendered sorted by name so one logical series always serializes to one
+/// exposition line.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter (Prometheus `counter`). Lock-free; any thread may
+/// Increment while another renders.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time value (Prometheus `gauge`). Set/Add are atomic.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus `histogram`): per-bucket atomic
+/// counts plus an atomic sum. Observe is lock-free; Render accumulates the
+/// cumulative `_bucket{le=...}` series the exposition format requires.
+/// Counts are monotonic, so a concurrent Observe during Render at worst
+/// lags one observation — never tears.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds of the finite buckets, in
+  /// ascending order; an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count of the i-th finite bucket (non-cumulative); i == bounds().size()
+  /// is the +Inf overflow bucket.
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Default latency bucket bounds in milliseconds (sub-ms to minutes).
+  static std::vector<double> LatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Process-local metric registry with Prometheus text exposition
+/// (docs/serving.md). Families are keyed by metric name; each family holds
+/// one typed series per label set. Get* registers on first use and returns
+/// the same instrument for the same (name, labels) afterwards — pointers
+/// stay valid for the registry's lifetime, so hot paths cache them and
+/// update lock-free. Render() runs the registered collector callbacks
+/// (pull-style gauges: queue depth, cache stats) and serializes everything
+/// in the text exposition format version 0.0.4.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const MetricLabels& labels = {});
+
+  /// Registers a pull-style collector run at the start of every Render —
+  /// the hook where point-in-time gauges (queue depth, in-flight count,
+  /// cache occupancy) are refreshed from their sources.
+  void AddCollector(std::function<void()> fn);
+
+  /// Serializes every family as Prometheus text exposition: `# HELP` and
+  /// `# TYPE` once per family, then one line per series (histograms expand
+  /// into cumulative `_bucket{le=...}` lines plus `_sum`/`_count`).
+  /// Families render sorted by name, series sorted by label set —
+  /// deterministic output for tests and diffing.
+  std::string Render() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    /// Keyed by the serialized label set (sorted), so one logical series
+    /// maps to exactly one instrument; std::map keeps render order stable.
+    std::map<std::string, Series> series;
+  };
+
+  Family* GetFamily(const std::string& name, Type type,
+                    const std::string& help);
+
+  /// Guards registration and the collector list; the instruments
+  /// themselves are atomic and updated without this lock.
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace gopt

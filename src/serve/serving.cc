@@ -1,0 +1,404 @@
+#include "src/serve/serving.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gopt {
+
+namespace {
+
+ExecOutcome RejectedOutcome() {
+  ExecOutcome out;
+  out.status = ExecStatus::kRejected;
+  out.table_ptr = std::make_shared<ResultTable>();
+  return out;
+}
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(b - a).count() /
+         1000.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Session
+
+Session::Session(ServingEngine* owner, const GOptEngine* engine,
+                 SessionOptions opts,
+                 std::shared_ptr<std::atomic<int64_t>> live_counter)
+    : owner_(owner), engine_(engine), opts_(std::move(opts)) {
+  live_.c = std::move(live_counter);
+  if (live_.c) live_.c->fetch_add(1, std::memory_order_relaxed);
+}
+
+std::future<ExecOutcome> Session::RunAsync(const std::string& query,
+                                           ParamMap params) {
+  return Submit(query, std::move(params)).result;
+}
+
+Submission Session::Submit(const std::string& query, ParamMap params) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+  // Session defaults merged *under* the per-call bindings.
+  ParamMap merged = opts_.default_params;
+  for (auto& [name, value] : params) merged[name] = std::move(value);
+  return owner_->SubmitTask(engine_, query, std::move(merged), opts_.lang,
+                            &opts_.budget, this, nullptr);
+}
+
+void Session::Record(const ExecOutcome& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (out.status) {
+    case ExecStatus::kOk: ++stats_.ok; break;
+    case ExecStatus::kCancelled: ++stats_.cancelled; break;
+    case ExecStatus::kTimeout: ++stats_.timeout; break;
+    case ExecStatus::kRejected: ++stats_.rejected; break;
+  }
+  stats_.exec_ms += out.ms;
+  stats_.queue_ms += out.queue_ms;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------- ServingEngine
+
+ServingEngine::ServingEngine(const GOptEngine* engine, ServingOptions opts)
+    : engine_(engine),
+      opts_(std::move(opts)),
+      metrics_(opts_.metrics ? opts_.metrics
+                             : std::make_shared<MetricsRegistry>()),
+      live_(std::make_shared<LiveStats>()) {
+  live_->started = std::chrono::steady_clock::now();
+  engines_[""] = engine_;
+
+  queries_ok_ = metrics_->GetCounter(
+      "gopt_serve_queries_total", "Completed queries by typed status",
+      {{"status", "ok"}});
+  queries_cancelled_ = metrics_->GetCounter(
+      "gopt_serve_queries_total", "Completed queries by typed status",
+      {{"status", "cancelled"}});
+  queries_timeout_ = metrics_->GetCounter(
+      "gopt_serve_queries_total", "Completed queries by typed status",
+      {{"status", "timeout"}});
+  queries_rejected_ = metrics_->GetCounter(
+      "gopt_serve_queries_total", "Completed queries by typed status",
+      {{"status", "rejected"}});
+  admission_rejected_ = metrics_->GetCounter(
+      "gopt_serve_admission_rejected_total",
+      "Queries refused by admission control (full queue or shutdown)");
+  latency_ms_ = metrics_->GetHistogram(
+      "gopt_serve_latency_ms", "End-to-end execution latency (excludes queue wait)",
+      Histogram::LatencyBucketsMs());
+  queue_wait_ms_ = metrics_->GetHistogram(
+      "gopt_serve_queue_wait_ms", "Admission-queue wait before execution",
+      Histogram::LatencyBucketsMs());
+  metrics_
+      ->GetGauge("gopt_serve_workers", "Worker threads of the serving pool")
+      ->Set(static_cast<double>(std::max(1, opts_.worker_threads)));
+
+  // Pull-style gauges refreshed at every Render. The collector captures
+  // the shared LiveStats (never this), so it stays valid even if an
+  // injected registry outlives the engine.
+  Gauge* queue_depth_g = metrics_->GetGauge(
+      "gopt_serve_queue_depth", "Queries queued, not yet picked up");
+  Gauge* inflight_g = metrics_->GetGauge(
+      "gopt_serve_inflight", "Queries currently executing on workers");
+  Gauge* sessions_g =
+      metrics_->GetGauge("gopt_serve_sessions", "Open sessions");
+  Gauge* qps_g = metrics_->GetGauge(
+      "gopt_serve_qps", "Completed queries per second since start");
+  Gauge* uptime_g = metrics_->GetGauge(
+      "gopt_serve_uptime_seconds", "Seconds since the serving engine started");
+  metrics_->AddCollector([live = live_, queue_depth_g, inflight_g, sessions_g,
+                          qps_g, uptime_g] {
+    queue_depth_g->Set(static_cast<double>(
+        live->queue_depth.load(std::memory_order_relaxed)));
+    inflight_g->Set(static_cast<double>(
+        live->inflight.load(std::memory_order_relaxed)));
+    sessions_g->Set(static_cast<double>(
+        live->sessions.load(std::memory_order_relaxed)));
+    const double secs =
+        MsBetween(live->started, std::chrono::steady_clock::now()) / 1000.0;
+    uptime_g->Set(secs);
+    qps_g->Set(secs > 0
+                   ? static_cast<double>(
+                         live->completed.load(std::memory_order_relaxed)) /
+                         secs
+                   : 0.0);
+  });
+
+  RegisterEngineMetrics("default", engine_);
+
+  const int workers = std::max(1, opts_.worker_threads);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+void ServingEngine::RegisterEngine(const std::string& name,
+                                   const GOptEngine* engine) {
+  engines_[name] = engine;
+  RegisterEngineMetrics(name, engine);
+}
+
+void ServingEngine::RegisterEngineMetrics(const std::string& label,
+                                          const GOptEngine* e) {
+  const MetricLabels l = {{"engine", label}};
+  Gauge* ph = metrics_->GetGauge("gopt_plan_cache_hits",
+                                 "Plan cache hits (monotonic)", l);
+  Gauge* pm = metrics_->GetGauge("gopt_plan_cache_misses",
+                                 "Plan cache misses (monotonic)", l);
+  Gauge* pent = metrics_->GetGauge("gopt_plan_cache_entries",
+                                   "Plan cache entries", l);
+  Gauge* pr = metrics_->GetGauge("gopt_plan_cache_hit_ratio",
+                                 "Plan cache hit ratio in [0,1]", l);
+  Gauge* rh = metrics_->GetGauge("gopt_result_cache_hits",
+                                 "Result cache hits (monotonic)", l);
+  Gauge* rm = metrics_->GetGauge("gopt_result_cache_misses",
+                                 "Result cache misses (monotonic)", l);
+  Gauge* rent = metrics_->GetGauge("gopt_result_cache_entries",
+                                   "Result cache entries", l);
+  Gauge* rb = metrics_->GetGauge("gopt_result_cache_bytes",
+                                 "Result cache bytes held", l);
+  Gauge* rr = metrics_->GetGauge("gopt_result_cache_hit_ratio",
+                                 "Result cache hit ratio in [0,1]", l);
+  metrics_->AddCollector([e, ph, pm, pent, pr, rh, rm, rent, rb, rr] {
+    // The CacheStats snapshot fix (docs/serving.md): take each cache's
+    // counters via ONE stats() call and derive every series — including
+    // the ratio — from that one struct. Reading the live atomics once per
+    // series would interleave with concurrent updates and could expose
+    // hit/miss/ratio combinations no moment ever had.
+    const CacheStats ps = e->plan_cache_stats();
+    ph->Set(static_cast<double>(ps.hits));
+    pm->Set(static_cast<double>(ps.misses));
+    pent->Set(static_cast<double>(ps.entries));
+    pr->Set(CacheHitRatio(ps));
+    const CacheStats rs = e->result_cache_stats();
+    rh->Set(static_cast<double>(rs.hits));
+    rm->Set(static_cast<double>(rs.misses));
+    rent->Set(static_cast<double>(rs.entries));
+    rb->Set(static_cast<double>(rs.bytes));
+    rr->Set(CacheHitRatio(rs));
+  });
+}
+
+QueryBudget ServingEngine::EffectiveBudget(const QueryBudget* call,
+                                           const QueryBudget* session) const {
+  // Field-wise: the most specific non-zero wins; 0 means "inherit" (so an
+  // explicitly unlimited session must simply not set a default).
+  QueryBudget b = opts_.default_budget;
+  if (session) {
+    if (session->time_ms > 0) b.time_ms = session->time_ms;
+    if (session->max_rows > 0) b.max_rows = session->max_rows;
+  }
+  if (call) {
+    if (call->time_ms > 0) b.time_ms = call->time_ms;
+    if (call->max_rows > 0) b.max_rows = call->max_rows;
+  }
+  return b;
+}
+
+std::future<ExecOutcome> ServingEngine::RunAsync(const std::string& query,
+                                                 ParamMap params,
+                                                 Language lang) {
+  return SubmitTask(engine_, query, std::move(params), lang, nullptr, nullptr,
+                    nullptr)
+      .result;
+}
+
+void ServingEngine::RunAsync(const std::string& query, OutcomeCallback done,
+                             ParamMap params, Language lang) {
+  SubmitTask(engine_, query, std::move(params), lang, nullptr, nullptr,
+             std::move(done));
+}
+
+Submission ServingEngine::Submit(const std::string& query, ParamMap params,
+                                 Language lang, const QueryBudget* budget) {
+  return SubmitTask(engine_, query, std::move(params), lang, budget, nullptr,
+                    nullptr);
+}
+
+std::shared_ptr<Session> ServingEngine::OpenSession(SessionOptions opts) {
+  auto it = engines_.find(opts.engine);
+  if (it == engines_.end()) {
+    throw std::runtime_error("OpenSession: no engine registered as '" +
+                             opts.engine + "'");
+  }
+  const GOptEngine* target = it->second;
+  // Aliasing share of LiveStats: the session's destructor decrement stays
+  // valid even if it (wrongly) outlives the engine.
+  auto counter = std::shared_ptr<std::atomic<int64_t>>(live_, &live_->sessions);
+  return std::shared_ptr<Session>(
+      new Session(this, target, std::move(opts), std::move(counter)));
+}
+
+Submission ServingEngine::SubmitTask(const GOptEngine* engine,
+                                     const std::string& query, ParamMap params,
+                                     Language lang, const QueryBudget* budget,
+                                     Session* session,
+                                     OutcomeCallback callback) {
+  auto task = std::make_unique<Task>();
+  task->query = query;
+  task->params = std::move(params);
+  task->lang = lang;
+  task->engine = engine;
+  task->budget =
+      EffectiveBudget(budget, session ? &session->options().budget : nullptr);
+  task->cancel = std::make_shared<CancelState>();
+  task->enqueued = std::chrono::steady_clock::now();
+  task->callback = std::move(callback);
+  task->session = session;
+
+  CancelToken token(task->cancel);
+  std::future<ExecOutcome> fut = task->promise.get_future();
+
+  bool rejected = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      rejected = true;
+    } else if (queue_.size() >= opts_.max_queue) {
+      if (opts_.admission == AdmissionPolicy::kBlock) {
+        // Backpressure: park the submitter until a worker drains a slot.
+        cv_space_.wait(lock, [&] {
+          return stop_ || queue_.size() < opts_.max_queue;
+        });
+        rejected = stop_;
+      } else {
+        rejected = true;
+      }
+    }
+    if (!rejected) {
+      queue_.push_back(std::move(task));
+      live_->queue_depth.store(static_cast<int64_t>(queue_.size()),
+                               std::memory_order_relaxed);
+      cv_work_.notify_one();
+    }
+  }
+  if (rejected) {
+    // Refused synchronously: the engine is never touched — no Prepare, so
+    // a rejected query cannot populate or even probe the plan cache.
+    admission_rejected_->Increment();
+    Complete(task.get(), RejectedOutcome(), nullptr);
+    return {std::move(fut), CancelToken{}};
+  }
+  return {std::move(fut), std::move(token)};
+}
+
+void ServingEngine::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      live_->queue_depth.store(static_cast<int64_t>(queue_.size()),
+                               std::memory_order_relaxed);
+      ++inflight_;
+      live_->inflight.store(inflight_, std::memory_order_relaxed);
+      cv_space_.notify_one();
+    }
+    RunTask(task.get());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      live_->inflight.store(inflight_, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ServingEngine::RunTask(Task* t) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  const double queue_ms = MsBetween(t->enqueued, dequeued);
+  // Budgets arm at dequeue: the time budget buys planning + execution;
+  // admission wait is reported separately (queue_ms), never charged.
+  if (t->budget.time_ms > 0) {
+    t->cancel->set_deadline(
+        dequeued + std::chrono::microseconds(
+                       static_cast<int64_t>(t->budget.time_ms * 1000.0)));
+  }
+  if (t->budget.max_rows > 0) t->cancel->set_row_budget(t->budget.max_rows);
+
+  CancelToken token(t->cancel);
+  ExecOutcome out;
+  std::exception_ptr error;
+  try {
+    // Prepare checks the token between passes and per CBO pattern;
+    // Execute returns a typed outcome itself when cancellation trips
+    // mid-run, and throws only for an already-tripped token.
+    Prepared prep = t->engine->Prepare(t->query, t->lang, token);
+    out = t->engine->Execute(prep, t->params, token);
+  } catch (const CancelledError& e) {
+    out = ExecOutcome{};
+    out.status = e.status();
+    out.table_ptr = std::make_shared<ResultTable>();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  out.queue_ms = queue_ms;
+  Complete(t, std::move(out), error);
+}
+
+void ServingEngine::Complete(Task* t, ExecOutcome out,
+                             std::exception_ptr error) {
+  if (!error) {
+    switch (out.status) {
+      case ExecStatus::kOk: queries_ok_->Increment(); break;
+      case ExecStatus::kCancelled: queries_cancelled_->Increment(); break;
+      case ExecStatus::kTimeout: queries_timeout_->Increment(); break;
+      case ExecStatus::kRejected: queries_rejected_->Increment(); break;
+    }
+    if (out.status != ExecStatus::kRejected) {
+      latency_ms_->Observe(out.ms);
+      queue_wait_ms_->Observe(out.queue_ms);
+    }
+    if (t->session) t->session->Record(out);
+  }
+  live_->completed.fetch_add(1, std::memory_order_relaxed);
+  if (t->callback) {
+    t->callback(std::move(out), error);
+  } else if (error) {
+    t->promise.set_exception(error);
+  } else {
+    t->promise.set_value(std::move(out));
+  }
+}
+
+void ServingEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  // Wake workers (to drain and exit) and blocked submitters (to reject).
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  for (std::thread& th : workers_) {
+    if (th.joinable()) th.join();
+  }
+  workers_.clear();
+}
+
+size_t ServingEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int ServingEngine::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace gopt

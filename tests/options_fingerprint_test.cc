@@ -8,6 +8,14 @@
 // behavioral checks — the failure mode this guards against is a new
 // plan-affecting option silently cross-serving cached plans and results
 // between engines configured differently.
+//
+// The serving layer's knobs (ServingOptions: worker pool size, admission
+// queue bound and policy, default budgets — docs/serving.md) live outside
+// EngineOptions on purpose and are therefore unfingerprinted by
+// construction: none of them affect produced plans. Their own
+// structured-binding shape guard is in tests/serve_test.cc; a serving
+// knob that ever becomes plan-affecting must move into EngineOptions and
+// get classified here.
 #include <gtest/gtest.h>
 
 #include "src/engine/result_cache.h"
