@@ -139,9 +139,21 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return s.histogram.get();
 }
 
-void MetricsRegistry::AddCollector(std::function<void()> fn) {
+uint64_t MetricsRegistry::AddCollector(std::function<void()> fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  collectors_.push_back(std::move(fn));
+  const uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
 }
 
 std::string MetricsRegistry::Render() const {
@@ -150,7 +162,8 @@ std::string MetricsRegistry::Render() const {
   std::vector<std::function<void()>> collectors;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    collectors = collectors_;
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
   }
   for (const auto& fn : collectors) fn();
 

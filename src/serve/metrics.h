@@ -96,8 +96,16 @@ class MetricsRegistry {
 
   /// Registers a pull-style collector run at the start of every Render —
   /// the hook where point-in-time gauges (queue depth, in-flight count,
-  /// cache occupancy) are refreshed from their sources.
-  void AddCollector(std::function<void()> fn);
+  /// cache occupancy) are refreshed from their sources. Returns an id for
+  /// RemoveCollector, so an owner whose lifetime is shorter than the
+  /// registry's (a ServingEngine on an injected registry) can unregister
+  /// its collectors before anything they capture dangles.
+  uint64_t AddCollector(std::function<void()> fn);
+
+  /// Unregisters a collector by the id AddCollector returned. The series
+  /// it refreshed stay registered and render their last-collected values.
+  /// Unknown ids are ignored (idempotent).
+  void RemoveCollector(uint64_t id);
 
   /// Serializes every family as Prometheus text exposition: `# HELP` and
   /// `# TYPE` once per family, then one line per series (histograms expand
@@ -131,7 +139,8 @@ class MetricsRegistry {
   /// themselves are atomic and updated without this lock.
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;
-  std::vector<std::function<void()>> collectors_;
+  uint64_t next_collector_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> collectors_;
 };
 
 }  // namespace gopt

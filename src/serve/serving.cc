@@ -43,15 +43,22 @@ Submission Session::Submit(const std::string& query, ParamMap params) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
   }
-  // Session defaults merged *under* the per-call bindings.
+  // Session defaults merged *under* the per-call bindings. The task takes
+  // shared ownership of this session (shared_from_this), so the client may
+  // drop its last handle while the query is still queued or running.
   ParamMap merged = opts_.default_params;
   for (auto& [name, value] : params) merged[name] = std::move(value);
   return owner_->SubmitTask(engine_, query, std::move(merged), opts_.lang,
-                            &opts_.budget, this, nullptr);
+                            &opts_.budget, shared_from_this(), nullptr);
 }
 
-void Session::Record(const ExecOutcome& out) {
+void Session::Record(const ExecOutcome& out, bool error) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (error) {
+    ++stats_.errors;
+    stats_.queue_ms += out.queue_ms;  // the admission wait still happened
+    return;
+  }
   switch (out.status) {
     case ExecStatus::kOk: ++stats_.ok; break;
     case ExecStatus::kCancelled: ++stats_.cancelled; break;
@@ -77,47 +84,67 @@ ServingEngine::ServingEngine(const GOptEngine* engine, ServingOptions opts)
       live_(std::make_shared<LiveStats>()) {
   live_->started = std::chrono::steady_clock::now();
   engines_[""] = engine_;
+  // A 0-capacity queue is never "unlimited" here: under kBlock no
+  // submitter could ever be admitted. Clamp like worker_threads.
+  opts_.max_queue = std::max<size_t>(1, opts_.max_queue);
+
+  // Serve-level series get {instance=...} when configured, so several
+  // ServingEngines sharing an injected registry keep distinct series
+  // instead of clobbering one another's gauges at Render.
+  MetricLabels inst;
+  if (!opts_.instance.empty()) inst.emplace_back("instance", opts_.instance);
+  auto with_status = [&inst](const char* status) {
+    MetricLabels l = inst;
+    l.emplace_back("status", status);
+    return l;
+  };
 
   queries_ok_ = metrics_->GetCounter(
       "gopt_serve_queries_total", "Completed queries by typed status",
-      {{"status", "ok"}});
+      with_status("ok"));
   queries_cancelled_ = metrics_->GetCounter(
       "gopt_serve_queries_total", "Completed queries by typed status",
-      {{"status", "cancelled"}});
+      with_status("cancelled"));
   queries_timeout_ = metrics_->GetCounter(
       "gopt_serve_queries_total", "Completed queries by typed status",
-      {{"status", "timeout"}});
+      with_status("timeout"));
   queries_rejected_ = metrics_->GetCounter(
       "gopt_serve_queries_total", "Completed queries by typed status",
-      {{"status", "rejected"}});
+      with_status("rejected"));
+  queries_error_ = metrics_->GetCounter(
+      "gopt_serve_queries_total", "Completed queries by typed status",
+      with_status("error"));
   admission_rejected_ = metrics_->GetCounter(
       "gopt_serve_admission_rejected_total",
-      "Queries refused by admission control (full queue or shutdown)");
+      "Queries refused by admission control (full queue or shutdown)", inst);
   latency_ms_ = metrics_->GetHistogram(
       "gopt_serve_latency_ms", "End-to-end execution latency (excludes queue wait)",
-      Histogram::LatencyBucketsMs());
+      Histogram::LatencyBucketsMs(), inst);
   queue_wait_ms_ = metrics_->GetHistogram(
       "gopt_serve_queue_wait_ms", "Admission-queue wait before execution",
-      Histogram::LatencyBucketsMs());
+      Histogram::LatencyBucketsMs(), inst);
   metrics_
-      ->GetGauge("gopt_serve_workers", "Worker threads of the serving pool")
+      ->GetGauge("gopt_serve_workers", "Worker threads of the serving pool",
+                 inst)
       ->Set(static_cast<double>(std::max(1, opts_.worker_threads)));
 
   // Pull-style gauges refreshed at every Render. The collector captures
-  // the shared LiveStats (never this), so it stays valid even if an
-  // injected registry outlives the engine.
+  // the shared LiveStats (never this), so it never dereferences the
+  // engine; the destructor also unregisters it from the registry.
   Gauge* queue_depth_g = metrics_->GetGauge(
-      "gopt_serve_queue_depth", "Queries queued, not yet picked up");
+      "gopt_serve_queue_depth", "Queries queued, not yet picked up", inst);
   Gauge* inflight_g = metrics_->GetGauge(
-      "gopt_serve_inflight", "Queries currently executing on workers");
+      "gopt_serve_inflight", "Queries currently executing on workers", inst);
   Gauge* sessions_g =
-      metrics_->GetGauge("gopt_serve_sessions", "Open sessions");
+      metrics_->GetGauge("gopt_serve_sessions", "Open sessions", inst);
   Gauge* qps_g = metrics_->GetGauge(
-      "gopt_serve_qps", "Completed queries per second since start");
+      "gopt_serve_qps", "Completed queries per second since start", inst);
   Gauge* uptime_g = metrics_->GetGauge(
-      "gopt_serve_uptime_seconds", "Seconds since the serving engine started");
-  metrics_->AddCollector([live = live_, queue_depth_g, inflight_g, sessions_g,
-                          qps_g, uptime_g] {
+      "gopt_serve_uptime_seconds", "Seconds since the serving engine started",
+      inst);
+  collector_ids_.push_back(metrics_->AddCollector([live = live_, queue_depth_g,
+                                                   inflight_g, sessions_g,
+                                                   qps_g, uptime_g] {
     queue_depth_g->Set(static_cast<double>(
         live->queue_depth.load(std::memory_order_relaxed)));
     inflight_g->Set(static_cast<double>(
@@ -132,7 +159,7 @@ ServingEngine::ServingEngine(const GOptEngine* engine, ServingOptions opts)
                          live->completed.load(std::memory_order_relaxed)) /
                          secs
                    : 0.0);
-  });
+  }));
 
   RegisterEngineMetrics("default", engine_);
 
@@ -143,7 +170,14 @@ ServingEngine::ServingEngine(const GOptEngine* engine, ServingOptions opts)
   }
 }
 
-ServingEngine::~ServingEngine() { Shutdown(); }
+ServingEngine::~ServingEngine() {
+  Shutdown();
+  // Unregister our collectors so an injected registry that outlives this
+  // engine never runs them again — the per-engine cache collectors hold
+  // raw GOptEngine pointers and must not fire once we are gone. The
+  // series stay registered and render their last-collected values.
+  for (uint64_t id : collector_ids_) metrics_->RemoveCollector(id);
+}
 
 void ServingEngine::RegisterEngine(const std::string& name,
                                    const GOptEngine* engine) {
@@ -153,7 +187,8 @@ void ServingEngine::RegisterEngine(const std::string& name,
 
 void ServingEngine::RegisterEngineMetrics(const std::string& label,
                                           const GOptEngine* e) {
-  const MetricLabels l = {{"engine", label}};
+  MetricLabels l = {{"engine", label}};
+  if (!opts_.instance.empty()) l.emplace_back("instance", opts_.instance);
   Gauge* ph = metrics_->GetGauge("gopt_plan_cache_hits",
                                  "Plan cache hits (monotonic)", l);
   Gauge* pm = metrics_->GetGauge("gopt_plan_cache_misses",
@@ -172,7 +207,8 @@ void ServingEngine::RegisterEngineMetrics(const std::string& label,
                                  "Result cache bytes held", l);
   Gauge* rr = metrics_->GetGauge("gopt_result_cache_hit_ratio",
                                  "Result cache hit ratio in [0,1]", l);
-  metrics_->AddCollector([e, ph, pm, pent, pr, rh, rm, rent, rb, rr] {
+  collector_ids_.push_back(
+      metrics_->AddCollector([e, ph, pm, pent, pr, rh, rm, rent, rb, rr] {
     // The CacheStats snapshot fix (docs/serving.md): take each cache's
     // counters via ONE stats() call and derive every series — including
     // the ratio — from that one struct. Reading the live atomics once per
@@ -189,7 +225,7 @@ void ServingEngine::RegisterEngineMetrics(const std::string& label,
     rent->Set(static_cast<double>(rs.entries));
     rb->Set(static_cast<double>(rs.bytes));
     rr->Set(CacheHitRatio(rs));
-  });
+  }));
 }
 
 QueryBudget ServingEngine::EffectiveBudget(const QueryBudget* call,
@@ -245,7 +281,7 @@ std::shared_ptr<Session> ServingEngine::OpenSession(SessionOptions opts) {
 Submission ServingEngine::SubmitTask(const GOptEngine* engine,
                                      const std::string& query, ParamMap params,
                                      Language lang, const QueryBudget* budget,
-                                     Session* session,
+                                     std::shared_ptr<Session> session,
                                      OutcomeCallback callback) {
   auto task = std::make_unique<Task>();
   task->query = query;
@@ -257,7 +293,7 @@ Submission ServingEngine::SubmitTask(const GOptEngine* engine,
   task->cancel = std::make_shared<CancelState>();
   task->enqueued = std::chrono::steady_clock::now();
   task->callback = std::move(callback);
-  task->session = session;
+  task->session = std::move(session);
 
   CancelToken token(task->cancel);
   std::future<ExecOutcome> fut = task->promise.get_future();
@@ -353,7 +389,12 @@ void ServingEngine::RunTask(Task* t) {
 
 void ServingEngine::Complete(Task* t, ExecOutcome out,
                              std::exception_ptr error) {
-  if (!error) {
+  // Every terminal delivery lands in exactly one status bucket — genuine
+  // exceptions count as status="error" so gopt_serve_queries_total and
+  // SessionStats.submitted stay reconcilable against the typed counts.
+  if (error) {
+    queries_error_->Increment();
+  } else {
     switch (out.status) {
       case ExecStatus::kOk: queries_ok_->Increment(); break;
       case ExecStatus::kCancelled: queries_cancelled_->Increment(); break;
@@ -364,8 +405,8 @@ void ServingEngine::Complete(Task* t, ExecOutcome out,
       latency_ms_->Observe(out.ms);
       queue_wait_ms_->Observe(out.queue_ms);
     }
-    if (t->session) t->session->Record(out);
   }
+  if (t->session) t->session->Record(out, error != nullptr);
   live_->completed.fetch_add(1, std::memory_order_relaxed);
   if (t->callback) {
     t->callback(std::move(out), error);

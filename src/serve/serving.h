@@ -43,7 +43,9 @@ struct ServingOptions {
   /// worker drives one query at a time through the engine, which may
   /// itself fan out morsel workers.
   int worker_threads = 2;
-  /// Admission queue capacity (queued, not yet running).
+  /// Admission queue capacity (queued, not yet running). Clamped to >= 1
+  /// at construction: unlike the budget fields, 0 is NOT "unlimited" here
+  /// (a 0-capacity queue under kBlock could never admit anything).
   size_t max_queue = 64;
   AdmissionPolicy admission = AdmissionPolicy::kReject;
   /// Default budgets for queries submitted without their own (session or
@@ -53,15 +55,27 @@ struct ServingOptions {
   /// several ServingEngines can expose one aggregated surface by
   /// injecting the same registry.
   std::shared_ptr<MetricsRegistry> metrics;
+  /// Label value distinguishing this ServingEngine's serve-level series
+  /// (gopt_serve_*) on a shared registry: when non-empty, every such
+  /// series carries {instance="<value>"}. Counters and histograms merely
+  /// split; the point-in-time gauges (queue depth, in-flight, qps, ...)
+  /// NEED it — unlabeled, two engines sharing a registry resolve to the
+  /// same gauge and the last collector to run clobbers the other's value.
+  /// Leave empty for a private registry.
+  std::string instance;
 };
 
 /// Per-session execution counters (Session::stats), by-value snapshot.
+/// Every submission lands in exactly one terminal bucket:
+/// submitted == ok + cancelled + timeout + rejected + errors once all
+/// in-flight queries have resolved.
 struct SessionStats {
   uint64_t submitted = 0;
   uint64_t ok = 0;
   uint64_t cancelled = 0;
   uint64_t timeout = 0;
   uint64_t rejected = 0;
+  uint64_t errors = 0;  ///< genuine failures (parse, unbound params)
   double exec_ms = 0;   ///< summed ExecOutcome::ms of completed queries
   double queue_ms = 0;  ///< summed admission wait
 };
@@ -96,8 +110,11 @@ class ServingEngine;
 /// A logical client multiplexed over the ServingEngine's worker pool
 /// (docs/serving.md): carries default params, a target engine and
 /// per-session stats. Create via ServingEngine::OpenSession; the handle
-/// is thread-safe and must not outlive its ServingEngine.
-class Session {
+/// is thread-safe and must not outlive its ServingEngine. Dropping the
+/// last client handle while queries submitted through it are still
+/// queued or executing is safe: each submission shares ownership of the
+/// session until its outcome is delivered.
+class Session : public std::enable_shared_from_this<Session> {
  public:
   /// Submits a query with the session's defaults (params merged under
   /// `params`, session budget, session engine).
@@ -114,7 +131,7 @@ class Session {
   Session(ServingEngine* owner, const GOptEngine* engine, SessionOptions opts,
           std::shared_ptr<std::atomic<int64_t>> live_counter);
 
-  void Record(const ExecOutcome& out);
+  void Record(const ExecOutcome& out, bool error);
 
   ServingEngine* owner_;
   const GOptEngine* engine_;
@@ -209,7 +226,10 @@ class ServingEngine {
     std::chrono::steady_clock::time_point enqueued;
     std::promise<ExecOutcome> promise;
     OutcomeCallback callback;  ///< set instead of using the promise
-    Session* session = nullptr;
+    /// Shared ownership: the task keeps its session alive until the
+    /// outcome is delivered, so clients may drop their last handle while
+    /// submissions are still queued or executing.
+    std::shared_ptr<Session> session;
   };
 
   /// The shared submission path. `session` may be null; `budget` (if any)
@@ -217,7 +237,8 @@ class ServingEngine {
   /// submission was rejected synchronously).
   Submission SubmitTask(const GOptEngine* engine, const std::string& query,
                         ParamMap params, Language lang,
-                        const QueryBudget* budget, Session* session,
+                        const QueryBudget* budget,
+                        std::shared_ptr<Session> session,
                         OutcomeCallback callback);
   void WorkerLoop();
   /// Runs one task on its engine under its budget; never throws (errors
@@ -247,11 +268,12 @@ class ServingEngine {
   std::vector<std::thread> workers_;
 
   /// The point-in-time numbers the Render-time collector reads. Held by
-  /// shared_ptr and captured by the collector closure, so a shared
-  /// MetricsRegistry outliving this ServingEngine renders frozen final
-  /// values instead of dangling. (Per-engine cache collectors still
-  /// capture raw GOptEngine pointers — engines must outlive every Render
-  /// of a registry they were attached to.)
+  /// shared_ptr and captured by the collector closure, so the closure
+  /// never dereferences this ServingEngine. The destructor additionally
+  /// unregisters every collector it added (RemoveCollector), so a shared
+  /// MetricsRegistry outliving this ServingEngine — or the engines whose
+  /// cache collectors were registered through it — renders the frozen
+  /// last-collected values instead of dangling.
   struct LiveStats {
     std::atomic<int64_t> queue_depth{0};
     std::atomic<int64_t> inflight{0};
@@ -261,11 +283,17 @@ class ServingEngine {
   };
   std::shared_ptr<LiveStats> live_;
 
+  /// Ids of every collector this engine registered on metrics_, removed
+  /// by the destructor so an injected registry never runs them after the
+  /// engine (or its target GOptEngines) is gone.
+  std::vector<uint64_t> collector_ids_;
+
   // Hot-path instruments, resolved once at construction.
   Counter* queries_ok_ = nullptr;
   Counter* queries_cancelled_ = nullptr;
   Counter* queries_timeout_ = nullptr;
   Counter* queries_rejected_ = nullptr;
+  Counter* queries_error_ = nullptr;
   Counter* admission_rejected_ = nullptr;
   Histogram* latency_ms_ = nullptr;
   Histogram* queue_wait_ms_ = nullptr;

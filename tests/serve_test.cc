@@ -79,6 +79,20 @@ bool WaitFor(Pred pred, int timeout_ms = 5000) {
   return true;
 }
 
+/// Extracts the value of an exact series line (name including labels).
+double SeriesValue(const std::string& render, const std::string& series) {
+  size_t pos = 0;
+  while ((pos = render.find(series + " ", pos)) != std::string::npos) {
+    if (pos == 0 || render[pos - 1] == '\n') {
+      size_t eol = render.find('\n', pos);
+      return std::atof(
+          render.substr(pos + series.size() + 1, eol - pos).c_str());
+    }
+    ++pos;
+  }
+  return -1;
+}
+
 // ---------------------------------------------------------------------------
 // Parity and delivery
 // ---------------------------------------------------------------------------
@@ -286,6 +300,25 @@ TEST(ServeTest, BlockPolicyAppliesBackpressureAndCompletesAll) {
   }
 }
 
+TEST(ServeTest, ZeroMaxQueueIsClampedNotDeadlocked) {
+  // Regression: max_queue = 0 under kBlock made the wait predicate
+  // (queue_.size() < max_queue) unsatisfiable, parking every submitter
+  // until Shutdown. It is clamped to 1 (0 means "unlimited" elsewhere in
+  // the serving options, so this is an easy misconfiguration).
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  ServingOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.max_queue = 0;
+  sopts.admission = AdmissionPolicy::kBlock;
+  ServingEngine serve(&engine, sopts);
+  EXPECT_EQ(serve.options().max_queue, 1u);
+
+  std::vector<std::future<ExecOutcome>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(serve.RunAsync(kEdgeQ));
+  for (auto& f : futs) EXPECT_EQ(f.get().status, ExecStatus::kOk);
+}
+
 // ---------------------------------------------------------------------------
 // Shutdown semantics
 // ---------------------------------------------------------------------------
@@ -383,6 +416,61 @@ TEST(ServeTest, SessionDefaultParamsAndStats) {
                  return o;
                }()),
                std::runtime_error);
+}
+
+TEST(ServeTest, SessionHandleDroppedWithQueriesInFlight) {
+  // Regression: Task used to hold a raw Session* — dropping the last
+  // client handle while a submission was still queued made the worker
+  // call Record on a destroyed Session. Tasks now share ownership, so
+  // the session dies only after its last outcome is delivered (ASan/TSan
+  // jobs make a regression here fail loudly).
+  auto ldbc = GenerateLdbc(0.05, 1);
+  GOptEngine engine(ldbc.graph.get(), BackendSpec::Neo4jLike());
+  ServingOptions sopts;
+  sopts.worker_threads = 1;
+  ServingEngine serve(&engine, sopts);
+
+  Submission blocker = serve.Submit(kHeavyQ);
+  ASSERT_TRUE(WaitFor([&] { return serve.in_flight() == 1; }));
+
+  auto session = serve.OpenSession({});
+  std::future<ExecOutcome> queued = session->RunAsync(kLdbcEdgeQ);
+  EXPECT_EQ(serve.queue_depth(), 1u);
+  session.reset();  // client walks away; its query is still queued
+
+  blocker.cancel.Cancel();
+  EXPECT_EQ(blocker.result.get().status, ExecStatus::kCancelled);
+  ExecOutcome out = queued.get();
+  EXPECT_EQ(out.status, ExecStatus::kOk);
+  EXPECT_GT(out.NumRows(), 0u);
+
+  // The sessions gauge drops only once the in-flight share is released.
+  ASSERT_TRUE(WaitFor([&] {
+    return SeriesValue(serve.metrics().Render(), "gopt_serve_sessions") == 0;
+  }));
+}
+
+TEST(ServeTest, ErrorsCountInSessionStatsAndMetrics) {
+  auto g = PaperGraph();
+  GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+  ServingEngine serve(&engine);
+
+  auto session = serve.OpenSession({});
+  EXPECT_THROW(session->RunAsync("THIS IS NOT A QUERY").get(),
+               std::exception);
+  EXPECT_EQ(session->RunAsync(kEdgeQ).get().status, ExecStatus::kOk);
+
+  // Every submission lands in exactly one terminal bucket.
+  SessionStats st = session->stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.errors, 1u);
+  EXPECT_EQ(st.ok, 1u);
+  EXPECT_EQ(st.submitted,
+            st.ok + st.cancelled + st.timeout + st.rejected + st.errors);
+
+  const std::string r = serve.metrics().Render();
+  EXPECT_EQ(SeriesValue(r, "gopt_serve_queries_total{status=\"error\"}"), 1);
+  EXPECT_EQ(SeriesValue(r, "gopt_serve_queries_total{status=\"ok\"}"), 1);
 }
 
 TEST(ServeTest, SessionsTargetRegisteredEngines) {
@@ -485,20 +573,6 @@ bool ValidExpositionLine(const std::string& line, std::string* why) {
     return false;
   }
   return true;
-}
-
-/// Extracts the value of an exact series line (name including labels).
-double SeriesValue(const std::string& render, const std::string& series) {
-  size_t pos = 0;
-  while ((pos = render.find(series + " ", pos)) != std::string::npos) {
-    if (pos == 0 || render[pos - 1] == '\n') {
-      size_t eol = render.find('\n', pos);
-      return std::atof(
-          render.substr(pos + series.size() + 1, eol - pos).c_str());
-    }
-    ++pos;
-  }
-  return -1;
 }
 
 TEST(ServeTest, RenderIsValidExpositionAndSeriesMoveUnderStress) {
@@ -622,6 +696,71 @@ TEST(ServeTest, RejectionsCountInMetrics) {
   fill.get();
 }
 
+TEST(ServeTest, SharedRegistryInstanceLabelsKeepEnginesDistinct) {
+  // Two ServingEngines injecting one registry: with distinct instance
+  // labels their serve-level series stay separate instead of resolving to
+  // the same gauges (where the last collector to run would clobber the
+  // other's values).
+  auto g = PaperGraph();
+  GOptEngine e1(g.get(), BackendSpec::Neo4jLike());
+  GOptEngine e2(g.get(), BackendSpec::Neo4jLike());
+  auto registry = std::make_shared<MetricsRegistry>();
+
+  ServingOptions o1;
+  o1.metrics = registry;
+  o1.instance = "alpha";
+  o1.worker_threads = 1;
+  ServingOptions o2;
+  o2.metrics = registry;
+  o2.instance = "beta";
+  o2.worker_threads = 3;
+  ServingEngine s1(&e1, o1);
+  ServingEngine s2(&e2, o2);
+
+  EXPECT_EQ(s1.RunAsync(kEdgeQ).get().status, ExecStatus::kOk);
+
+  const std::string r = registry->Render();
+  EXPECT_EQ(SeriesValue(r, "gopt_serve_workers{instance=\"alpha\"}"), 1);
+  EXPECT_EQ(SeriesValue(r, "gopt_serve_workers{instance=\"beta\"}"), 3);
+  EXPECT_EQ(SeriesValue(
+                r, "gopt_serve_queries_total{instance=\"alpha\",status=\"ok\"}"),
+            1);
+  EXPECT_EQ(SeriesValue(
+                r, "gopt_serve_queries_total{instance=\"beta\",status=\"ok\"}"),
+            0);
+  // Per-engine cache series split too.
+  EXPECT_NE(r.find("gopt_plan_cache_hits{engine=\"default\",instance=\"alpha\"}"),
+            std::string::npos);
+  EXPECT_NE(r.find("gopt_plan_cache_hits{engine=\"default\",instance=\"beta\"}"),
+            std::string::npos);
+}
+
+TEST(ServeTest, SharedRegistryOutlivesEngineWithoutDanglingCollectors) {
+  // Regression: ~ServingEngine left its collectors registered on an
+  // injected registry; the per-engine cache collector captures a raw
+  // GOptEngine*, so rendering after the engine died dereferenced freed
+  // memory. Collectors are now unregistered in the destructor and the
+  // series render their frozen last-collected values (ASan job would
+  // catch a regression).
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto g = PaperGraph();
+  {
+    GOptEngine engine(g.get(), BackendSpec::Neo4jLike());
+    ServingOptions sopts;
+    sopts.metrics = registry;
+    ServingEngine serve(&engine, sopts);
+    EXPECT_EQ(serve.RunAsync(kEdgeQ).get().status, ExecStatus::kOk);
+    EXPECT_EQ(SeriesValue(registry->Render(),
+                          "gopt_serve_queries_total{status=\"ok\"}"),
+              1);
+  }
+  // Engine and ServingEngine are gone; the registry still renders the
+  // frozen counters without touching them.
+  const std::string after = registry->Render();
+  EXPECT_EQ(SeriesValue(after, "gopt_serve_queries_total{status=\"ok\"}"), 1);
+  EXPECT_NE(after.find("gopt_plan_cache_hits"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Options-shape guards
 // ---------------------------------------------------------------------------
@@ -634,11 +773,13 @@ TEST(ServeTest, ServingOptionsShapeGuard) {
   // them affect produced plans — so a new knob either stays here or, if
   // plan-affecting, must move to EngineOptions and its fingerprint.
   ServingOptions so;
-  auto& [workers, max_queue, admission, default_budget, metrics] = so;
+  auto& [workers, max_queue, admission, default_budget, metrics, instance] =
+      so;
   (void)workers;
   (void)max_queue;
   (void)admission;
   (void)metrics;
+  (void)instance;
   QueryBudget& qb = default_budget;
   auto& [time_ms, max_rows] = qb;
   (void)time_ms;
